@@ -1,0 +1,37 @@
+"""Shared constants and helpers for the benchmark harness.
+
+Set ``REPRO_FULL_SCALE=1`` in the environment to run the simulation benches
+at the paper's exact scale (10 000 messages per point over the full
+cluster-count grid) instead of the faster default.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Number of simulated messages per point used by the benchmarks.
+SIM_MESSAGES = 10_000 if os.environ.get("REPRO_FULL_SCALE") == "1" else 2_000
+
+#: Cluster-count grid used for simulation benches (the analysis benches
+#: always sweep the paper's full grid — it is closed-form and fast).
+SIM_CLUSTER_COUNTS = (
+    (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    if os.environ.get("REPRO_FULL_SCALE") == "1"
+    else (1, 4, 16, 64, 256)
+)
+
+
+def format_series(result) -> str:
+    """Render a FigureResult as the rows the paper plots (for bench logs)."""
+    lines = [result.spec.title]
+    for size in result.message_sizes:
+        points = result.points_for_size(size)
+        analysis = ", ".join(f"{p.analysis_latency_ms:.4f}" for p in points)
+        lines.append(f"  Analysis,M={size}:   [{analysis}] ms")
+        if any(p.simulation_latency_ms is not None for p in points):
+            simulated = ", ".join(
+                f"{p.simulation_latency_ms:.4f}" if p.simulation_latency_ms is not None else "-"
+                for p in points
+            )
+            lines.append(f"  Simulation,M={size}: [{simulated}] ms")
+    return "\n".join(lines)

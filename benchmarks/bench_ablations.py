@@ -1,0 +1,64 @@
+"""Benchmarks for the ablation studies called out in DESIGN.md.
+
+These are not paper figures; they probe the modelling decisions the paper
+makes (switch size, switch latency, operating point, the Eq. 7 fixed point)
+and record how each one shapes the predicted latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    fixed_point_vs_exact_mva,
+    sweep_generation_rate,
+    sweep_message_size,
+    sweep_switch_latency,
+    sweep_switch_ports,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_switch_ports(benchmark, figure_printer):
+    """Pr sweep: the C=16 'different behaviour' moves with the switch size."""
+    study = benchmark(sweep_switch_ports)
+    assert len(study.rows) == 6
+    figure_printer.append(study.to_markdown())
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_switch_latency(benchmark, figure_printer):
+    """α_sw sweep: latency must be monotone in the per-switch latency."""
+    study = benchmark(sweep_switch_latency)
+    assert study.latencies() == sorted(study.latencies())
+    figure_printer.append(study.to_markdown())
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_generation_rate(benchmark, figure_printer):
+    """λ sweep: the paper's 0.25 msg/s operating point is nearly unloaded."""
+    study = benchmark(sweep_generation_rate)
+    assert study.latencies() == sorted(study.latencies())
+    # At the paper's rate the ICN2 utilisation is far below saturation.
+    assert study.rows[0].extra["icn2_utilization"] < 0.05
+    figure_printer.append(study.to_markdown())
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_message_size(benchmark, figure_printer):
+    """M sweep beyond the paper's 512/1024 bytes."""
+    study = benchmark(sweep_message_size)
+    assert study.latencies() == sorted(study.latencies())
+    figure_printer.append(study.to_markdown())
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_fixed_point_vs_mva(benchmark, figure_printer):
+    """Eq. (7) fixed point vs the exact closed-network (MVA) solution."""
+    study = benchmark(fixed_point_vs_exact_mva)
+    fixed_point_ms, mva_ms = study.latencies()
+    assert fixed_point_ms == pytest.approx(mva_ms, rel=0.15)
+    figure_printer.append(
+        f"Fixed point (Eq. 7) vs exact MVA at the paper's operating point: "
+        f"{fixed_point_ms:.4f} ms vs {mva_ms:.4f} ms"
+    )

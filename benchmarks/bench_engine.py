@@ -1,0 +1,65 @@
+"""Performance benchmarks of the library's own machinery.
+
+Not paper artefacts — these measure the cost of the analytical evaluation
+and of the discrete-event simulator so that regressions in the substrate are
+visible (per the HPC guide: measure before optimising).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.presets import paper_evaluation_system
+from repro.core.model import AnalyticalModel, ModelConfig
+from repro.des.core import Environment
+from repro.des.resources import Resource
+from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
+from repro.simulation.simulator import MultiClusterSimulator, SimulationConfig
+
+
+@pytest.mark.benchmark(group="engine")
+def test_analytical_model_evaluation_speed(benchmark):
+    """One full analytical evaluation (fixed point included)."""
+    system = paper_evaluation_system(16, GIGABIT_ETHERNET, FAST_ETHERNET)
+    config = ModelConfig(architecture="non-blocking", message_bytes=1024)
+
+    def evaluate():
+        return AnalyticalModel(system, config).evaluate().mean_latency_s
+
+    latency = benchmark(evaluate)
+    assert latency > 0
+
+
+@pytest.mark.benchmark(group="engine")
+def test_des_event_throughput(benchmark):
+    """Raw kernel throughput: a chain of timeouts through a shared resource."""
+
+    def run_kernel():
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def user(env, resource):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+        for _ in range(2_000):
+            env.process(user(env, resource))
+        env.run()
+        return env.now
+
+    final_time = benchmark(run_kernel)
+    assert final_time == pytest.approx(2_000.0)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_simulator_throughput_small_system(benchmark):
+    """End-to-end simulator cost for a 32-node system and 1 000 messages."""
+    system = paper_evaluation_system(4, GIGABIT_ETHERNET, FAST_ETHERNET, total_processors=32)
+    config = SimulationConfig(num_messages=1_000, seed=1)
+
+    def run_sim():
+        return MultiClusterSimulator(system, config).run().measured_messages
+
+    measured = benchmark(run_sim)
+    assert measured > 0

@@ -1,0 +1,51 @@
+"""Benchmark / regeneration harness for **Figure 4** of the paper.
+
+Figure 4: average message latency vs number of clusters, non-blocking
+(fat-tree) networks, Case-1 (ICN1 = Gigabit Ethernet, ECN1/ICN2 = Fast
+Ethernet), message sizes 512 and 1024 bytes, analysis and simulation.
+
+Run ``pytest benchmarks/bench_figure4.py --benchmark-only -s`` to see the
+regenerated series; ``REPRO_FULL_SCALE=1`` switches the simulation to the
+paper's full 10 000-message runs over the complete cluster-count grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import SIM_CLUSTER_COUNTS, SIM_MESSAGES, format_series
+from repro.experiments.figures import run_figure
+
+FIGURE = 4
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_analysis_series(benchmark, figure_printer):
+    """Analytical curves of Figure 4 over the paper's full sweep grid."""
+    result = benchmark(run_figure, FIGURE, include_simulation=False)
+    assert len(result.points) == 18  # 9 cluster counts x 2 message sizes
+    for size in (512, 1024):
+        series = [p.analysis_latency_ms for p in result.points_for_size(size)]
+        assert series[-1] > series[0]  # latency grows with the cluster count
+    figure_printer.append(format_series(result))
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_analysis_plus_simulation(benchmark, figure_printer):
+    """Analysis + validation simulation for Figure 4 (reduced grid by default)."""
+    result = benchmark.pedantic(
+        run_figure,
+        args=(FIGURE,),
+        kwargs=dict(
+            include_simulation=True,
+            cluster_counts=list(SIM_CLUSTER_COUNTS),
+            simulation_messages=SIM_MESSAGES,
+            seed=4,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    summary = result.accuracy_summary()
+    assert summary is not None
+    assert summary.mape_percent < 20.0
+    figure_printer.append(format_series(result) + f"\n  accuracy: {summary}")

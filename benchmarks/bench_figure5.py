@@ -1,0 +1,47 @@
+"""Benchmark / regeneration harness for **Figure 5** of the paper.
+
+Figure 5: average message latency vs number of clusters, non-blocking
+(fat-tree) networks, Case-2 (ICN1 = Fast Ethernet, ECN1/ICN2 = Gigabit
+Ethernet), message sizes 512 and 1024 bytes, analysis and simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import SIM_CLUSTER_COUNTS, SIM_MESSAGES, format_series
+from repro.experiments.figures import run_figure
+
+FIGURE = 5
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_analysis_series(benchmark, figure_printer):
+    """Analytical curves of Figure 5 over the paper's full sweep grid."""
+    result = benchmark(run_figure, FIGURE, include_simulation=False)
+    assert len(result.points) == 18
+    for size in (512, 1024):
+        series = [p.analysis_latency_ms for p in result.points_for_size(size)]
+        assert series[-1] > series[0]
+    figure_printer.append(format_series(result))
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_analysis_plus_simulation(benchmark, figure_printer):
+    """Analysis + validation simulation for Figure 5 (reduced grid by default)."""
+    result = benchmark.pedantic(
+        run_figure,
+        args=(FIGURE,),
+        kwargs=dict(
+            include_simulation=True,
+            cluster_counts=list(SIM_CLUSTER_COUNTS),
+            simulation_messages=SIM_MESSAGES,
+            seed=5,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    summary = result.accuracy_summary()
+    assert summary is not None
+    assert summary.mape_percent < 20.0
+    figure_printer.append(format_series(result) + f"\n  accuracy: {summary}")

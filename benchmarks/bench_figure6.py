@@ -1,0 +1,47 @@
+"""Benchmark / regeneration harness for **Figure 6** of the paper.
+
+Figure 6: average message latency vs number of clusters, **blocking**
+(linear switch array) networks, Case-1 (ICN1 = Gigabit Ethernet, ECN1/ICN2 =
+Fast Ethernet), message sizes 512 and 1024 bytes, analysis and simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import SIM_CLUSTER_COUNTS, SIM_MESSAGES, format_series
+from repro.experiments.figures import run_figure
+
+FIGURE = 6
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_analysis_series(benchmark, figure_printer):
+    """Analytical curves of Figure 6 over the paper's full sweep grid."""
+    result = benchmark(run_figure, FIGURE, include_simulation=False)
+    assert len(result.points) == 18
+    # Blocking latencies must exceed the corresponding non-blocking (Figure 4)
+    # values; the full comparison lives in bench_blocking_ratio.py.
+    assert min(p.analysis_latency_ms for p in result.points) > 0
+    figure_printer.append(format_series(result))
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_analysis_plus_simulation(benchmark, figure_printer):
+    """Analysis + validation simulation for Figure 6 (reduced grid by default)."""
+    result = benchmark.pedantic(
+        run_figure,
+        args=(FIGURE,),
+        kwargs=dict(
+            include_simulation=True,
+            cluster_counts=list(SIM_CLUSTER_COUNTS),
+            simulation_messages=SIM_MESSAGES,
+            seed=6,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    summary = result.accuracy_summary()
+    assert summary is not None
+    assert summary.mape_percent < 25.0
+    figure_printer.append(format_series(result) + f"\n  accuracy: {summary}")

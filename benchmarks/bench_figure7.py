@@ -1,0 +1,45 @@
+"""Benchmark / regeneration harness for **Figure 7** of the paper.
+
+Figure 7: average message latency vs number of clusters, **blocking**
+(linear switch array) networks, Case-2 (ICN1 = Fast Ethernet, ECN1/ICN2 =
+Gigabit Ethernet), message sizes 512 and 1024 bytes, analysis and simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import SIM_CLUSTER_COUNTS, SIM_MESSAGES, format_series
+from repro.experiments.figures import run_figure
+
+FIGURE = 7
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_analysis_series(benchmark, figure_printer):
+    """Analytical curves of Figure 7 over the paper's full sweep grid."""
+    result = benchmark(run_figure, FIGURE, include_simulation=False)
+    assert len(result.points) == 18
+    assert min(p.analysis_latency_ms for p in result.points) > 0
+    figure_printer.append(format_series(result))
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_analysis_plus_simulation(benchmark, figure_printer):
+    """Analysis + validation simulation for Figure 7 (reduced grid by default)."""
+    result = benchmark.pedantic(
+        run_figure,
+        args=(FIGURE,),
+        kwargs=dict(
+            include_simulation=True,
+            cluster_counts=list(SIM_CLUSTER_COUNTS),
+            simulation_messages=SIM_MESSAGES,
+            seed=7,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    summary = result.accuracy_summary()
+    assert summary is not None
+    assert summary.mape_percent < 25.0
+    figure_printer.append(format_series(result) + f"\n  accuracy: {summary}")

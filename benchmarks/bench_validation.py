@@ -1,0 +1,65 @@
+"""Benchmark for the paper's validation methodology (analysis vs simulation).
+
+The paper overlays analytical and simulated latency in Figures 4-7 and
+concludes the model predicts "with good degree of accuracy".  This bench
+quantifies that statement: for each figure it runs analysis and simulation
+at representative points and reports the relative error (recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import SIM_MESSAGES
+from repro.core.model import ModelConfig
+from repro.experiments.figures import FIGURE_SPECS
+from repro.experiments.scenarios import build_scenario_system
+from repro.simulation.runner import validate_against_analysis
+from repro.simulation.simulator import SimulationConfig
+
+
+def _validate_figure(figure: int, num_clusters: int, message_bytes: int, seed: int):
+    spec = FIGURE_SPECS[figure]
+    system = build_scenario_system(spec.scenario, num_clusters)
+    model_config = ModelConfig(
+        architecture=spec.architecture, message_bytes=float(message_bytes)
+    )
+    sim_config = SimulationConfig(
+        architecture=spec.architecture,
+        message_bytes=float(message_bytes),
+        num_messages=SIM_MESSAGES,
+        seed=seed,
+    )
+    return validate_against_analysis(system, model_config, sim_config)
+
+
+@pytest.mark.benchmark(group="validation")
+@pytest.mark.parametrize("figure", [4, 5, 6, 7])
+def test_validation_accuracy_per_figure(benchmark, figure, figure_printer):
+    """Relative error between model and simulator at a mid-sweep point (C=16, M=1024)."""
+    point = benchmark.pedantic(
+        _validate_figure, args=(figure, 16, 1024, 100 + figure), iterations=1, rounds=1
+    )
+    assert point.relative_error < 0.20
+    figure_printer.append(
+        f"Figure {figure} validation @ C=16, M=1024: "
+        f"analysis={point.analysis_latency_ms:.4f} ms, "
+        f"simulation={point.simulation_latency_ms:.4f} ms, "
+        f"rel. error={point.relative_error * 100:.2f}%"
+    )
+
+
+@pytest.mark.benchmark(group="validation")
+@pytest.mark.parametrize("num_clusters", [2, 256])
+def test_validation_accuracy_sweep_extremes(benchmark, num_clusters, figure_printer):
+    """Model accuracy at the extremes of the cluster-count sweep (Figure 4 setup)."""
+    point = benchmark.pedantic(
+        _validate_figure, args=(4, num_clusters, 512, 200 + num_clusters),
+        iterations=1, rounds=1,
+    )
+    assert point.relative_error < 0.20
+    figure_printer.append(
+        f"Figure 4 validation @ C={num_clusters}, M=512: rel. error="
+        f"{point.relative_error * 100:.2f}%"
+    )

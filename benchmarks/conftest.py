@@ -1,0 +1,21 @@
+"""Pytest fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def figure_printer():
+    """Collect reproduced figure series and print them at session end."""
+    collected: List[str] = []
+    yield collected
+    if collected:
+        print("\n" + "=" * 72)
+        print("Reproduced paper series")
+        print("=" * 72)
+        for text in collected:
+            print(text)
+            print("-" * 72)

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick a multi-cluster configuration with the model.
+
+The paper's motivation (§1) is that "a performance model is a useful tool
+for exploring the design space and examining various parameters" when
+building a cost-effective system.  This example does exactly that for a
+site that must host 256 processors and wants to choose:
+
+* how many clusters to split them into,
+* which interconnect technology to buy for the intra- and inter-cluster
+  networks, and
+* whether a cheap blocking (cascaded-switch) fabric is good enough or a
+  full-bisection fat-tree is needed,
+
+under a latency budget.  The analytical model evaluates hundreds of
+configurations in well under a second — the point the paper makes against
+exhaustive simulation.
+
+Run with ``python examples/design_space_exploration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro import AnalyticalModel, ModelConfig, paper_evaluation_system
+from repro.network import (
+    FAST_ETHERNET,
+    GIGABIT_ETHERNET,
+    MYRINET,
+    NetworkTechnology,
+)
+from repro.viz import format_fixed_width_table
+
+#: Rough per-port cost units used to rank configurations (illustrative only).
+TECHNOLOGY_COST = {
+    FAST_ETHERNET.name: 1.0,
+    GIGABIT_ETHERNET.name: 4.0,
+    MYRINET.name: 10.0,
+}
+
+#: Latency budget for the application (milliseconds).
+LATENCY_BUDGET_MS = 0.5
+
+#: Message size the target application mostly uses.
+MESSAGE_BYTES = 1024
+
+
+@dataclass
+class Candidate:
+    """One evaluated configuration."""
+
+    clusters: int
+    icn: NetworkTechnology
+    ecn: NetworkTechnology
+    architecture: str
+    latency_ms: float
+    cost: float
+
+    def as_row(self) -> dict:
+        return {
+            "clusters": self.clusters,
+            "ICN1": self.icn.name,
+            "ECN1/ICN2": self.ecn.name,
+            "architecture": self.architecture,
+            "latency_ms": round(self.latency_ms, 4),
+            "relative_cost": round(self.cost, 1),
+        }
+
+
+def configuration_cost(clusters: int, icn: NetworkTechnology, ecn: NetworkTechnology,
+                       architecture: str, total_nodes: int = 256) -> float:
+    """A simple cost proxy: per-node port cost plus a fat-tree premium."""
+    nodes_per_cluster = total_nodes // clusters
+    cost = total_nodes * TECHNOLOGY_COST[icn.name] + total_nodes * TECHNOLOGY_COST[ecn.name]
+    if architecture == "non-blocking":
+        # A fat-tree needs roughly twice the switching hardware of a chain.
+        cost *= 1.6
+    # Many small clusters need more inter-cluster ports.
+    cost += clusters * 8.0 * TECHNOLOGY_COST[ecn.name]
+    return cost
+
+
+def explore() -> List[Candidate]:
+    technologies = [FAST_ETHERNET, GIGABIT_ETHERNET, MYRINET]
+    candidates: List[Candidate] = []
+    for clusters in (2, 4, 8, 16, 32, 64):
+        for icn in technologies:
+            for ecn in technologies:
+                for architecture in ("non-blocking", "blocking"):
+                    system = paper_evaluation_system(clusters, icn, ecn)
+                    report = AnalyticalModel(
+                        system,
+                        ModelConfig(architecture=architecture, message_bytes=MESSAGE_BYTES),
+                    ).evaluate()
+                    candidates.append(
+                        Candidate(
+                            clusters=clusters,
+                            icn=icn,
+                            ecn=ecn,
+                            architecture=architecture,
+                            latency_ms=report.mean_latency_ms,
+                            cost=configuration_cost(clusters, icn, ecn, architecture),
+                        )
+                    )
+    return candidates
+
+
+def main() -> None:
+    candidates = explore()
+    print(f"Evaluated {len(candidates)} configurations analytically.")
+    feasible = [c for c in candidates if c.latency_ms <= LATENCY_BUDGET_MS]
+    print(f"{len(feasible)} of them meet the {LATENCY_BUDGET_MS} ms latency budget.")
+    print()
+
+    cheapest = sorted(feasible, key=lambda c: c.cost)[:10]
+    print("Ten cheapest configurations within the latency budget:")
+    print(format_fixed_width_table([c.as_row() for c in cheapest]))
+    print()
+
+    fastest = sorted(candidates, key=lambda c: c.latency_ms)[:5]
+    print("Five lowest-latency configurations regardless of cost:")
+    print(format_fixed_width_table([c.as_row() for c in fastest]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Cluster-of-Clusters study: an LLNL-like heterogeneous conglomerate.
+
+The paper's §3 motivates the HMSCS structure with the LLNL multi-cluster
+(MCR, ALC, Thunder and PVC interconnected) whose clusters differ in size,
+processor generation and network technology; analysing that family is
+listed as future work (§7).  This example uses the library's
+Cluster-of-Clusters extension to answer two questions for such a system:
+
+1. What mean message latency does each cluster's workload see, and how much
+   does the slow visualisation cluster (PVC) suffer from its Fast-Ethernet
+   uplink?
+2. Is it worth upgrading the inter-cluster backbone (ICN2) from Gigabit
+   Ethernet to a faster fabric?
+
+The extension's predictions are cross-checked against the discrete-event
+simulator, which supports heterogeneous systems natively.
+
+Run with ``python examples/heterogeneous_cluster_of_clusters.py``.
+"""
+
+from __future__ import annotations
+
+from repro import MultiClusterSimulator, SimulationConfig
+from repro.cluster import llnl_like_system
+from repro.core import ClusterOfClustersModel, HeterogeneousModelConfig
+from repro.network import GIGABIT_ETHERNET, INFINIBAND_4X, MYRINET
+from repro.cluster.system import MultiClusterSystem
+from repro.viz import bar_chart
+
+MESSAGE_BYTES = 1024
+
+
+def evaluate(system, label: str) -> float:
+    """Evaluate the heterogeneous analytical model and print a summary."""
+    report = ClusterOfClustersModel(
+        system,
+        HeterogeneousModelConfig(architecture="non-blocking", message_bytes=MESSAGE_BYTES),
+    ).evaluate()
+    print(f"=== {label} ===")
+    print(f"mean message latency: {report.mean_latency_ms:.4f} ms")
+    names = list(report.per_cluster_remote_latency_s)
+    remote_ms = [report.per_cluster_remote_latency_s[name] * 1e3 for name in names]
+    print(bar_chart(names, remote_ms, title="per-cluster remote latency (ms)"))
+    print()
+    return report.mean_latency_s
+
+
+def main() -> None:
+    base = llnl_like_system()
+    print(base.describe())
+    print()
+
+    base_latency = evaluate(base, "baseline (GE backbone)")
+
+    # Question 2: upgrade the ICN2 backbone.
+    upgraded_myrinet = MultiClusterSystem(
+        clusters=base.clusters, icn2_technology=MYRINET, switch=base.switch,
+        name="llnl-like-myrinet-backbone",
+    )
+    upgraded_ib = MultiClusterSystem(
+        clusters=base.clusters, icn2_technology=INFINIBAND_4X, switch=base.switch,
+        name="llnl-like-ib-backbone",
+    )
+    myrinet_latency = evaluate(upgraded_myrinet, "Myrinet backbone")
+    ib_latency = evaluate(upgraded_ib, "InfiniBand 4x backbone")
+
+    print("Backbone upgrade impact on mean latency:")
+    print(f"  Gigabit Ethernet : {base_latency * 1e3:.4f} ms (baseline)")
+    print(f"  Myrinet          : {myrinet_latency * 1e3:.4f} ms "
+          f"({(1 - myrinet_latency / base_latency) * 100:.1f}% faster)")
+    print(f"  InfiniBand 4x    : {ib_latency * 1e3:.4f} ms "
+          f"({(1 - ib_latency / base_latency) * 100:.1f}% faster)")
+    print()
+
+    # Cross-check the baseline prediction against the simulator.
+    sim = MultiClusterSimulator(
+        base,
+        SimulationConfig(architecture="non-blocking", message_bytes=MESSAGE_BYTES,
+                         num_messages=4_000, seed=7),
+    ).run()
+    error = abs(base_latency - sim.mean_latency_s) / sim.mean_latency_s
+    print("Simulator cross-check (baseline system, 4 000 messages):")
+    print(f"  analysis   : {base_latency * 1e3:.4f} ms")
+    print(f"  simulation : {sim.mean_latency_ms:.4f} ms")
+    print(f"  rel. error : {error * 100:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate the analytical model and validate it with simulation.
+
+This walks through the library's core loop in a few lines:
+
+1. describe a multi-cluster system (the paper's 256-node Super-Cluster),
+2. evaluate the analytical model (mean message latency, Eq. 15),
+3. run the discrete-event validation simulator for the same configuration,
+4. compare the two (the paper's Figures 4-7 methodology).
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AnalyticalModel,
+    ModelConfig,
+    SimulationConfig,
+    paper_evaluation_system,
+    validate_against_analysis,
+)
+from repro.network import FAST_ETHERNET, GIGABIT_ETHERNET
+
+
+def main() -> None:
+    # 1. The paper's evaluation platform: 256 processors split into 16
+    #    clusters, Gigabit Ethernet inside each cluster (ICN1) and Fast
+    #    Ethernet between clusters (ECN1/ICN2) — Table 1, Case 1.
+    system = paper_evaluation_system(
+        num_clusters=16,
+        icn_technology=GIGABIT_ETHERNET,
+        ecn_technology=FAST_ETHERNET,
+    )
+    print(system.describe())
+    print()
+
+    # 2. Analytical model (non-blocking fat-tree networks, 1 KiB messages).
+    model_config = ModelConfig(architecture="non-blocking", message_bytes=1024)
+    report = AnalyticalModel(system, model_config).evaluate()
+    print("Analytical model")
+    print(f"  outgoing probability P (Eq. 8) : {report.outgoing_probability:.4f}")
+    print(f"  effective rate λ_eff (Eq. 7)   : {report.effective_rate:.6f} msg/s")
+    print(f"  mean message latency (Eq. 15)  : {report.mean_latency_ms:.4f} ms")
+    print(f"    local component              : {report.local_latency_s * 1e3:.4f} ms")
+    print(f"    remote component             : {report.remote_latency_s * 1e3:.4f} ms")
+    print(f"  ICN2 utilisation               : {report.utilizations['icn2']:.4f}")
+    print()
+
+    # 3-4. Validation: run the discrete-event simulator for the same setup
+    #      and compare, exactly as the paper does for Figures 4-7.
+    sim_config = SimulationConfig(
+        architecture="non-blocking",
+        message_bytes=1024,
+        num_messages=5_000,
+        seed=42,
+    )
+    point = validate_against_analysis(system, model_config, sim_config)
+    print("Validation against simulation (5 000 messages)")
+    print(f"  analysis   : {point.analysis_latency_ms:.4f} ms")
+    print(f"  simulation : {point.simulation_latency_ms:.4f} ms")
+    print(f"  rel. error : {point.relative_error * 100:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figures 4-7 (analysis curves) as ASCII charts.
+
+The paper plots average message latency against the number of clusters of a
+256-node Super-Cluster for two network-heterogeneity cases and two
+architectures.  This example regenerates all four figures' analytical
+curves and renders them in the terminal; pass ``--simulate`` to overlay the
+validation simulator (slower: a few minutes for all four figures).
+
+Run with ``python examples/reproduce_figures.py [--simulate]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.figures import FIGURE_SPECS, run_figure
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--simulate", action="store_true",
+                        help="also run the validation simulator at every point")
+    parser.add_argument("--messages", type=int, default=2_000,
+                        help="simulated messages per point when --simulate is given")
+    parser.add_argument("--figures", type=int, nargs="*", default=sorted(FIGURE_SPECS),
+                        choices=sorted(FIGURE_SPECS), help="which figures to reproduce")
+    args = parser.parse_args()
+
+    for number in args.figures:
+        result = run_figure(
+            number,
+            include_simulation=args.simulate,
+            simulation_messages=args.messages,
+        )
+        print(result.to_chart())
+        print()
+        print(result.to_text_table())
+        summary = result.accuracy_summary()
+        if summary is not None:
+            print()
+            print(f"Analysis vs simulation accuracy: {summary}")
+        print("\n" + "=" * 78 + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in pyproject.toml; this file exists so
+that editable installs (``pip install -e .``) work in offline environments
+where the ``wheel`` package (needed for PEP-660 editable wheels) is not
+available — pip then falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,268 @@
+"""Command-line interface: regenerate the paper's figures and studies.
+
+Usage examples::
+
+    python -m repro figure 4                 # analysis-only reproduction of Figure 4
+    python -m repro figure 6 --simulate      # include the validation simulator
+    python -m repro ratio                    # blocking/non-blocking ratio study (§6 claim)
+    python -m repro validate --clusters 8    # analysis vs simulation at one point
+    python -m repro ablation switch-ports    # one of the ablation studies
+    python -m repro info                     # paper parameters and scenarios
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .core.model import AnalyticalModel, ModelConfig
+from .experiments.ablations import (
+    fixed_point_vs_exact_mva,
+    sweep_generation_rate,
+    sweep_message_size,
+    sweep_switch_latency,
+    sweep_switch_ports,
+)
+from .experiments.blocking_ratio import run_blocking_ratio_study
+from .experiments.figures import FIGURE_SPECS, run_figure
+from .experiments.scenarios import (
+    CASE_1,
+    CASE_2,
+    PAPER_PARAMETERS,
+    SCENARIOS,
+    build_scenario_system,
+)
+from .simulation.runner import validate_against_analysis
+from .simulation.simulator import SimulationConfig
+from .viz.tables import format_fixed_width_table, write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-multicluster",
+        description="Reproduce the evaluation of 'Performance Analysis of "
+        "Heterogeneous Multi-Cluster Systems' (ICPP-W 2005).",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="reproduce one of Figures 4-7")
+    fig.add_argument("number", type=int, choices=sorted(FIGURE_SPECS), help="figure number")
+    fig.add_argument("--simulate", action="store_true", help="also run the validation simulator")
+    fig.add_argument("--messages", type=int, default=PAPER_PARAMETERS.simulation_messages,
+                     help="simulated messages per point (default: paper's 10000)")
+    fig.add_argument("--clusters", type=int, nargs="*", default=None,
+                     help="override the cluster-count sweep")
+    fig.add_argument("--sizes", type=int, nargs="*", default=None,
+                     help="override the message-size sweep (bytes)")
+    fig.add_argument("--csv", type=str, default=None, help="write the points to a CSV file")
+    fig.add_argument("--chart", action="store_true", help="print an ASCII chart")
+
+    ratio = sub.add_parser("ratio", help="blocking vs non-blocking latency ratio study")
+    ratio.add_argument("--csv", type=str, default=None, help="write the points to a CSV file")
+
+    val = sub.add_parser("validate", help="analysis vs simulation at one configuration")
+    val.add_argument("--case", choices=sorted(SCENARIOS), default="case-1")
+    val.add_argument("--clusters", type=int, default=16)
+    val.add_argument("--architecture", choices=["non-blocking", "blocking"],
+                     default="non-blocking")
+    val.add_argument("--message-bytes", type=float, default=1024.0)
+    val.add_argument("--messages", type=int, default=PAPER_PARAMETERS.simulation_messages)
+    val.add_argument("--replications", type=int, default=1)
+
+    abl = sub.add_parser("ablation", help="run one ablation study")
+    abl.add_argument(
+        "study",
+        choices=["switch-ports", "switch-latency", "generation-rate", "message-size",
+                 "fixed-point-vs-mva"],
+    )
+
+    rep = sub.add_parser("report", help="generate the full paper-vs-measured report")
+    rep.add_argument("--output", type=str, default=None,
+                     help="write the Markdown report to this path (default: stdout)")
+    rep.add_argument("--simulate", action="store_true",
+                     help="include validation simulations (slower)")
+    rep.add_argument("--messages", type=int, default=2_000,
+                     help="simulated messages per point when --simulate is given")
+    rep.add_argument("--clusters", type=int, nargs="*", default=None,
+                     help="override the cluster-count sweep")
+
+    point = sub.add_parser("analyze", help="evaluate the analytical model at one point")
+    point.add_argument("--case", choices=sorted(SCENARIOS), default="case-1")
+    point.add_argument("--clusters", type=int, default=16)
+    point.add_argument("--architecture", choices=["non-blocking", "blocking"],
+                       default="non-blocking")
+    point.add_argument("--message-bytes", type=float, default=1024.0)
+    point.add_argument("--rate", type=float, default=PAPER_PARAMETERS.generation_rate)
+
+    sub.add_parser("info", help="print the paper's parameters and scenarios")
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    result = run_figure(
+        args.number,
+        include_simulation=args.simulate,
+        cluster_counts=args.clusters,
+        message_sizes=args.sizes,
+        simulation_messages=args.messages,
+    )
+    print(result.spec.title)
+    print()
+    print(result.to_text_table())
+    summary = result.accuracy_summary()
+    if summary is not None:
+        print()
+        print(f"Analysis vs simulation: {summary}")
+    if args.chart:
+        print()
+        print(result.to_chart())
+    if args.csv:
+        write_csv(args.csv, result.to_rows())
+        print(f"\nWrote {len(result.points)} points to {args.csv}")
+    return 0
+
+
+def _cmd_ratio(args: argparse.Namespace) -> int:
+    study = run_blocking_ratio_study()
+    print("Blocking vs non-blocking mean latency ratio (paper section 6 claim)")
+    print()
+    print(format_fixed_width_table(study.to_rows()))
+    print()
+    print(
+        f"Observed band: {study.min_ratio:.2f} - {study.max_ratio:.2f} "
+        f"(mean {study.mean_ratio:.2f}); paper reports "
+        f"{study.paper_band[0]} - {study.paper_band[1]}."
+    )
+    if args.csv:
+        write_csv(args.csv, study.to_rows())
+        print(f"\nWrote {len(study.points)} points to {args.csv}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    scenario = SCENARIOS[args.case]
+    system = build_scenario_system(scenario, args.clusters)
+    model_config = ModelConfig(
+        architecture=args.architecture,
+        message_bytes=args.message_bytes,
+        generation_rate=PAPER_PARAMETERS.generation_rate,
+    )
+    sim_config = SimulationConfig(
+        architecture=args.architecture,
+        message_bytes=args.message_bytes,
+        generation_rate=PAPER_PARAMETERS.generation_rate,
+        num_messages=args.messages,
+    )
+    point = validate_against_analysis(system, model_config, sim_config, args.replications)
+    print(f"System: {system}")
+    print(f"Architecture: {args.architecture}, M = {args.message_bytes:g} bytes")
+    print(f"  analysis   : {point.analysis_latency_ms:.4f} ms")
+    print(f"  simulation : {point.simulation_latency_ms:.4f} ms "
+          f"({args.replications} replication(s), {args.messages} messages each)")
+    print(f"  rel. error : {point.relative_error * 100:.2f}%")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    studies = {
+        "switch-ports": sweep_switch_ports,
+        "switch-latency": sweep_switch_latency,
+        "generation-rate": sweep_generation_rate,
+        "message-size": sweep_message_size,
+        "fixed-point-vs-mva": fixed_point_vs_exact_mva,
+    }
+    study = studies[args.study]()
+    print(study.name)
+    print()
+    print(format_fixed_width_table(study.to_rows()))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import generate_report
+
+    report = generate_report(
+        include_simulation=args.simulate,
+        cluster_counts=args.clusters,
+        simulation_messages=args.messages,
+    )
+    if args.output:
+        report.write(args.output)
+        print(f"Wrote reproduction report to {args.output}")
+    else:
+        print(report.to_markdown())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    scenario = SCENARIOS[args.case]
+    system = build_scenario_system(scenario, args.clusters)
+    report = AnalyticalModel(
+        system,
+        ModelConfig(
+            architecture=args.architecture,
+            message_bytes=args.message_bytes,
+            generation_rate=args.rate,
+        ),
+    ).evaluate()
+    print(system.describe())
+    print()
+    print(f"Architecture         : {report.architecture}")
+    print(f"Message size         : {report.message_bytes:g} bytes")
+    print(f"Outgoing probability : {report.outgoing_probability:.4f}")
+    print(f"Effective rate       : {report.effective_rate:.6g} msg/s "
+          f"(nominal {report.nominal_rate:g})")
+    print(f"Mean message latency : {report.mean_latency_ms:.4f} ms")
+    print(f"  local  component   : {report.local_latency_s * 1e3:.4f} ms")
+    print(f"  remote component   : {report.remote_latency_s * 1e3:.4f} ms")
+    print("Utilisations         : "
+          + ", ".join(f"{k}={v:.4f}" for k, v in report.utilizations.items()))
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    print("Paper: Performance Analysis of Heterogeneous Multi-Cluster Systems (ICPP-W 2005)")
+    print()
+    print("Table 1 scenarios:")
+    for scenario in (CASE_1, CASE_2):
+        print(f"  {scenario.describe()}")
+    print()
+    p = PAPER_PARAMETERS
+    print("Table 2 parameters:")
+    print(f"  total processors      : {p.total_processors}")
+    print(f"  cluster counts        : {list(p.cluster_counts)}")
+    print(f"  message sizes (bytes) : {list(p.message_sizes)}")
+    print(f"  generation rate       : {p.generation_rate} msg/s")
+    print(f"  switch                : {p.switch}")
+    print(f"  simulated messages    : {p.simulation_messages}")
+    print()
+    print("Figures:")
+    for number, spec in sorted(FIGURE_SPECS.items()):
+        print(f"  Figure {number}: {spec.description}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "figure": _cmd_figure,
+        "ratio": _cmd_ratio,
+        "validate": _cmd_validate,
+        "ablation": _cmd_ablation,
+        "report": _cmd_report,
+        "analyze": _cmd_analyze,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Multi-cluster system model (HMSCS): processors, clusters, systems and presets."""
+
+from .cluster import ClusterSpec
+from .presets import das2_like_system, llnl_like_system, paper_evaluation_system
+from .processor import DEFAULT_PROCESSOR, ProcessorType
+from .system import MultiClusterSystem
+
+__all__ = [
+    "ProcessorType",
+    "DEFAULT_PROCESSOR",
+    "ClusterSpec",
+    "MultiClusterSystem",
+    "paper_evaluation_system",
+    "das2_like_system",
+    "llnl_like_system",
+]

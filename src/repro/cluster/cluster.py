@@ -1,0 +1,87 @@
+"""Single-cluster description within an HMSCS system.
+
+Each cluster *i* of the Heterogeneous Multi-Stage Clustered Structure owns
+
+* ``N_i`` processors of type ``T_i``,
+* an Intra-Communication Network (ICN1_i) for processor-to-processor
+  traffic inside the cluster, and
+* an intEr-Communication Network (ECN1_i) that connects the cluster's
+  processors directly (without going through the ICN1) to the second-level
+  ICN2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..network.technologies import NetworkTechnology
+from .processor import DEFAULT_PROCESSOR, ProcessorType
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Specification of one cluster of the multi-cluster system.
+
+    Parameters
+    ----------
+    name:
+        Unique cluster identifier.
+    num_processors:
+        Number of processors ``N_i`` (>= 1).
+    icn_technology:
+        Technology of the Intra-Communication Network (ICN1_i).
+    ecn_technology:
+        Technology of the intEr-Communication Network (ECN1_i).
+    processor_type:
+        Processor family ``T_i`` (default: the homogeneous reference type).
+    """
+
+    name: str
+    num_processors: int
+    icn_technology: NetworkTechnology
+    ecn_technology: NetworkTechnology
+    processor_type: ProcessorType = field(default=DEFAULT_PROCESSOR)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("cluster name must be non-empty")
+        if self.num_processors < 1:
+            raise ConfigurationError(
+                f"cluster {self.name!r} must have at least one processor, "
+                f"got {self.num_processors!r}"
+            )
+
+    # -- convenience -------------------------------------------------------------
+
+    def with_processors(self, num_processors: int) -> "ClusterSpec":
+        """Return a copy with a different processor count."""
+        return ClusterSpec(
+            name=self.name,
+            num_processors=num_processors,
+            icn_technology=self.icn_technology,
+            ecn_technology=self.ecn_technology,
+            processor_type=self.processor_type,
+        )
+
+    def with_technologies(
+        self,
+        icn_technology: NetworkTechnology,
+        ecn_technology: NetworkTechnology,
+    ) -> "ClusterSpec":
+        """Return a copy with different ICN/ECN technologies."""
+        return ClusterSpec(
+            name=self.name,
+            num_processors=self.num_processors,
+            icn_technology=icn_technology,
+            ecn_technology=ecn_technology,
+            processor_type=self.processor_type,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.num_processors} x {self.processor_type.name}, "
+            f"ICN={self.icn_technology.name}, ECN={self.ecn_technology.name}"
+        )

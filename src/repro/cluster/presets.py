@@ -1,0 +1,109 @@
+"""Preset system configurations.
+
+The paper motivates the HMSCS structure with two real deployments:
+
+* **DAS-2** (Dutch Advanced School for Computing and Imaging) — a
+  Super-Cluster of five clusters of identical dual-Pentium nodes joined by
+  wide-area links (homogeneous processors, heterogeneous networks).
+* **LLNL's multi-cluster** — MCR, ALC, Thunder and PVC interconnected; the
+  clusters differ in size and processor generation (Cluster-of-Clusters).
+
+These presets are *representative shapes*, not exact machine inventories:
+they exist so examples and extension studies have realistic heterogeneous
+configurations to exercise; the paper's own figures use the synthetic
+256-node platform built by :func:`paper_evaluation_system`.
+"""
+
+from __future__ import annotations
+
+from ..network.switch import PAPER_SWITCH, SwitchFabric
+from ..network.technologies import (
+    FAST_ETHERNET,
+    GIGABIT_ETHERNET,
+    MYRINET,
+    NetworkTechnology,
+)
+from .cluster import ClusterSpec
+from .processor import ProcessorType
+from .system import MultiClusterSystem
+
+__all__ = ["das2_like_system", "llnl_like_system", "paper_evaluation_system"]
+
+
+def paper_evaluation_system(
+    num_clusters: int,
+    icn_technology: NetworkTechnology,
+    ecn_technology: NetworkTechnology,
+    total_processors: int = 256,
+    switch: SwitchFabric = PAPER_SWITCH,
+) -> MultiClusterSystem:
+    """The synthetic 256-node Super-Cluster used by Figures 4–7.
+
+    ``num_clusters`` must divide ``total_processors`` (the paper sweeps
+    C over powers of two from 1 to 256 with N = 256).
+    """
+    if total_processors % num_clusters != 0:
+        raise ValueError(
+            f"num_clusters={num_clusters} must divide total_processors={total_processors}"
+        )
+    return MultiClusterSystem.super_cluster(
+        num_clusters=num_clusters,
+        processors_per_cluster=total_processors // num_clusters,
+        icn_technology=icn_technology,
+        ecn_technology=ecn_technology,
+        icn2_technology=ecn_technology,
+        switch=switch,
+        name=f"paper-N{total_processors}-C{num_clusters}",
+    )
+
+
+def das2_like_system(switch: SwitchFabric = PAPER_SWITCH) -> MultiClusterSystem:
+    """A DAS-2-like Super-Cluster: 5 equal clusters, fast local / slow wide-area nets."""
+    return MultiClusterSystem.super_cluster(
+        num_clusters=5,
+        processors_per_cluster=64,
+        icn_technology=MYRINET,
+        ecn_technology=FAST_ETHERNET,
+        icn2_technology=FAST_ETHERNET,
+        switch=switch,
+        processor_type=ProcessorType("dual-pentium-iii", 1.0),
+        name="das2-like",
+    )
+
+
+def llnl_like_system(switch: SwitchFabric = PAPER_SWITCH) -> MultiClusterSystem:
+    """An LLNL-like Cluster-of-Clusters: four clusters of different size and speed."""
+    mcr = ClusterSpec(
+        name="mcr",
+        num_processors=128,
+        icn_technology=GIGABIT_ETHERNET,
+        ecn_technology=GIGABIT_ETHERNET,
+        processor_type=ProcessorType("xeon-2.4", 1.0),
+    )
+    alc = ClusterSpec(
+        name="alc",
+        num_processors=96,
+        icn_technology=GIGABIT_ETHERNET,
+        ecn_technology=FAST_ETHERNET,
+        processor_type=ProcessorType("xeon-2.4", 1.0),
+    )
+    thunder = ClusterSpec(
+        name="thunder",
+        num_processors=64,
+        icn_technology=MYRINET,
+        ecn_technology=GIGABIT_ETHERNET,
+        processor_type=ProcessorType("itanium2", 1.4),
+    )
+    pvc = ClusterSpec(
+        name="pvc",
+        num_processors=16,
+        icn_technology=FAST_ETHERNET,
+        ecn_technology=FAST_ETHERNET,
+        processor_type=ProcessorType("pentium4-viz", 0.8),
+    )
+    return MultiClusterSystem(
+        clusters=(mcr, alc, thunder, pvc),
+        icn2_technology=GIGABIT_ETHERNET,
+        switch=switch,
+        name="llnl-like",
+    )

@@ -1,0 +1,55 @@
+"""Processor (compute node) descriptions.
+
+The paper's model is communication-bound: processors only matter as request
+*sources* with a type label (assumption 5 requires a homogeneous type for
+the Super-Cluster analysis).  The type carries an optional relative speed so
+extension studies can weight per-cluster generation rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["ProcessorType", "DEFAULT_PROCESSOR"]
+
+
+@dataclass(frozen=True)
+class ProcessorType:
+    """A processor family used in a cluster.
+
+    Parameters
+    ----------
+    name:
+        Family name (e.g. ``"xeon-2.4"``, ``"itanium2"``).
+    relative_speed:
+        Speed relative to a reference processor; scales the per-processor
+        message generation rate in heterogeneous extension studies (a faster
+        processor issues requests proportionally faster).  The paper's
+        evaluation uses 1.0 everywhere.
+    """
+
+    name: str
+    relative_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("processor type name must be non-empty")
+        if self.relative_speed <= 0:
+            raise ConfigurationError(
+                f"relative speed must be positive, got {self.relative_speed!r}"
+            )
+
+    def scaled_rate(self, base_rate: float) -> float:
+        """Message generation rate of this processor given a reference rate."""
+        if base_rate < 0:
+            raise ConfigurationError(f"base rate must be non-negative, got {base_rate!r}")
+        return base_rate * self.relative_speed
+
+    def __str__(self) -> str:
+        return f"{self.name} (x{self.relative_speed:g})"
+
+
+#: Homogeneous reference processor used by the paper's evaluation.
+DEFAULT_PROCESSOR = ProcessorType(name="reference", relative_speed=1.0)

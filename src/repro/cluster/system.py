@@ -1,0 +1,258 @@
+"""The Heterogeneous Multi-Stage Clustered Structure (HMSCS) system model.
+
+Figure 1 of the paper: ``C`` clusters, each with its own ICN1 and ECN1, all
+joined by a second-level ICN2.  Two families are distinguished (paper §3):
+
+* **Super-Cluster** — homogeneous processors, equal cluster sizes,
+  heterogeneity only in the networks (e.g. DAS-2).  This is the family the
+  paper's analysis (§4) and evaluation (§6) use.
+* **Cluster-of-Clusters** — clusters may differ in size, processor type and
+  network technology (e.g. the LLNL MCR/ALC/Thunder/PVC conglomerate).  The
+  analytical extension in :mod:`repro.core.cluster_of_clusters` handles this
+  family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..network.switch import PAPER_SWITCH, SwitchFabric
+from ..network.technologies import NetworkTechnology
+from .cluster import ClusterSpec
+from .processor import DEFAULT_PROCESSOR, ProcessorType
+
+__all__ = ["MultiClusterSystem"]
+
+
+@dataclass(frozen=True)
+class MultiClusterSystem:
+    """A complete HMSCS description.
+
+    Parameters
+    ----------
+    clusters:
+        Per-cluster specifications (at least one).
+    icn2_technology:
+        Technology of the second-level inter-cluster network (ICN2).
+    switch:
+        Switch fabric building block used by every network in the system
+        (the paper uses a single 24-port, 10 µs switch everywhere).
+    name:
+        Optional system name for reports.
+    """
+
+    clusters: Tuple[ClusterSpec, ...]
+    icn2_technology: NetworkTechnology
+    switch: SwitchFabric = field(default=PAPER_SWITCH)
+    name: str = "hmscs"
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ConfigurationError("a multi-cluster system needs at least one cluster")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"cluster names must be unique, got {names!r}")
+        object.__setattr__(self, "clusters", tuple(self.clusters))
+
+    # -- structural properties -----------------------------------------------------
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters ``C``."""
+        return len(self.clusters)
+
+    @property
+    def total_processors(self) -> int:
+        """Total number of processors ``N = Σ N_i``."""
+        return sum(c.num_processors for c in self.clusters)
+
+    @property
+    def processors_per_cluster(self) -> int:
+        """Common cluster size ``N0`` (only valid for equal-size systems)."""
+        sizes = {c.num_processors for c in self.clusters}
+        if len(sizes) != 1:
+            raise ConfigurationError(
+                "processors_per_cluster is undefined for unequal cluster sizes; "
+                "use cluster.num_processors per cluster instead"
+            )
+        return self.clusters[0].num_processors
+
+    @property
+    def has_equal_cluster_sizes(self) -> bool:
+        """Whether all clusters have the same number of processors (assumption 5)."""
+        return len({c.num_processors for c in self.clusters}) == 1
+
+    @property
+    def has_homogeneous_processors(self) -> bool:
+        """Whether all clusters use the same processor type (assumption 5)."""
+        return len({c.processor_type for c in self.clusters}) == 1
+
+    @property
+    def is_super_cluster(self) -> bool:
+        """Super-Cluster family: homogeneous processors and equal sizes."""
+        return self.has_equal_cluster_sizes and self.has_homogeneous_processors
+
+    @property
+    def is_cluster_of_clusters(self) -> bool:
+        """Cluster-of-Clusters family: anything that is not a Super-Cluster."""
+        return not self.is_super_cluster
+
+    @property
+    def network_technologies(self) -> List[NetworkTechnology]:
+        """All distinct technologies used anywhere in the system."""
+        techs = {self.icn2_technology}
+        for c in self.clusters:
+            techs.add(c.icn_technology)
+            techs.add(c.ecn_technology)
+        return sorted(techs, key=lambda t: t.name)
+
+    @property
+    def is_network_heterogeneous(self) -> bool:
+        """Whether more than one network technology appears in the system."""
+        return len(self.network_technologies) > 1
+
+    # -- validation against the paper's analysis assumptions --------------------------
+
+    def validate_super_cluster_assumptions(self) -> None:
+        """Raise if the system violates the assumptions of the paper's §4 analysis.
+
+        Assumption 5 requires equal cluster sizes and a homogeneous processor
+        type; the analysis also needs all clusters to share ICN and ECN
+        technologies so that the per-cluster service centres are identical.
+        """
+        if not self.has_equal_cluster_sizes:
+            raise ConfigurationError(
+                "super-cluster analysis requires equal cluster sizes (assumption 5)"
+            )
+        if not self.has_homogeneous_processors:
+            raise ConfigurationError(
+                "super-cluster analysis requires a homogeneous processor type (assumption 5)"
+            )
+        if len({c.icn_technology for c in self.clusters}) != 1:
+            raise ConfigurationError(
+                "super-cluster analysis requires every cluster to use the same ICN technology"
+            )
+        if len({c.ecn_technology for c in self.clusters}) != 1:
+            raise ConfigurationError(
+                "super-cluster analysis requires every cluster to use the same ECN technology"
+            )
+
+    # -- builders ---------------------------------------------------------------------
+
+    @classmethod
+    def super_cluster(
+        cls,
+        num_clusters: int,
+        processors_per_cluster: int,
+        icn_technology: NetworkTechnology,
+        ecn_technology: NetworkTechnology,
+        icn2_technology: Optional[NetworkTechnology] = None,
+        switch: SwitchFabric = PAPER_SWITCH,
+        processor_type: ProcessorType = DEFAULT_PROCESSOR,
+        name: str = "super-cluster",
+    ) -> "MultiClusterSystem":
+        """Build a Super-Cluster system (the paper's evaluation platform).
+
+        ``icn2_technology`` defaults to ``ecn_technology``, matching Table 1
+        where ECN1 and ICN2 always share a technology.
+        """
+        if num_clusters < 1:
+            raise ConfigurationError(f"num_clusters must be >= 1, got {num_clusters!r}")
+        if processors_per_cluster < 1:
+            raise ConfigurationError(
+                f"processors_per_cluster must be >= 1, got {processors_per_cluster!r}"
+            )
+        clusters = tuple(
+            ClusterSpec(
+                name=f"cluster-{i}",
+                num_processors=processors_per_cluster,
+                icn_technology=icn_technology,
+                ecn_technology=ecn_technology,
+                processor_type=processor_type,
+            )
+            for i in range(num_clusters)
+        )
+        return cls(
+            clusters=clusters,
+            icn2_technology=icn2_technology if icn2_technology is not None else ecn_technology,
+            switch=switch,
+            name=name,
+        )
+
+    @classmethod
+    def from_cluster_sizes(
+        cls,
+        sizes: Sequence[int],
+        icn_technologies: Sequence[NetworkTechnology],
+        ecn_technologies: Sequence[NetworkTechnology],
+        icn2_technology: NetworkTechnology,
+        switch: SwitchFabric = PAPER_SWITCH,
+        processor_types: Optional[Sequence[ProcessorType]] = None,
+        name: str = "cluster-of-clusters",
+    ) -> "MultiClusterSystem":
+        """Build a (possibly heterogeneous) Cluster-of-Clusters system."""
+        if not sizes:
+            raise ConfigurationError("need at least one cluster size")
+        if not (len(sizes) == len(icn_technologies) == len(ecn_technologies)):
+            raise ConfigurationError("sizes and technology lists must have equal length")
+        if processor_types is not None and len(processor_types) != len(sizes):
+            raise ConfigurationError("processor_types must match the number of clusters")
+        clusters = tuple(
+            ClusterSpec(
+                name=f"cluster-{i}",
+                num_processors=int(size),
+                icn_technology=icn_technologies[i],
+                ecn_technology=ecn_technologies[i],
+                processor_type=(
+                    processor_types[i] if processor_types is not None else DEFAULT_PROCESSOR
+                ),
+            )
+            for i, size in enumerate(sizes)
+        )
+        return cls(clusters=clusters, icn2_technology=icn2_technology, switch=switch, name=name)
+
+    def rescaled(self, num_clusters: int) -> "MultiClusterSystem":
+        """Redistribute the same total processor count over ``num_clusters`` clusters.
+
+        Used by the figure sweeps: the paper keeps N = 256 fixed and varies
+        C over {1, 2, ..., 256}; ``num_clusters`` must divide the total.
+        """
+        total = self.total_processors
+        if num_clusters < 1:
+            raise ConfigurationError(f"num_clusters must be >= 1, got {num_clusters!r}")
+        if total % num_clusters != 0:
+            raise ConfigurationError(
+                f"cannot split {total} processors evenly over {num_clusters} clusters"
+            )
+        self.validate_super_cluster_assumptions()
+        template = self.clusters[0]
+        return MultiClusterSystem.super_cluster(
+            num_clusters=num_clusters,
+            processors_per_cluster=total // num_clusters,
+            icn_technology=template.icn_technology,
+            ecn_technology=template.ecn_technology,
+            icn2_technology=self.icn2_technology,
+            switch=self.switch,
+            processor_type=template.processor_type,
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable description."""
+        lines = [
+            f"System {self.name!r}: {self.num_clusters} clusters, "
+            f"{self.total_processors} processors total",
+            f"  ICN2: {self.icn2_technology}",
+            f"  Switch: {self.switch}",
+        ]
+        for c in self.clusters:
+            lines.append(f"  - {c}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} (C={self.num_clusters}, N={self.total_processors}, "
+            f"ICN2={self.icn2_technology.name})"
+        )

@@ -1,0 +1,220 @@
+"""Finite-source fixed-point iteration for the effective request rate.
+
+Assumption 4 of the paper: a processor that is waiting for a reply cannot
+generate new requests, so the *effective* per-processor rate is lower than
+the nominal λ.  Equations (6)–(7):
+
+* total waiting processors ``L = C·(2·L_E1 + L_I1) + L_I2`` where each
+  ``L_x`` is the M/M/1 mean queue length of the corresponding centre, and
+* ``λ_eff = (N − L)/N · λ``,
+
+iterated "until no considerable change is observed between two consecutive
+steps".  The implementation adds two robustness measures over the paper's
+plain iteration:
+
+1. damping of the update (Picard iteration with relaxation), and
+2. a bisection fallback on the monotone residual when the plain iteration
+   does not converge (e.g. close to saturation, where the undamped map
+   oscillates).
+
+The result reports whether the nominal load is feasible at all: if even
+``λ_eff → 0`` leaves a centre saturated, the configuration is declared
+unstable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ConvergenceError, StabilityError
+from .service_centers import ServiceCenterModels
+from .traffic import TrafficRates, compute_traffic_rates
+
+__all__ = ["FixedPointResult", "QueueLengths", "solve_effective_rate", "queue_lengths_at"]
+
+
+@dataclass(frozen=True)
+class QueueLengths:
+    """Mean M/M/1 queue lengths at the three centre kinds (per centre)."""
+
+    icn1: float
+    ecn1: float
+    icn2: float
+
+    def total(self, num_clusters: int) -> float:
+        """The paper's Eq. (6): ``L = C·(2·L_E1 + L_I1) + L_I2``."""
+        return num_clusters * (2.0 * self.ecn1 + self.icn1) + self.icn2
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Outcome of the Eq. (7) iteration."""
+
+    effective_rate: float
+    nominal_rate: float
+    total_waiting: float
+    iterations: int
+    converged: bool
+    traffic: TrafficRates
+    queue_lengths: QueueLengths
+
+    @property
+    def throttling_factor(self) -> float:
+        """``λ_eff / λ`` — 1.0 means the finite-source effect is negligible."""
+        if self.nominal_rate == 0:
+            return 1.0
+        return self.effective_rate / self.nominal_rate
+
+
+def _mm1_queue_length(arrival_rate: float, service_rate: float) -> float:
+    """M/M/1 mean number in system; +inf when saturated."""
+    if arrival_rate < 0:
+        raise ValueError(f"arrival rate must be non-negative, got {arrival_rate!r}")
+    if arrival_rate >= service_rate:
+        return math.inf
+    rho = arrival_rate / service_rate
+    return rho / (1.0 - rho)
+
+
+def queue_lengths_at(
+    effective_rate: float,
+    num_clusters: int,
+    processors_per_cluster: int,
+    centers: ServiceCenterModels,
+) -> QueueLengths:
+    """Queue lengths of all centres when the per-processor rate is ``effective_rate``."""
+    traffic = compute_traffic_rates(num_clusters, processors_per_cluster, effective_rate)
+    return QueueLengths(
+        icn1=_mm1_queue_length(traffic.icn1, centers.icn1_service_rate),
+        ecn1=_mm1_queue_length(traffic.ecn1, centers.ecn1_service_rate),
+        icn2=_mm1_queue_length(traffic.icn2, centers.icn2_service_rate),
+    )
+
+
+def solve_effective_rate(
+    nominal_rate: float,
+    num_clusters: int,
+    processors_per_cluster: int,
+    centers: ServiceCenterModels,
+    tolerance: float = 1e-10,
+    max_iterations: int = 10_000,
+    damping: float = 0.5,
+) -> FixedPointResult:
+    """Solve the Eq. (7) fixed point ``λ_eff = (N − L(λ_eff))/N · λ``.
+
+    Parameters
+    ----------
+    nominal_rate:
+        The nominal per-processor generation rate λ.
+    num_clusters, processors_per_cluster:
+        System shape (C, N0).
+    centers:
+        Service-centre models (provide the service rates µ).
+    tolerance:
+        Convergence threshold on successive λ_eff values (relative).
+    max_iterations:
+        Iteration budget for the damped Picard iteration before switching to
+        bisection.
+    damping:
+        Relaxation factor in (0, 1]; 1.0 reproduces the paper's plain
+        iteration.
+
+    Raises
+    ------
+    StabilityError
+        If the system cannot be stabilised even as λ_eff → 0 (i.e. a centre
+        has a non-positive service rate — impossible for valid inputs — or
+        the population constraint cannot hold).
+    ConvergenceError
+        If neither the damped iteration nor bisection converges.
+    """
+    if nominal_rate < 0:
+        raise ValueError(f"nominal rate must be non-negative, got {nominal_rate!r}")
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must lie in (0, 1], got {damping!r}")
+
+    population = num_clusters * processors_per_cluster
+
+    if nominal_rate == 0:
+        zero_traffic = compute_traffic_rates(num_clusters, processors_per_cluster, 0.0)
+        zero_lengths = QueueLengths(0.0, 0.0, 0.0)
+        return FixedPointResult(
+            effective_rate=0.0,
+            nominal_rate=0.0,
+            total_waiting=0.0,
+            iterations=0,
+            converged=True,
+            traffic=zero_traffic,
+            queue_lengths=zero_lengths,
+        )
+
+    def waiting_at(rate: float) -> float:
+        lengths = queue_lengths_at(rate, num_clusters, processors_per_cluster, centers)
+        total = lengths.total(num_clusters)
+        # The number of waiting processors can never exceed the population.
+        return min(total, float(population)) if math.isfinite(total) else float(population)
+
+    def next_rate(rate: float) -> float:
+        return (population - waiting_at(rate)) / population * nominal_rate
+
+    # --- damped Picard iteration (the paper's scheme, plus relaxation) ----------
+    current = nominal_rate
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        proposed = next_rate(current)
+        updated = damping * proposed + (1.0 - damping) * current
+        if abs(updated - current) <= tolerance * max(nominal_rate, 1e-300):
+            current = updated
+            converged = True
+            break
+        current = updated
+
+    if not converged:
+        # --- bisection fallback on g(x) = next_rate(x) − x --------------------------
+        lo, hi = 0.0, nominal_rate
+        g_lo = next_rate(lo) - lo
+        g_hi = next_rate(hi) - hi
+        if g_lo < 0:
+            raise StabilityError(
+                "system cannot be stabilised: queues saturate even at zero effective rate"
+            )
+        if g_hi >= 0:
+            current = hi
+            converged = True
+        else:
+            for _ in range(200):
+                mid = 0.5 * (lo + hi)
+                g_mid = next_rate(mid) - mid
+                if abs(g_mid) <= tolerance * max(nominal_rate, 1e-300):
+                    break
+                if g_mid > 0:
+                    lo = mid
+                else:
+                    hi = mid
+            current = 0.5 * (lo + hi)
+            converged = True
+
+    if not converged:  # pragma: no cover - defensive, bisection always sets it
+        raise ConvergenceError("effective-rate iteration failed to converge")
+
+    final_lengths = queue_lengths_at(current, num_clusters, processors_per_cluster, centers)
+    final_traffic = compute_traffic_rates(num_clusters, processors_per_cluster, current)
+    total_waiting = final_lengths.total(num_clusters)
+    if not math.isfinite(total_waiting):
+        raise StabilityError(
+            "effective-rate solution still saturates a service centre; "
+            "the offered load is infeasible for this configuration"
+        )
+
+    return FixedPointResult(
+        effective_rate=current,
+        nominal_rate=nominal_rate,
+        total_waiting=total_waiting,
+        iterations=iterations,
+        converged=converged,
+        traffic=final_traffic,
+        queue_lengths=final_lengths,
+    )

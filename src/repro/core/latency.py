@@ -1,0 +1,106 @@
+"""Mean message latency of the Super-Cluster model (paper Eqs. 9, 15–16).
+
+Once the per-centre arrival rates are known, every centre behaves as an
+M/M/1 queue (assumption 2 + exponential service), so its mean sojourn time
+is ``W_i = 1/(µ_i − λ_i)`` (Eq. 16).  A local message only visits its ICN1;
+a remote message visits its ECN1, the ICN2 and an ECN1 again, giving the
+mean message latency
+
+    T_W = (1 − P)·W_I1 + P·(W_I2 + 2·W_E1)           (Eq. 15)
+
+For the non-blocking network the blocking time is zero, so ``T_C = T_W``
+(Eq. 9); for the blocking network the contention is already folded into the
+service time of each centre (Eq. 21), so the same expression applies with
+the larger service times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import StabilityError
+from .traffic import TrafficRates
+
+__all__ = ["WaitingTimes", "LatencyBreakdown", "waiting_time", "mean_message_latency"]
+
+
+def waiting_time(arrival_rate: float, service_rate: float) -> float:
+    """M/M/1 mean sojourn time ``W = 1/(µ − λ)`` (paper Eq. 16)."""
+    if arrival_rate < 0:
+        raise ValueError(f"arrival rate must be non-negative, got {arrival_rate!r}")
+    if service_rate <= 0:
+        raise ValueError(f"service rate must be positive, got {service_rate!r}")
+    if arrival_rate >= service_rate:
+        raise StabilityError(
+            f"service centre saturated: λ={arrival_rate:.6g} >= µ={service_rate:.6g}"
+        )
+    return 1.0 / (service_rate - arrival_rate)
+
+
+@dataclass(frozen=True)
+class WaitingTimes:
+    """Mean sojourn times at the three centre kinds (seconds)."""
+
+    icn1: float
+    ecn1: float
+    icn2: float
+
+    @classmethod
+    def from_rates(
+        cls,
+        traffic: TrafficRates,
+        icn1_service_rate: float,
+        ecn1_service_rate: float,
+        icn2_service_rate: float,
+    ) -> "WaitingTimes":
+        """Evaluate Eq. (16) for all three centres.
+
+        A centre that receives no traffic still reports its no-load sojourn
+        time (the bare service time), which keeps Eq. (15) well-defined in
+        the degenerate C = 1 and N0 = 1 corners.
+        """
+        return cls(
+            icn1=waiting_time(traffic.icn1, icn1_service_rate),
+            ecn1=waiting_time(traffic.ecn1, ecn1_service_rate),
+            icn2=waiting_time(traffic.icn2, icn2_service_rate),
+        )
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Mean message latency and its local/remote components (seconds)."""
+
+    local_latency: float
+    remote_latency: float
+    outgoing_probability: float
+    mean_latency: float
+
+    @property
+    def local_weight(self) -> float:
+        """Fraction of messages that are intra-cluster (1 − P)."""
+        return 1.0 - self.outgoing_probability
+
+    @property
+    def remote_weight(self) -> float:
+        """Fraction of messages that are inter-cluster (P)."""
+        return self.outgoing_probability
+
+
+def mean_message_latency(waits: WaitingTimes, outgoing_probability: float) -> LatencyBreakdown:
+    """Evaluate Eq. (15): ``T_W = (1 − P)·W_I1 + P·(W_I2 + 2·W_E1)``."""
+    if not 0.0 <= outgoing_probability <= 1.0:
+        raise ValueError(
+            f"outgoing probability must lie in [0, 1], got {outgoing_probability!r}"
+        )
+    local = waits.icn1
+    remote = waits.icn2 + 2.0 * waits.ecn1
+    mean = (1.0 - outgoing_probability) * local + outgoing_probability * remote
+    if not math.isfinite(mean):
+        raise StabilityError("mean latency is not finite; a service centre is saturated")
+    return LatencyBreakdown(
+        local_latency=local,
+        remote_latency=remote,
+        outgoing_probability=outgoing_probability,
+        mean_latency=mean,
+    )

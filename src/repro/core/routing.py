@@ -1,0 +1,55 @@
+"""Routing probability of the HMSCS under uniform traffic (paper Eq. 8).
+
+Assumption 3 says the destination of each request is uniformly distributed
+over all *other* nodes of the system.  With ``C`` clusters of ``N0``
+processors each, a source node has ``C·N0 − 1`` possible destinations of
+which ``(C − 1)·N0`` lie outside its own cluster, hence the probability that
+a request leaves its cluster is
+
+    P = (C − 1)·N0 / (C·N0 − 1).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["outgoing_probability", "local_probability", "remote_destinations", "local_destinations"]
+
+
+def outgoing_probability(num_clusters: int, processors_per_cluster: int) -> float:
+    """Probability ``P`` that a request targets a node in another cluster (Eq. 8).
+
+    Degenerate cases: a single cluster gives P = 0; a single node in a
+    single cluster has no valid destination at all and also returns 0.
+    """
+    _validate(num_clusters, processors_per_cluster)
+    total = num_clusters * processors_per_cluster
+    if total <= 1:
+        return 0.0
+    return (num_clusters - 1) * processors_per_cluster / (total - 1)
+
+
+def local_probability(num_clusters: int, processors_per_cluster: int) -> float:
+    """Probability ``1 − P`` that a request stays inside its own cluster."""
+    return 1.0 - outgoing_probability(num_clusters, processors_per_cluster)
+
+
+def remote_destinations(num_clusters: int, processors_per_cluster: int) -> int:
+    """Number of possible destinations outside the source's cluster."""
+    _validate(num_clusters, processors_per_cluster)
+    return (num_clusters - 1) * processors_per_cluster
+
+
+def local_destinations(num_clusters: int, processors_per_cluster: int) -> int:
+    """Number of possible destinations inside the source's cluster (excluding itself)."""
+    _validate(num_clusters, processors_per_cluster)
+    return processors_per_cluster - 1
+
+
+def _validate(num_clusters: int, processors_per_cluster: int) -> None:
+    if num_clusters < 1:
+        raise ConfigurationError(f"num_clusters must be >= 1, got {num_clusters!r}")
+    if processors_per_cluster < 1:
+        raise ConfigurationError(
+            f"processors_per_cluster must be >= 1, got {processors_per_cluster!r}"
+        )

@@ -1,0 +1,111 @@
+"""Construction of the three service-centre service models for a system.
+
+The Super-Cluster queueing model (Figure 2) has three kinds of service
+centres; their mean service times come from the architecture-specific
+network models of :mod:`repro.network.models`:
+
+* **ICN1** — connects the ``N0`` processors of one cluster; uses the
+  cluster's ICN technology.
+* **ECN1** — connects the ``N0`` processors of one cluster to the ICN2;
+  uses the cluster's ECN technology.
+* **ICN2** — connects the ``C`` clusters; uses the system's ICN2 technology.
+
+The number of attached endpoints determines the fat-tree stage count
+(non-blocking) or the chain length and contention factor (blocking), which
+is what produces the paper's "different behaviour at C = 16" observation
+(both C and N0 drop to or below the 24 switch ports there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.system import MultiClusterSystem
+from ..errors import ConfigurationError
+from ..network.models import CommunicationNetworkModel, build_network_model
+
+__all__ = ["ServiceCenterModels", "build_service_centers"]
+
+
+@dataclass(frozen=True)
+class ServiceCenterModels:
+    """The three per-kind network service models plus their mean service times."""
+
+    icn1: CommunicationNetworkModel
+    ecn1: CommunicationNetworkModel
+    icn2: CommunicationNetworkModel
+    message_bytes: float
+
+    @property
+    def icn1_service_time(self) -> float:
+        """Mean service time of each ICN1 centre (seconds)."""
+        return self.icn1.service_time(self.message_bytes)
+
+    @property
+    def ecn1_service_time(self) -> float:
+        """Mean service time of each ECN1 centre (seconds)."""
+        return self.ecn1.service_time(self.message_bytes)
+
+    @property
+    def icn2_service_time(self) -> float:
+        """Mean service time of the ICN2 centre (seconds)."""
+        return self.icn2.service_time(self.message_bytes)
+
+    @property
+    def icn1_service_rate(self) -> float:
+        """Service rate µ of each ICN1 centre."""
+        return self.icn1.service_rate(self.message_bytes)
+
+    @property
+    def ecn1_service_rate(self) -> float:
+        """Service rate µ of each ECN1 centre."""
+        return self.ecn1.service_rate(self.message_bytes)
+
+    @property
+    def icn2_service_rate(self) -> float:
+        """Service rate µ of the ICN2 centre."""
+        return self.icn2.service_rate(self.message_bytes)
+
+    def as_dict(self) -> dict:
+        """Service times and rates as a dictionary (for reports)."""
+        return {
+            "icn1_service_time": self.icn1_service_time,
+            "ecn1_service_time": self.ecn1_service_time,
+            "icn2_service_time": self.icn2_service_time,
+            "icn1_service_rate": self.icn1_service_rate,
+            "ecn1_service_rate": self.ecn1_service_rate,
+            "icn2_service_rate": self.icn2_service_rate,
+        }
+
+
+def build_service_centers(
+    system: MultiClusterSystem,
+    architecture: str,
+    message_bytes: float,
+) -> ServiceCenterModels:
+    """Build the ICN1/ECN1/ICN2 service models for a Super-Cluster system.
+
+    Parameters
+    ----------
+    system:
+        The system description; must satisfy the Super-Cluster assumptions.
+    architecture:
+        ``"non-blocking"`` (fat-tree) or ``"blocking"`` (linear array),
+        applied to *all* networks of the system, as in the paper's §6.
+    message_bytes:
+        Fixed message length M (assumption 6).
+    """
+    if message_bytes <= 0:
+        raise ConfigurationError(f"message size must be positive, got {message_bytes!r}")
+    system.validate_super_cluster_assumptions()
+
+    template = system.clusters[0]
+    n0 = system.processors_per_cluster
+    c = system.num_clusters
+
+    icn1 = build_network_model(architecture, template.icn_technology, system.switch, n0)
+    ecn1 = build_network_model(architecture, template.ecn_technology, system.switch, n0)
+    # The ICN2 interconnects the C cluster-level ECN uplinks.
+    icn2 = build_network_model(architecture, system.icn2_technology, system.switch, max(c, 1))
+
+    return ServiceCenterModels(icn1=icn1, ecn1=ecn1, icn2=icn2, message_bytes=float(message_bytes))

@@ -1,0 +1,120 @@
+"""Traffic equations of the Super-Cluster queueing model (paper Eqs. 1–5).
+
+Figure 2 of the paper routes each processor request either to its cluster's
+ICN1 (probability ``1 − P``) or, for inter-cluster traffic (probability
+``P``), through the cluster's ECN1, the system-level ICN2 and back through
+an ECN1.  Summing the contributions of all ``N0`` processors of a cluster
+(and all ``C`` clusters at the ICN2) gives the per-centre arrival rates:
+
+* Eq. (1)  ``λ_I1      = N0·(1 − P)·λ``          (each cluster's ICN1)
+* Eq. (2)  ``λ_E1^(1)  = N0·P·λ``                (ECN1, forward path)
+* Eq. (3)  ``λ_I2      = C·N0·P·λ``              (the single ICN2)
+* Eq. (4)  ``λ_E1^(2)  = λ_I2 / C = N0·P·λ``     (ECN1, return path)
+* Eq. (5)  ``λ_E1      = λ_E1^(1) + λ_E1^(2) = 2·N0·P·λ``
+
+These are *per-service-centre total* arrival rates, with λ the (effective)
+per-processor generation rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .routing import outgoing_probability
+
+__all__ = ["TrafficRates", "compute_traffic_rates"]
+
+
+@dataclass(frozen=True)
+class TrafficRates:
+    """Arrival rates at the three kinds of service centres (per centre).
+
+    Attributes
+    ----------
+    icn1:
+        Total arrival rate at each cluster's ICN1 (Eq. 1).
+    ecn1_forward:
+        Arrival rate at each ECN1 due to outgoing requests (Eq. 2).
+    ecn1_return:
+        Arrival rate at each ECN1 due to returning replies (Eq. 4).
+    ecn1:
+        Total ECN1 arrival rate (Eq. 5).
+    icn2:
+        Total arrival rate at the system-level ICN2 (Eq. 3).
+    outgoing_probability:
+        The routing probability ``P`` used (Eq. 8).
+    per_processor_rate:
+        The per-processor rate λ these totals were computed from.
+    """
+
+    icn1: float
+    ecn1_forward: float
+    ecn1_return: float
+    ecn1: float
+    icn2: float
+    outgoing_probability: float
+    per_processor_rate: float
+
+    @property
+    def total_network_load(self) -> float:
+        """Aggregate arrival rate over all centres of a ``C``-cluster system.
+
+        Only meaningful when multiplied out by the caller (it needs C);
+        provided for completeness of reports.
+        """
+        return self.icn1 + self.ecn1 + self.icn2
+
+
+def compute_traffic_rates(
+    num_clusters: int,
+    processors_per_cluster: int,
+    per_processor_rate: float,
+    outgoing_prob: float | None = None,
+) -> TrafficRates:
+    """Evaluate Eqs. (1)–(5) for the given system shape and request rate.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of clusters ``C``.
+    processors_per_cluster:
+        Processors per cluster ``N0``.
+    per_processor_rate:
+        Per-processor request rate λ (an *effective* rate may be passed
+        during the Eq. 7 fixed-point iteration).
+    outgoing_prob:
+        Override for ``P``; by default Eq. (8) is used.
+    """
+    if per_processor_rate < 0:
+        raise ConfigurationError(
+            f"per-processor rate must be non-negative, got {per_processor_rate!r}"
+        )
+    if outgoing_prob is None:
+        p = outgoing_probability(num_clusters, processors_per_cluster)
+    else:
+        if not 0.0 <= outgoing_prob <= 1.0:
+            raise ConfigurationError(
+                f"outgoing probability must lie in [0, 1], got {outgoing_prob!r}"
+            )
+        p = float(outgoing_prob)
+
+    n0 = processors_per_cluster
+    c = num_clusters
+    lam = per_processor_rate
+
+    icn1 = n0 * (1.0 - p) * lam
+    ecn1_fwd = n0 * p * lam
+    icn2 = c * n0 * p * lam
+    ecn1_ret = icn2 / c if c > 0 else 0.0
+    ecn1 = ecn1_fwd + ecn1_ret
+
+    return TrafficRates(
+        icn1=icn1,
+        ecn1_forward=ecn1_fwd,
+        ecn1_return=ecn1_ret,
+        ecn1=ecn1,
+        icn2=icn2,
+        outgoing_probability=p,
+        per_processor_rate=lam,
+    )

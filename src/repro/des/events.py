@@ -1,0 +1,360 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the SimPy programming model: simulation *processes* are
+Python generators that ``yield`` :class:`Event` objects and are resumed when
+those events are *processed* by the environment.  This module defines the
+event classes; the scheduler lives in :mod:`repro.des.core` and the process
+wrapper in :mod:`repro.des.process`.
+
+Semantics
+---------
+An event goes through three states:
+
+``untriggered``
+    Created but not yet scheduled.
+``triggered``
+    Scheduled in the environment's event queue with a value (or an
+    exception), waiting for its scheduled time to be reached.
+``processed``
+    Popped from the queue; all callbacks have run and waiting processes have
+    been resumed.
+
+Events may *succeed* (carry a value) or *fail* (carry an exception that is
+re-raised inside every waiting process).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Environment
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "Event",
+    "Timeout",
+    "Initialize",
+    "ConditionValue",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+]
+
+
+#: Sentinel marking an event whose value has not been set yet.
+PENDING: object = object()
+
+#: Scheduling priority for events that must run before same-time events.
+URGENT: int = 0
+
+#: Default scheduling priority.
+NORMAL: int = 1
+
+
+class Event:
+    """A single outcome that simulation processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        The :class:`~repro.des.core.Environment` the event belongs to.
+
+    Notes
+    -----
+    ``Event`` instances are single-shot: once triggered they cannot be
+    triggered again.  Callbacks are plain callables invoked with the event as
+    their only argument after the event has been popped from the queue.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables run when the event is processed; ``None`` afterwards.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been scheduled with a value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value (or exception) the event was triggered with."""
+        if self._value is PENDING:
+            raise AttributeError(f"Value of {self!r} is not yet available")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """``True`` if a failure was caught by some waiting process."""
+        return self._defused
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = bool(value)
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Returns the event itself so calls can be chained or yielded.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as *failed* with ``exception``.
+
+        The exception is re-raised in every process waiting on the event.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of ``event`` onto this event and schedule it.
+
+        Used as a callback to chain events together.
+        """
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- misc -------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        detail = ""
+        if self.triggered:
+            detail = f" value={self._value!r} ok={self._ok}"
+        return f"<{type(self).__name__}{detail} at 0x{id(self):x}>"
+
+    # Support ``ev1 & ev2`` / ``ev1 | ev2`` composition like SimPy.
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated ``delay``.
+
+    Timeouts are triggered at creation time; they cannot fail or be
+    cancelled.
+    """
+
+    __slots__ = ("_delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay!r} is not allowed")
+        super().__init__(env)
+        self._delay = float(delay)
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=NORMAL, delay=self._delay)
+
+    @property
+    def delay(self) -> float:
+        """The delay the timeout was created with."""
+        return self._delay
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay!r} at 0x{id(self):x}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Event") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]  # type: ignore[attr-defined]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class ConditionValue:
+    """Ordered mapping of events to values produced by a :class:`Condition`.
+
+    Behaves like a read-only dictionary keyed by the original event objects
+    and preserves the order in which events were passed to the condition.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self) -> Iterable[Event]:
+        return iter(self.events)
+
+    def values(self) -> Iterable[Any]:
+        return (event.value for event in self.events)
+
+    def items(self) -> Iterable[tuple]:
+        return ((event, event.value) for event in self.events)
+
+    def todict(self) -> dict:
+        """Return a plain ``{event: value}`` dictionary."""
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event that fires when a predicate over child events holds.
+
+    The predicate ``evaluate(events, count)`` receives the list of child
+    events and the number already processed.  :class:`AllOf` and
+    :class:`AnyOf` are the two standard instantiations.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("Cannot mix events from different environments")
+
+        # Immediately check already-processed children, then subscribe.
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)  # type: ignore[union-attr]
+
+        if not self._events and not self.triggered:
+            # An empty condition is trivially satisfied.
+            self.succeed(ConditionValue())
+
+        # Ensure the composite value is built once the condition fires.
+        if self.callbacks is not None:
+            self.callbacks.append(self._build_value)
+
+    # -- internal ---------------------------------------------------------
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        for event in self._events:
+            if isinstance(event, Condition):
+                event._populate_value(value)
+            elif event.processed or event.triggered:
+                value.events.append(event)
+
+    def _build_value(self, _event: Event) -> None:
+        self._remove_callbacks()
+        if self._ok:
+            value = ConditionValue()
+            self._populate_value(value)
+            self._value = value
+
+    def _remove_callbacks(self) -> None:
+        for event in self._events:
+            if event.callbacks is not None and self._check in event.callbacks:
+                event.callbacks.remove(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            # Propagate the first failure.
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(ConditionValue())
+
+    # -- predicates -------------------------------------------------------
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        """Predicate used by :class:`AllOf`."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        """Predicate used by :class:`AnyOf`."""
+        return count > 0 or len(events) == 0
+
+
+class AllOf(Condition):
+    """Condition that fires once *all* child events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires once *any* child event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

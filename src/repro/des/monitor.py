@@ -1,0 +1,242 @@
+"""Observation and tracing utilities for simulations.
+
+:class:`Monitor` records tagged scalar observations (e.g. per-message
+latency), :class:`TimeWeightedMonitor` records piecewise-constant signals
+(e.g. queue length over time) and integrates them correctly, and
+:class:`Tracer` records a structured event log that tests and debugging
+tools can inspect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Monitor", "TimeWeightedMonitor", "Tracer", "TraceRecord"]
+
+
+class Monitor:
+    """Record scalar observations and expose summary statistics.
+
+    The monitor keeps all observations (time, value) so that warm-up
+    truncation and batching can be applied afterwards; for extremely long
+    runs use :meth:`summary` incrementally instead.
+    """
+
+    def __init__(self, name: str = "monitor") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, time: float, value: float) -> None:
+        """Record ``value`` observed at simulated ``time``."""
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def extend(self, times: Iterable[float], values: Iterable[float]) -> None:
+        """Record many observations at once."""
+        times = list(times)
+        values = list(values)
+        if len(times) != len(values):
+            raise ValueError("times and values must have equal length")
+        self._times.extend(float(t) for t in times)
+        self._values.extend(float(v) for v in values)
+
+    def reset(self) -> None:
+        """Discard all observations."""
+        self._times.clear()
+        self._values.clear()
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of recorded observations."""
+        return len(self._values)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Observation times as an array."""
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Observation values as an array."""
+        return np.asarray(self._values, dtype=float)
+
+    def mean(self) -> float:
+        """Sample mean of the observations (NaN when empty)."""
+        return float(np.mean(self._values)) if self._values else math.nan
+
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN when fewer than two observations)."""
+        return float(np.var(self._values, ddof=1)) if len(self._values) > 1 else math.nan
+
+    def std(self) -> float:
+        """Sample standard deviation."""
+        var = self.variance()
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    def minimum(self) -> float:
+        """Smallest observation (NaN when empty)."""
+        return float(np.min(self._values)) if self._values else math.nan
+
+    def maximum(self) -> float:
+        """Largest observation (NaN when empty)."""
+        return float(np.max(self._values)) if self._values else math.nan
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the observations."""
+        if not self._values:
+            return math.nan
+        return float(np.percentile(self._values, q))
+
+    def truncated(self, skip: int) -> "Monitor":
+        """Return a copy with the first ``skip`` observations removed (warm-up)."""
+        if skip < 0:
+            raise ValueError(f"skip must be non-negative, got {skip!r}")
+        out = Monitor(self.name)
+        out._times = self._times[skip:]
+        out._values = self._values[skip:]
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """Return a dictionary with the usual summary statistics."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "std": self.std(),
+            "min": self.minimum(),
+            "max": self.maximum(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"<Monitor {self.name!r} n={self.count} mean={self.mean():.6g}>"
+
+
+class TimeWeightedMonitor:
+    """Record a piecewise-constant signal and compute its time average.
+
+    Typical use: queue length or number of busy servers over time.  Values
+    are integrated from the time they are set until the next change.
+    """
+
+    def __init__(self, name: str = "level", initial: float = 0.0, start_time: float = 0.0) -> None:
+        self.name = name
+        self._last_time = float(start_time)
+        self._last_value = float(initial)
+        self._area = 0.0
+        self._max = float(initial)
+        self._min = float(initial)
+        self._start_time = float(start_time)
+
+    def update(self, time: float, value: float) -> None:
+        """Set the signal to ``value`` at simulated ``time``."""
+        time = float(time)
+        if time < self._last_time:
+            raise ValueError(
+                f"time went backwards: {time!r} < {self._last_time!r} in monitor {self.name!r}"
+            )
+        self._area += self._last_value * (time - self._last_time)
+        self._last_time = time
+        self._last_value = float(value)
+        self._max = max(self._max, self._last_value)
+        self._min = min(self._min, self._last_value)
+
+    def increment(self, time: float, delta: float = 1.0) -> None:
+        """Add ``delta`` to the current level at ``time``."""
+        self.update(time, self._last_value + delta)
+
+    def decrement(self, time: float, delta: float = 1.0) -> None:
+        """Subtract ``delta`` from the current level at ``time``."""
+        self.update(time, self._last_value - delta)
+
+    @property
+    def current(self) -> float:
+        """The current level."""
+        return self._last_value
+
+    @property
+    def maximum(self) -> float:
+        """Largest level seen so far."""
+        return self._max
+
+    @property
+    def minimum(self) -> float:
+        """Smallest level seen so far."""
+        return self._min
+
+    def time_average(self, now: Optional[float] = None) -> float:
+        """Time-average of the signal from the start time until ``now``."""
+        end = self._last_time if now is None else float(now)
+        if end < self._last_time:
+            raise ValueError("now must not be before the last update")
+        total_area = self._area + self._last_value * (end - self._last_time)
+        horizon = end - self._start_time
+        if horizon <= 0:
+            return self._last_value
+        return total_area / horizon
+
+    def __repr__(self) -> str:
+        return f"<TimeWeightedMonitor {self.name!r} level={self._last_value!r}>"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single structured trace entry."""
+
+    time: float
+    category: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Structured event log with optional category filtering.
+
+    Tracing is off by default (``enabled=False``) so that it costs a single
+    attribute check per potential record in hot paths.
+    """
+
+    def __init__(self, enabled: bool = False, categories: Optional[Iterable[str]] = None) -> None:
+        self.enabled = enabled
+        self._categories = set(categories) if categories is not None else None
+        self._records: List[TraceRecord] = []
+
+    def log(self, time: float, category: str, message: str, **data: Any) -> None:
+        """Append a record if tracing is enabled and the category is selected."""
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        self._records.append(TraceRecord(float(time), category, message, dict(data)))
+
+    @property
+    def records(self) -> Tuple[TraceRecord, ...]:
+        """All recorded entries, in order."""
+        return tuple(self._records)
+
+    def filter(self, category: str) -> List[TraceRecord]:
+        """Return only the records of the given ``category``."""
+        return [r for r in self._records if r.category == category]
+
+    def clear(self) -> None:
+        """Discard all records."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"<Tracer enabled={self.enabled} records={len(self._records)}>"

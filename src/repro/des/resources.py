@@ -1,0 +1,277 @@
+"""Shared-resource primitives for the DES kernel.
+
+A :class:`Resource` models a service station with a fixed number of
+capacity slots and a FIFO wait queue — exactly what the paper's
+store-and-forward communication networks are: a message *requests* the
+network, holds it for its (exponentially distributed) transmission time, and
+*releases* it.  :class:`PriorityResource` adds priority levels and
+:class:`PreemptiveResource` additionally allows preemption of lower-priority
+users, which the extension studies use for management traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from ..errors import SimulationError
+from .events import Event, NORMAL, URGENT
+from .process import Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Environment
+
+__all__ = [
+    "Request",
+    "Release",
+    "PriorityRequest",
+    "Preempted",
+    "Resource",
+    "PriorityResource",
+    "PreemptiveResource",
+]
+
+
+class Request(Event):
+    """Request one capacity slot of a :class:`Resource`.
+
+    The event succeeds once the slot is granted.  Request objects are
+    context managers so they release automatically::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    __slots__ = ("resource", "proc", "usage_since")
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        #: Process that issued the request (for preemption bookkeeping).
+        self.proc: Optional[Process] = resource.env.active_process
+        #: Simulation time at which the slot was granted (``None`` if queued).
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if not self.triggered or self.usage_since is not None or self.processed:
+            self.cancel_or_release()
+
+    def cancel_or_release(self) -> None:
+        """Release the slot if held, otherwise withdraw from the queue."""
+        self.resource.release(self)
+
+    def __repr__(self) -> str:
+        state = "held" if self.usage_since is not None else "queued"
+        return f"<Request of {self.resource!r} ({state}) at 0x{id(self):x}>"
+
+
+class PriorityRequest(Request):
+    """A :class:`Request` carrying a priority and preemption flag.
+
+    Lower ``priority`` values are served first; ties are broken by request
+    time and then insertion order (FIFO).
+    """
+
+    __slots__ = ("priority", "preempt", "time", "key")
+
+    def __init__(self, resource: "Resource", priority: int = 0, preempt: bool = True) -> None:
+        self.priority = priority
+        self.preempt = preempt
+        self.time = resource.env.now
+        self.key = (priority, self.time, next(resource._counter), not preempt)
+        super().__init__(resource)
+
+
+class Release(Event):
+    """Release a previously granted :class:`Request` (succeeds immediately)."""
+
+    __slots__ = ("resource", "request")
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        resource._do_release(self)
+        if not self.triggered:
+            self.succeed(None, priority=URGENT)
+
+
+class Preempted:
+    """Cause object delivered with the :class:`Interrupt` on preemption."""
+
+    __slots__ = ("by", "usage_since", "resource")
+
+    def __init__(self, by: Optional[Process], usage_since: Optional[float], resource: "Resource") -> None:
+        #: The preempting process.
+        self.by = by
+        #: Time at which the preempted process acquired the resource.
+        self.usage_since = usage_since
+        #: The resource on which preemption happened.
+        self.resource = resource
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Preempted by={self.by!r} since={self.usage_since!r}>"
+
+
+class Resource:
+    """A capacity-limited resource with a FIFO wait queue.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of simultaneous users (default 1, i.e. a single server).
+
+    Attributes
+    ----------
+    users:
+        Requests currently holding a slot.
+    queue:
+        Requests waiting for a slot, in service order.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.env = env
+        self._capacity = int(capacity)
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+        self._counter = count()
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Request a slot; returns an event that fires when it is granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Release ``request``'s slot (or withdraw it from the queue)."""
+        return Release(self, request)
+
+    # -- scheduling internals -------------------------------------------------
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.usage_since = self.env.now
+        request.succeed(None, priority=URGENT)
+
+    def _do_release(self, release: Release) -> None:
+        request = release.request
+        if request in self.users:
+            self.users.remove(request)
+            request.usage_since = None
+        elif request in self.queue:
+            # Withdrawn before being granted.
+            self.queue.remove(request)
+            return
+        self._trigger_next()
+
+    def _trigger_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.pop(0)
+            if nxt.triggered:  # pragma: no cover - defensive
+                continue
+            self._grant(nxt)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} capacity={self._capacity} "
+            f"users={len(self.users)} queued={len(self.queue)}>"
+        )
+
+
+class PriorityResource(Resource):
+    """Resource whose wait queue is ordered by request priority."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: List[tuple] = []
+
+    def request(self, priority: int = 0, preempt: bool = False) -> PriorityRequest:  # type: ignore[override]
+        """Request a slot with the given ``priority`` (lower = more urgent)."""
+        return PriorityRequest(self, priority=priority, preempt=preempt)
+
+    def _do_request(self, request: Request) -> None:
+        if not isinstance(request, PriorityRequest):
+            raise SimulationError("PriorityResource requires PriorityRequest objects")
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            heapq.heappush(self._heap, (request.key, request))
+            self.queue.append(request)
+
+    def _do_release(self, release: Release) -> None:
+        request = release.request
+        if request in self.users:
+            self.users.remove(request)
+            request.usage_since = None
+        elif request in self.queue:
+            self.queue.remove(request)
+            self._heap = [(k, r) for (k, r) in self._heap if r is not request]
+            heapq.heapify(self._heap)
+            return
+        self._trigger_next()
+
+    def _trigger_next(self) -> None:
+        while self._heap and len(self.users) < self._capacity:
+            _, nxt = heapq.heappop(self._heap)
+            if nxt not in self.queue:
+                continue
+            self.queue.remove(nxt)
+            if nxt.triggered:  # pragma: no cover - defensive
+                continue
+            self._grant(nxt)
+
+
+class PreemptiveResource(PriorityResource):
+    """Priority resource where urgent requests may preempt current users.
+
+    On preemption the victim process receives an :class:`Interrupt` whose
+    cause is a :class:`Preempted` instance describing who preempted it.
+    """
+
+    def _do_request(self, request: Request) -> None:
+        if not isinstance(request, PriorityRequest):
+            raise SimulationError("PreemptiveResource requires PriorityRequest objects")
+        if len(self.users) >= self._capacity and request.preempt:
+            # Find the weakest current user (highest priority value / latest).
+            victims = [u for u in self.users if isinstance(u, PriorityRequest)]
+            if victims:
+                victim = max(victims, key=lambda u: u.key)
+                if victim.key > request.key:
+                    self.users.remove(victim)
+                    if victim.proc is not None and victim.proc.is_alive:
+                        victim.proc.interrupt(
+                            Preempted(request.proc, victim.usage_since, self)
+                        )
+                    victim.usage_since = None
+        super()._do_request(request)
+
+
+# Re-export Interrupt for convenience so simulator code can import it from
+# ``repro.des.resources`` alongside Preempted.
+_ = Interrupt

@@ -1,0 +1,173 @@
+"""Random-variate generation with independent, reproducible streams.
+
+Simulation studies need *independent* random number streams per stochastic
+component (arrival process, service times, destination choice, ...) so that
+variance-reduction techniques such as common random numbers work and results
+are reproducible bit-for-bit from a single master seed.
+
+:class:`RandomStreams` spawns named substreams from a master seed using
+NumPy's :class:`~numpy.random.SeedSequence`; :class:`VariateGenerator` wraps
+one stream with the variate families the simulator needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RandomStreams", "VariateGenerator"]
+
+
+class VariateGenerator:
+    """Random-variate generator bound to a single independent stream.
+
+    Parameters
+    ----------
+    rng:
+        A :class:`numpy.random.Generator` providing the underlying bits.
+
+    All rate/mean parameters use the same time unit as the simulation
+    (seconds in the multi-cluster simulator).
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The wrapped NumPy generator (for advanced use)."""
+        return self._rng
+
+    # -- continuous -----------------------------------------------------------
+
+    def exponential(self, mean: float) -> float:
+        """Draw an exponential variate with the given ``mean`` (> 0)."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean!r}")
+        return float(self._rng.exponential(mean))
+
+    def exponential_rate(self, rate: float) -> float:
+        """Draw an exponential variate with the given ``rate`` (> 0)."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        return float(self._rng.exponential(1.0 / rate))
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Draw a uniform variate on ``[low, high)``."""
+        if high < low:
+            raise ValueError(f"high (={high!r}) must be >= low (={low!r})")
+        return float(self._rng.uniform(low, high))
+
+    def erlang(self, k: int, mean: float) -> float:
+        """Draw an Erlang-k variate with overall ``mean``."""
+        if k <= 0:
+            raise ValueError(f"k must be a positive integer, got {k!r}")
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean!r}")
+        return float(self._rng.gamma(shape=k, scale=mean / k))
+
+    def hyperexponential(self, means: Sequence[float], probs: Sequence[float]) -> float:
+        """Draw from a hyperexponential mixture of exponentials."""
+        means = np.asarray(means, dtype=float)
+        probs = np.asarray(probs, dtype=float)
+        if means.shape != probs.shape or means.ndim != 1 or means.size == 0:
+            raise ValueError("means and probs must be equal-length 1-D sequences")
+        if np.any(means <= 0):
+            raise ValueError("all means must be positive")
+        if not np.isclose(probs.sum(), 1.0):
+            raise ValueError(f"probabilities must sum to 1, got {probs.sum()!r}")
+        branch = self._rng.choice(means.size, p=probs)
+        return float(self._rng.exponential(means[branch]))
+
+    def deterministic(self, value: float) -> float:
+        """Return ``value`` unchanged (degenerate distribution)."""
+        return float(value)
+
+    def normal(self, mean: float, std: float) -> float:
+        """Draw a normal variate (used only by extension workloads)."""
+        if std < 0:
+            raise ValueError(f"std must be non-negative, got {std!r}")
+        return float(self._rng.normal(mean, std))
+
+    def lognormal(self, mean: float, sigma: float) -> float:
+        """Draw a lognormal variate parameterised by its underlying normal."""
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma!r}")
+        return float(self._rng.lognormal(mean, sigma))
+
+    # -- discrete -------------------------------------------------------------
+
+    def integer(self, low: int, high: int) -> int:
+        """Draw a uniform integer from ``[low, high]`` inclusive."""
+        if high < low:
+            raise ValueError(f"high (={high!r}) must be >= low (={low!r})")
+        return int(self._rng.integers(low, high + 1))
+
+    def choice(self, items: Sequence, probs: Optional[Sequence[float]] = None):
+        """Pick one element of ``items`` (optionally weighted by ``probs``)."""
+        if len(items) == 0:
+            raise ValueError("cannot choose from an empty sequence")
+        idx = self._rng.choice(len(items), p=None if probs is None else np.asarray(probs, float))
+        return items[int(idx)]
+
+    def bernoulli(self, p: float) -> bool:
+        """Return ``True`` with probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must lie in [0, 1], got {p!r}")
+        return bool(self._rng.random() < p)
+
+    def geometric(self, p: float) -> int:
+        """Draw a geometric variate (number of trials until first success)."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must lie in (0, 1], got {p!r}")
+        return int(self._rng.geometric(p))
+
+
+class RandomStreams:
+    """Factory of independent, named random streams derived from one seed.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  The same master seed always yields the same named
+        streams regardless of the order in which they are requested.
+
+    Example
+    -------
+    >>> streams = RandomStreams(seed=42)
+    >>> arrivals = streams.stream("arrivals")
+    >>> service = streams.stream("service")
+    >>> arrivals.exponential(1.0) != service.exponential(1.0)
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._cache: Dict[str, VariateGenerator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed."""
+        return self._seed
+
+    def stream(self, name: str) -> VariateGenerator:
+        """Return the stream for ``name``, creating it deterministically."""
+        if name not in self._cache:
+            # Deterministically derive a child seed from (master seed, name).
+            digest = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
+            entropy = [self._seed, int(digest.sum()), len(name)] + [int(b) for b in digest[:16]]
+            seq = np.random.SeedSequence(entropy)
+            self._cache[name] = VariateGenerator(np.random.default_rng(seq))
+        return self._cache[name]
+
+    def streams(self, names: Iterable[str]) -> Dict[str, VariateGenerator]:
+        """Return a dictionary of streams for all ``names``."""
+        return {name: self.stream(name) for name in names}
+
+    def spawn(self, offset: int) -> "RandomStreams":
+        """Create a new :class:`RandomStreams` for an independent replication."""
+        return RandomStreams(seed=self._seed * 1_000_003 + int(offset))
+
+    def __repr__(self) -> str:
+        return f"<RandomStreams seed={self._seed} streams={sorted(self._cache)}>"

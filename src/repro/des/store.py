@@ -1,0 +1,238 @@
+"""Store and container primitives for producer/consumer process patterns.
+
+:class:`Store` holds discrete Python objects (messages); :class:`FilterStore`
+lets consumers wait for items matching a predicate; :class:`Container` models
+a continuous quantity (tokens, credits).  The multi-cluster simulator uses
+stores as the input buffers of its service centres.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from .events import Event, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Environment
+
+__all__ = ["StorePut", "StoreGet", "Store", "FilterStore", "ContainerPut", "ContainerGet", "Container"]
+
+
+class StorePut(Event):
+    """Event for putting ``item`` into a :class:`Store`."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Event for taking an item out of a :class:`Store`.
+
+    For :class:`FilterStore` the optional ``filter`` predicate restricts
+    which items satisfy the request.
+    """
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """An unbounded or bounded FIFO buffer of Python objects.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of stored items (default: unbounded).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> float:
+        """Maximum number of items the store can hold."""
+        return self._capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Put ``item`` into the store (waits if the store is full)."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Take the oldest item out of the store (waits if empty)."""
+        return StoreGet(self)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- matching engine ------------------------------------------------------
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self.items.append(event.item)
+            event.succeed(None, priority=URGENT)
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0), priority=URGENT)
+            return True
+        return False
+
+    def _trigger(self) -> None:
+        """Match pending puts and gets until no more progress can be made."""
+        progress = True
+        while progress:
+            progress = False
+            # Serve queued gets first so puts into a full store can proceed.
+            for get_ev in list(self._get_queue):
+                if get_ev.triggered:
+                    self._get_queue.remove(get_ev)
+                    continue
+                if self._do_get(get_ev):
+                    self._get_queue.remove(get_ev)
+                    progress = True
+            for put_ev in list(self._put_queue):
+                if put_ev.triggered:
+                    self._put_queue.remove(put_ev)
+                    continue
+                if self._do_put(put_ev):
+                    self._put_queue.remove(put_ev)
+                    progress = True
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} items={len(self.items)} capacity={self._capacity}>"
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose consumers can wait for items matching a predicate."""
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> StoreGet:  # type: ignore[override]
+        """Take the oldest item satisfying ``filter`` (waits until one appears)."""
+        return StoreGet(self, filter)
+
+    def _do_get(self, event: StoreGet) -> bool:
+        predicate = event.filter or (lambda item: True)
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                del self.items[index]
+                event.succeed(item, priority=URGENT)
+                return True
+        return False
+
+
+class ContainerPut(Event):
+    """Event for adding ``amount`` to a :class:`Container`."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount!r}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    """Event for removing ``amount`` from a :class:`Container`."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount!r}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous quantity with bounded capacity (e.g. credits, buffer space)."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"), init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        if init < 0 or init > capacity:
+            raise ValueError(f"init must lie in [0, capacity], got {init!r}")
+        self.env = env
+        self._capacity = capacity
+        self._level = float(init)
+        self._put_queue: List[ContainerPut] = []
+        self._get_queue: List[ContainerGet] = []
+
+    @property
+    def capacity(self) -> float:
+        """Maximum level."""
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Current level."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; waits while it would exceed the capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; waits while the level is insufficient."""
+        return ContainerGet(self, amount)
+
+    def _do_put(self, event: ContainerPut) -> bool:
+        if self._level + event.amount <= self._capacity:
+            self._level += event.amount
+            event.succeed(None, priority=URGENT)
+            return True
+        return False
+
+    def _do_get(self, event: ContainerGet) -> bool:
+        if self._level >= event.amount:
+            self._level -= event.amount
+            event.succeed(None, priority=URGENT)
+            return True
+        return False
+
+    def _trigger(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for get_ev in list(self._get_queue):
+                if get_ev.triggered:
+                    self._get_queue.remove(get_ev)
+                    continue
+                if self._do_get(get_ev):
+                    self._get_queue.remove(get_ev)
+                    progress = True
+            for put_ev in list(self._put_queue):
+                if put_ev.triggered:
+                    self._put_queue.remove(put_ev)
+                    continue
+                if self._do_put(put_ev):
+                    self._put_queue.remove(put_ev)
+                    progress = True
+
+    def __repr__(self) -> str:
+        return f"<Container level={self._level!r} capacity={self._capacity!r}>"

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "StabilityError",
+    "ConvergenceError",
+    "TopologyError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid system, network or workload configuration was supplied.
+
+    Raised, for example, when a cluster is declared with zero processors,
+    when the number of clusters does not divide the number of nodes, or when
+    a network technology has a non-positive bandwidth.
+    """
+
+
+class StabilityError(ReproError, ArithmeticError):
+    """A queueing system is unstable (offered load >= capacity).
+
+    The analytical model raises this when a service centre would be driven
+    at utilisation >= 1 even after the finite-source correction, i.e. the
+    fixed point collapses to zero effective throughput.
+    """
+
+
+class ConvergenceError(ReproError, ArithmeticError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class TopologyError(ReproError, ValueError):
+    """An interconnect topology cannot be constructed as requested."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment harness was asked for an unknown figure/scenario."""

@@ -1,0 +1,57 @@
+"""Experiment harness: paper scenarios, figure drivers, ratio study and ablations."""
+
+from .ablations import (
+    AblationRow,
+    AblationStudy,
+    fixed_point_vs_exact_mva,
+    service_distribution_ablation,
+    sweep_generation_rate,
+    sweep_message_size,
+    sweep_switch_latency,
+    sweep_switch_ports,
+)
+from .blocking_ratio import (
+    BlockingRatioStudy,
+    RatioPoint,
+    run_blocking_ratio_study,
+)
+from .figures import FIGURE_SPECS, FigurePoint, FigureResult, FigureSpec, run_figure
+from .report import ReproductionReport, ShapeChecks, generate_report
+from .scenarios import (
+    CASE_1,
+    CASE_2,
+    PAPER_PARAMETERS,
+    SCENARIOS,
+    NetworkScenario,
+    PaperParameters,
+    build_scenario_system,
+)
+
+__all__ = [
+    "NetworkScenario",
+    "CASE_1",
+    "CASE_2",
+    "SCENARIOS",
+    "PaperParameters",
+    "PAPER_PARAMETERS",
+    "build_scenario_system",
+    "FigureSpec",
+    "FigurePoint",
+    "FigureResult",
+    "FIGURE_SPECS",
+    "run_figure",
+    "ReproductionReport",
+    "ShapeChecks",
+    "generate_report",
+    "RatioPoint",
+    "BlockingRatioStudy",
+    "run_blocking_ratio_study",
+    "AblationRow",
+    "AblationStudy",
+    "sweep_switch_ports",
+    "sweep_switch_latency",
+    "sweep_generation_rate",
+    "sweep_message_size",
+    "fixed_point_vs_exact_mva",
+    "service_distribution_ablation",
+]

@@ -1,0 +1,305 @@
+"""Ablation and sensitivity studies around the paper's design choices.
+
+DESIGN.md calls out four modelling decisions worth probing:
+
+1. **Switch fabric size** (Pr = 24): the C = 16 dip in Figures 4–7 comes
+   from both C and N0 dropping to or below Pr; sweeping Pr moves the dip.
+2. **Switch latency** (α_sw = 10 µs): how strongly the fat-tree's
+   ``(2d−1)·α_sw`` term shapes the curves.
+3. **Offered load** (λ = 0.25 msg/s, M ∈ {512, 1024}): the paper's Table-2
+   operating point leaves queues almost idle; sweeping λ and M shows when
+   queueing (and the finite-source correction) starts to matter.
+4. **Finite-source correction** (Eq. 7) vs the *exact* closed-network
+   solution (MVA): how good the paper's approximation is.
+
+All studies are analysis-only (fast); the service-distribution ablation
+additionally runs the simulator with deterministic service times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.model import AnalyticalModel, ModelConfig
+from ..core.routing import outgoing_probability
+from ..core.service_centers import build_service_centers
+from ..network.switch import SwitchFabric
+from ..queueing.mva import MVAStation, mean_value_analysis
+from ..simulation.simulator import MultiClusterSimulator, SimulationConfig
+from ..viz.tables import format_markdown_table
+from .scenarios import (
+    CASE_1,
+    NetworkScenario,
+    PAPER_PARAMETERS,
+    PaperParameters,
+    build_scenario_system,
+)
+
+__all__ = [
+    "AblationRow",
+    "AblationStudy",
+    "sweep_switch_ports",
+    "sweep_switch_latency",
+    "sweep_generation_rate",
+    "sweep_message_size",
+    "fixed_point_vs_exact_mva",
+    "service_distribution_ablation",
+]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One configuration point of an ablation study."""
+
+    parameter: str
+    value: float
+    mean_latency_ms: float
+    extra: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat row for tables."""
+        row: Dict[str, object] = {
+            "parameter": self.parameter,
+            "value": self.value,
+            "mean_latency_ms": self.mean_latency_ms,
+        }
+        row.update(self.extra)
+        return row
+
+
+@dataclass
+class AblationStudy:
+    """A named collection of ablation rows."""
+
+    name: str
+    rows: List[AblationRow]
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Rows for the table formatters."""
+        return [r.as_dict() for r in self.rows]
+
+    def to_markdown(self) -> str:
+        """The study as a Markdown table."""
+        return f"### {self.name}\n\n" + format_markdown_table(self.to_rows())
+
+    def latencies(self) -> List[float]:
+        """Just the latency column, in row order."""
+        return [r.mean_latency_ms for r in self.rows]
+
+
+def _evaluate(
+    scenario: NetworkScenario,
+    num_clusters: int,
+    architecture: str,
+    message_bytes: float,
+    generation_rate: float,
+    parameters: PaperParameters,
+    switch: Optional[SwitchFabric] = None,
+) -> float:
+    params = parameters if switch is None else PaperParameters(
+        total_processors=parameters.total_processors,
+        cluster_counts=parameters.cluster_counts,
+        message_sizes=parameters.message_sizes,
+        generation_rate=parameters.generation_rate,
+        simulation_messages=parameters.simulation_messages,
+        switch=switch,
+    )
+    system = build_scenario_system(scenario, num_clusters, params)
+    report = AnalyticalModel(
+        system,
+        ModelConfig(
+            architecture=architecture,
+            message_bytes=message_bytes,
+            generation_rate=generation_rate,
+        ),
+    ).evaluate()
+    return report.mean_latency_ms
+
+
+def sweep_switch_ports(
+    ports_values: Sequence[int] = (4, 8, 16, 24, 32, 64),
+    scenario: NetworkScenario = CASE_1,
+    num_clusters: int = 16,
+    architecture: str = "non-blocking",
+    message_bytes: float = 1024.0,
+    parameters: PaperParameters = PAPER_PARAMETERS,
+) -> AblationStudy:
+    """Ablation 1: how the switch port count Pr shapes the latency."""
+    rows = []
+    for ports in ports_values:
+        switch = SwitchFabric(ports=ports, latency_s=parameters.switch.latency_s)
+        latency = _evaluate(
+            scenario, num_clusters, architecture, message_bytes,
+            parameters.generation_rate, parameters, switch=switch,
+        )
+        rows.append(AblationRow("switch_ports", float(ports), latency, {}))
+    return AblationStudy("switch-port-count", rows)
+
+
+def sweep_switch_latency(
+    latency_values_us: Sequence[float] = (0.0, 5.0, 10.0, 20.0, 50.0, 100.0),
+    scenario: NetworkScenario = CASE_1,
+    num_clusters: int = 16,
+    architecture: str = "non-blocking",
+    message_bytes: float = 1024.0,
+    parameters: PaperParameters = PAPER_PARAMETERS,
+) -> AblationStudy:
+    """Ablation 2: sensitivity to the per-switch latency α_sw."""
+    rows = []
+    for latency_us in latency_values_us:
+        switch = SwitchFabric(ports=parameters.switch.ports, latency_s=latency_us * 1e-6)
+        latency = _evaluate(
+            scenario, num_clusters, architecture, message_bytes,
+            parameters.generation_rate, parameters, switch=switch,
+        )
+        rows.append(AblationRow("switch_latency_us", float(latency_us), latency, {}))
+    return AblationStudy("switch-latency", rows)
+
+
+def sweep_generation_rate(
+    rate_values: Sequence[float] = (0.25, 1.0, 10.0, 100.0, 500.0, 1000.0),
+    scenario: NetworkScenario = CASE_1,
+    num_clusters: int = 16,
+    architecture: str = "non-blocking",
+    message_bytes: float = 1024.0,
+    parameters: PaperParameters = PAPER_PARAMETERS,
+) -> AblationStudy:
+    """Ablation 3a: offered load sweep (the paper's λ = 0.25 is nearly idle)."""
+    rows = []
+    for rate in rate_values:
+        system = build_scenario_system(scenario, num_clusters, parameters)
+        report = AnalyticalModel(
+            system,
+            ModelConfig(
+                architecture=architecture,
+                message_bytes=message_bytes,
+                generation_rate=rate,
+            ),
+        ).evaluate()
+        rows.append(
+            AblationRow(
+                "generation_rate",
+                float(rate),
+                report.mean_latency_ms,
+                {
+                    "icn2_utilization": report.utilizations["icn2"],
+                    "throttling_factor": report.throttling_factor,
+                },
+            )
+        )
+    return AblationStudy("generation-rate", rows)
+
+
+def sweep_message_size(
+    size_values: Sequence[float] = (64, 256, 512, 1024, 4096, 16384),
+    scenario: NetworkScenario = CASE_1,
+    num_clusters: int = 16,
+    architecture: str = "non-blocking",
+    parameters: PaperParameters = PAPER_PARAMETERS,
+) -> AblationStudy:
+    """Ablation 3b: message-size sweep beyond the paper's 512/1024 bytes."""
+    rows = []
+    for size in size_values:
+        latency = _evaluate(
+            scenario, num_clusters, architecture, float(size),
+            parameters.generation_rate, parameters,
+        )
+        rows.append(AblationRow("message_bytes", float(size), latency, {}))
+    return AblationStudy("message-size", rows)
+
+
+def fixed_point_vs_exact_mva(
+    scenario: NetworkScenario = CASE_1,
+    num_clusters: int = 16,
+    architecture: str = "non-blocking",
+    message_bytes: float = 1024.0,
+    generation_rate: float = 0.25,
+    parameters: PaperParameters = PAPER_PARAMETERS,
+) -> AblationStudy:
+    """Ablation 4: the Eq. (7) fixed point vs the exact closed-network (MVA) solution.
+
+    The closed model has the N processors as a delay (think) station with
+    mean think time 1/λ, and the ICN1 / ECN1 / ICN2 centres visited with
+    ratios (1−P), 2P and P respectively.
+    """
+    system = build_scenario_system(scenario, num_clusters, parameters)
+    config = ModelConfig(
+        architecture=architecture, message_bytes=message_bytes, generation_rate=generation_rate
+    )
+    report = AnalyticalModel(system, config).evaluate()
+
+    n0 = system.processors_per_cluster
+    c = system.num_clusters
+    n_total = system.total_processors
+    p_out = outgoing_probability(c, n0)
+    centers = build_service_centers(system, architecture, message_bytes)
+
+    # Each of the C ICN1s and C ECN1s is its own station: by symmetry a
+    # message visits a *specific* cluster's ICN1 with probability (1−P)/C and
+    # its ECN1 twice with probability P, i.e. visit ratio 2P/C.
+    stations = [
+        MVAStation("think", visit_ratio=1.0, service_time=1.0 / generation_rate, is_delay=True),
+        MVAStation("icn2", visit_ratio=p_out, service_time=centers.icn2_service_time),
+    ]
+    for i in range(c):
+        stations.append(
+            MVAStation(
+                f"icn1[{i}]",
+                visit_ratio=(1.0 - p_out) / c,
+                service_time=centers.icn1_service_time,
+            )
+        )
+        stations.append(
+            MVAStation(
+                f"ecn1[{i}]",
+                visit_ratio=2.0 * p_out / c,
+                service_time=centers.ecn1_service_time,
+            )
+        )
+    mva = mean_value_analysis(stations, population=n_total)
+    think_residence = 1.0 / generation_rate
+    exact_latency_s = max(mva.cycle_time - think_residence, 0.0)
+    rows = [
+        AblationRow(
+            "method", 0.0, report.mean_latency_ms, {"label": 0.0, "throughput": float("nan")}
+        ),
+        AblationRow(
+            "method", 1.0, exact_latency_s * 1e3, {"label": 1.0, "throughput": mva.throughput}
+        ),
+    ]
+    study = AblationStudy("fixed-point-vs-exact-mva", rows)
+    return study
+
+
+def service_distribution_ablation(
+    scenario: NetworkScenario = CASE_1,
+    num_clusters: int = 8,
+    architecture: str = "non-blocking",
+    message_bytes: float = 1024.0,
+    num_messages: int = 2_000,
+    seed: int = 7,
+    parameters: PaperParameters = PAPER_PARAMETERS,
+) -> AblationStudy:
+    """Simulator ablation: exponential (paper assumption) vs deterministic service."""
+    system = build_scenario_system(scenario, num_clusters, parameters)
+    rows = []
+    for exponential in (True, False):
+        config = SimulationConfig(
+            architecture=architecture,
+            message_bytes=message_bytes,
+            generation_rate=parameters.generation_rate,
+            num_messages=num_messages,
+            seed=seed,
+            exponential_service=exponential,
+        )
+        result = MultiClusterSimulator(system, config).run()
+        rows.append(
+            AblationRow(
+                "exponential_service",
+                1.0 if exponential else 0.0,
+                result.mean_latency_ms,
+                {"remote_fraction": result.remote_fraction},
+            )
+        )
+    return AblationStudy("service-distribution", rows)

@@ -1,0 +1,253 @@
+"""Drivers that regenerate the paper's Figures 4–7.
+
+Each figure plots the average message latency (analysis and simulation)
+against the number of clusters of a 256-node Super-Cluster for message
+sizes of 512 and 1024 bytes:
+
+* Figure 4 — non-blocking network, Case-1 (ICN1 = GE, ECN1/ICN2 = FE)
+* Figure 5 — non-blocking network, Case-2 (ICN1 = FE, ECN1/ICN2 = GE)
+* Figure 6 — blocking network, Case-1
+* Figure 7 — blocking network, Case-2
+
+:func:`run_figure` produces a :class:`FigureResult` with one
+:class:`FigurePoint` per (message size, cluster count) combination; the
+benchmarks and the CLI print the same rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.model import AnalyticalModel, ModelConfig
+from ..errors import ExperimentError
+from ..simulation.runner import run_replications
+from ..simulation.simulator import SimulationConfig
+from ..stats.compare import compare_series, ComparisonSummary
+from ..viz.ascii_chart import line_chart
+from ..viz.tables import format_fixed_width_table, format_markdown_table
+from .scenarios import (
+    CASE_1,
+    CASE_2,
+    NetworkScenario,
+    PAPER_PARAMETERS,
+    PaperParameters,
+    build_scenario_system,
+)
+
+__all__ = ["FigureSpec", "FigurePoint", "FigureResult", "FIGURE_SPECS", "run_figure"]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Which scenario and architecture one paper figure uses."""
+
+    number: int
+    scenario: NetworkScenario
+    architecture: str
+    description: str
+
+    @property
+    def title(self) -> str:
+        """Figure title matching the paper's caption style."""
+        return (
+            f"Figure {self.number}: Avg Message Latency vs Number of Clusters "
+            f"for {self.architecture.capitalize()} Networks in {self.scenario.name.title()}"
+        )
+
+
+#: The four evaluation figures of the paper.
+FIGURE_SPECS: Dict[int, FigureSpec] = {
+    4: FigureSpec(4, CASE_1, "non-blocking", "Non-blocking fat-tree, Case-1 (ICN1=GE, ECN=FE)"),
+    5: FigureSpec(5, CASE_2, "non-blocking", "Non-blocking fat-tree, Case-2 (ICN1=FE, ECN=GE)"),
+    6: FigureSpec(6, CASE_1, "blocking", "Blocking linear array, Case-1 (ICN1=GE, ECN=FE)"),
+    7: FigureSpec(7, CASE_2, "blocking", "Blocking linear array, Case-2 (ICN1=FE, ECN=GE)"),
+}
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One (message size, cluster count) point of a figure."""
+
+    num_clusters: int
+    message_bytes: int
+    analysis_latency_ms: float
+    simulation_latency_ms: Optional[float] = None
+    simulation_ci_half_width_ms: Optional[float] = None
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        """Analysis-vs-simulation relative error (None without simulation)."""
+        if self.simulation_latency_ms in (None, 0.0):
+            return None
+        return abs(self.analysis_latency_ms - self.simulation_latency_ms) / abs(
+            self.simulation_latency_ms
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat row for tables."""
+        row: Dict[str, object] = {
+            "clusters": self.num_clusters,
+            "message_bytes": self.message_bytes,
+            "analysis_ms": self.analysis_latency_ms,
+        }
+        if self.simulation_latency_ms is not None:
+            row["simulation_ms"] = self.simulation_latency_ms
+            row["rel_error"] = self.relative_error
+        return row
+
+
+@dataclass
+class FigureResult:
+    """All points of one reproduced figure plus formatting helpers."""
+
+    spec: FigureSpec
+    points: List[FigurePoint] = field(default_factory=list)
+    parameters: PaperParameters = PAPER_PARAMETERS
+
+    # -- accessors ---------------------------------------------------------------------
+
+    def points_for_size(self, message_bytes: int) -> List[FigurePoint]:
+        """Points of one message-size series, ordered by cluster count."""
+        return sorted(
+            (p for p in self.points if p.message_bytes == message_bytes),
+            key=lambda p: p.num_clusters,
+        )
+
+    @property
+    def cluster_counts(self) -> List[int]:
+        """Distinct cluster counts in ascending order."""
+        return sorted({p.num_clusters for p in self.points})
+
+    @property
+    def message_sizes(self) -> List[int]:
+        """Distinct message sizes in ascending order."""
+        return sorted({p.message_bytes for p in self.points})
+
+    def series(self) -> Dict[str, List[float]]:
+        """Latency series keyed like the paper's legend entries."""
+        out: Dict[str, List[float]] = {}
+        for size in self.message_sizes:
+            pts = self.points_for_size(size)
+            out[f"Analysis,M={size}"] = [p.analysis_latency_ms for p in pts]
+            if any(p.simulation_latency_ms is not None for p in pts):
+                out[f"Simulation,M={size}"] = [
+                    p.simulation_latency_ms if p.simulation_latency_ms is not None else float("nan")
+                    for p in pts
+                ]
+        return out
+
+    def accuracy_summary(self) -> Optional[ComparisonSummary]:
+        """MAPE / RMSE / max error of analysis vs simulation over all points."""
+        predicted = [
+            p.analysis_latency_ms for p in self.points if p.simulation_latency_ms is not None
+        ]
+        observed = [
+            p.simulation_latency_ms for p in self.points if p.simulation_latency_ms is not None
+        ]
+        if not predicted:
+            return None
+        return compare_series(predicted, observed)
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Rows (one per point) suitable for the table formatters."""
+        return [p.as_dict() for p in sorted(self.points, key=lambda p: (p.message_bytes, p.num_clusters))]
+
+    def to_markdown(self) -> str:
+        """The figure as a Markdown table."""
+        return format_markdown_table(self.to_rows())
+
+    def to_text_table(self) -> str:
+        """The figure as an aligned plain-text table."""
+        return format_fixed_width_table(self.to_rows())
+
+    def to_chart(self, width: int = 70, height: int = 20) -> str:
+        """ASCII rendition of the figure (latency vs number of clusters)."""
+        return line_chart(
+            [float(c) for c in self.cluster_counts],
+            self.series(),
+            width=width,
+            height=height,
+            title=self.spec.title,
+            x_label="Number of Clusters (log scale)",
+            y_label="Avg Message Latency (ms)",
+            logx=True,
+        )
+
+
+def run_figure(
+    number: int,
+    include_simulation: bool = True,
+    cluster_counts: Optional[Sequence[int]] = None,
+    message_sizes: Optional[Sequence[int]] = None,
+    parameters: PaperParameters = PAPER_PARAMETERS,
+    simulation_messages: Optional[int] = None,
+    replications: int = 1,
+    seed: int = 0,
+) -> FigureResult:
+    """Reproduce one of the paper's Figures 4–7.
+
+    Parameters
+    ----------
+    number:
+        Figure number (4, 5, 6 or 7).
+    include_simulation:
+        Also run the validation simulator at every point (slower).  The
+        analysis-only mode is used by quick tests and the analysis curves of
+        the benchmarks.
+    cluster_counts, message_sizes:
+        Overrides of the sweep ranges (default: the paper's).
+    simulation_messages:
+        Number of messages per simulation run (default: the paper's 10 000).
+    replications:
+        Independent simulation replications per point.
+    seed:
+        Base random seed.
+    """
+    if number not in FIGURE_SPECS:
+        raise ExperimentError(f"unknown figure {number}; the paper has figures 4-7")
+    spec = FIGURE_SPECS[number]
+    counts = list(cluster_counts) if cluster_counts is not None else list(parameters.cluster_counts)
+    sizes = list(message_sizes) if message_sizes is not None else list(parameters.message_sizes)
+    sim_messages = (
+        simulation_messages if simulation_messages is not None else parameters.simulation_messages
+    )
+
+    result = FigureResult(spec=spec, parameters=parameters)
+    for message_bytes in sizes:
+        for num_clusters in counts:
+            system = build_scenario_system(spec.scenario, num_clusters, parameters)
+            model_config = ModelConfig(
+                architecture=spec.architecture,
+                message_bytes=float(message_bytes),
+                generation_rate=parameters.generation_rate,
+            )
+            analysis = AnalyticalModel(system, model_config).evaluate()
+
+            sim_latency_ms: Optional[float] = None
+            sim_ci_ms: Optional[float] = None
+            if include_simulation:
+                sim_config = SimulationConfig(
+                    architecture=spec.architecture,
+                    message_bytes=float(message_bytes),
+                    generation_rate=parameters.generation_rate,
+                    num_messages=sim_messages,
+                    seed=seed,
+                )
+                replicated = run_replications(system, sim_config, replications=replications)
+                sim_latency_ms = replicated.mean_latency_ms
+                if replicated.latency_interval is not None:
+                    sim_ci_ms = replicated.latency_interval.half_width * 1e3
+
+            result.points.append(
+                FigurePoint(
+                    num_clusters=num_clusters,
+                    message_bytes=int(message_bytes),
+                    analysis_latency_ms=analysis.mean_latency_ms,
+                    simulation_latency_ms=sim_latency_ms,
+                    simulation_ci_half_width_ms=sim_ci_ms,
+                )
+            )
+    return result

@@ -1,0 +1,117 @@
+"""The paper's evaluation scenarios and parameters (Tables 1 and 2).
+
+Table 1 defines two network-heterogeneity cases for the Super-Cluster
+platform:
+
+========  ==================  ==================
+Case      ICN1                ECN1 and ICN2
+========  ==================  ==================
+Case 1    Gigabit Ethernet    Fast Ethernet
+Case 2    Fast Ethernet       Gigabit Ethernet
+========  ==================  ==================
+
+Table 2 fixes the model parameters: GE 80 µs / 94 MB/s, FE 50 µs /
+10.5 MB/s, 24-port switches with 10 µs latency, and a message generation
+rate of 0.25 msg/s.  The evaluation platform has N = 256 nodes and sweeps
+the number of clusters over the powers of two from 1 to 256 with message
+sizes of 512 and 1024 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..cluster.presets import paper_evaluation_system
+from ..cluster.system import MultiClusterSystem
+from ..errors import ExperimentError
+from ..network.switch import PAPER_SWITCH, SwitchFabric
+from ..network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET, NetworkTechnology
+
+__all__ = [
+    "NetworkScenario",
+    "CASE_1",
+    "CASE_2",
+    "SCENARIOS",
+    "PaperParameters",
+    "PAPER_PARAMETERS",
+    "build_scenario_system",
+]
+
+
+@dataclass(frozen=True)
+class NetworkScenario:
+    """One row of Table 1: which technology serves the ICN1 vs ECN1/ICN2."""
+
+    name: str
+    icn1_technology: NetworkTechnology
+    ecn_technology: NetworkTechnology
+
+    @property
+    def icn2_technology(self) -> NetworkTechnology:
+        """Table 1 assigns the same technology to ECN1 and ICN2."""
+        return self.ecn_technology
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.name}: ICN1={self.icn1_technology.name}, "
+            f"ECN1/ICN2={self.ecn_technology.name}"
+        )
+
+
+#: Table 1, Case 1: fast intra-cluster network, slow inter-cluster network.
+CASE_1 = NetworkScenario("case-1", GIGABIT_ETHERNET, FAST_ETHERNET)
+
+#: Table 1, Case 2: slow intra-cluster network, fast inter-cluster network.
+CASE_2 = NetworkScenario("case-2", FAST_ETHERNET, GIGABIT_ETHERNET)
+
+#: Both scenarios by name.
+SCENARIOS: Dict[str, NetworkScenario] = {"case-1": CASE_1, "case-2": CASE_2}
+
+
+@dataclass(frozen=True)
+class PaperParameters:
+    """Table 2 plus the sweep ranges used by Figures 4–7."""
+
+    total_processors: int = 256
+    cluster_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    message_sizes: Tuple[int, ...] = (512, 1024)
+    generation_rate: float = 0.25
+    simulation_messages: int = 10_000
+    switch: SwitchFabric = PAPER_SWITCH
+
+    @property
+    def switch_ports(self) -> int:
+        """Pr = 24 (Table 2)."""
+        return self.switch.ports
+
+    @property
+    def switch_latency_s(self) -> float:
+        """α_sw = 10 µs (Table 2)."""
+        return self.switch.latency_s
+
+
+#: The default evaluation parameters of the paper.
+PAPER_PARAMETERS = PaperParameters()
+
+
+def build_scenario_system(
+    scenario: NetworkScenario,
+    num_clusters: int,
+    parameters: PaperParameters = PAPER_PARAMETERS,
+) -> MultiClusterSystem:
+    """Build the 256-node Super-Cluster of Figures 4–7 for one scenario and C."""
+    if num_clusters not in parameters.cluster_counts and (
+        parameters.total_processors % num_clusters != 0
+    ):
+        raise ExperimentError(
+            f"num_clusters={num_clusters} does not divide N={parameters.total_processors}"
+        )
+    return paper_evaluation_system(
+        num_clusters=num_clusters,
+        icn_technology=scenario.icn1_technology,
+        ecn_technology=scenario.ecn_technology,
+        total_processors=parameters.total_processors,
+        switch=parameters.switch,
+    )

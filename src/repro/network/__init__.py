@@ -1,0 +1,58 @@
+"""Communication-network models: technologies, switches, and service-time models."""
+
+from .heterogeneous import HeterogeneousLinkMatrix
+from .models import (
+    BlockingNetworkModel,
+    CommunicationNetworkModel,
+    NonBlockingNetworkModel,
+    build_network_model,
+)
+from .switch import PAPER_SWITCH, SwitchFabric
+from .technologies import (
+    FAST_ETHERNET,
+    GIGABIT_ETHERNET,
+    INFINIBAND_4X,
+    MYRINET,
+    TECHNOLOGY_PRESETS,
+    TEN_GIGABIT_ETHERNET,
+    NetworkTechnology,
+    get_technology,
+)
+from .units import (
+    BYTES_PER_MEGABYTE,
+    MICROSECONDS_PER_SECOND,
+    bandwidth_to_seconds_per_byte,
+    bytes_per_s_to_mbps,
+    mbps_to_bytes_per_s,
+    ms_to_s,
+    s_to_ms,
+    s_to_us,
+    us_to_s,
+)
+
+__all__ = [
+    "NetworkTechnology",
+    "GIGABIT_ETHERNET",
+    "FAST_ETHERNET",
+    "MYRINET",
+    "INFINIBAND_4X",
+    "TEN_GIGABIT_ETHERNET",
+    "TECHNOLOGY_PRESETS",
+    "get_technology",
+    "SwitchFabric",
+    "PAPER_SWITCH",
+    "CommunicationNetworkModel",
+    "NonBlockingNetworkModel",
+    "BlockingNetworkModel",
+    "build_network_model",
+    "HeterogeneousLinkMatrix",
+    "us_to_s",
+    "s_to_us",
+    "ms_to_s",
+    "s_to_ms",
+    "mbps_to_bytes_per_s",
+    "bytes_per_s_to_mbps",
+    "bandwidth_to_seconds_per_byte",
+    "MICROSECONDS_PER_SECOND",
+    "BYTES_PER_MEGABYTE",
+]

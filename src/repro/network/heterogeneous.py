@@ -1,0 +1,122 @@
+"""Pairwise-heterogeneous link parameters (α_ij, β_ij matrices).
+
+Equation (10) of the paper is written for node-pair-specific parameters
+``T_ij = α_ij + M·β_ij`` (following Yan, Zhang & Song's NOW model, ref
+[14]).  The evaluation then uses a single technology per network, but the
+matrix form is what makes the model "heterogeneous", so we expose it: a
+:class:`HeterogeneousLinkMatrix` stores per-pair α and β and can be built
+from per-node technologies (the pairwise value is the slower of the two
+endpoints, i.e. max α and max β — a store-and-forward bottleneck rule).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .technologies import NetworkTechnology
+
+__all__ = ["HeterogeneousLinkMatrix"]
+
+
+class HeterogeneousLinkMatrix:
+    """Per-node-pair latency/bandwidth parameters.
+
+    Parameters
+    ----------
+    alpha:
+        ``(n, n)`` matrix of pairwise latencies in seconds.
+    beta:
+        ``(n, n)`` matrix of pairwise per-byte times in seconds/byte.
+    """
+
+    def __init__(self, alpha: np.ndarray, beta: np.ndarray) -> None:
+        alpha = np.asarray(alpha, dtype=float)
+        beta = np.asarray(beta, dtype=float)
+        if alpha.ndim != 2 or alpha.shape[0] != alpha.shape[1]:
+            raise ConfigurationError(f"alpha must be square, got shape {alpha.shape}")
+        if alpha.shape != beta.shape:
+            raise ConfigurationError(
+                f"alpha and beta must have the same shape, got {alpha.shape} vs {beta.shape}"
+            )
+        if np.any(alpha < 0):
+            raise ConfigurationError("latencies must be non-negative")
+        if np.any(beta <= 0):
+            raise ConfigurationError("per-byte times must be positive")
+        self._alpha = alpha
+        self._beta = beta
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def homogeneous(cls, size: int, technology: NetworkTechnology) -> "HeterogeneousLinkMatrix":
+        """All pairs share one technology (what the paper's evaluation uses)."""
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size!r}")
+        alpha = np.full((size, size), technology.alpha, dtype=float)
+        beta = np.full((size, size), technology.beta, dtype=float)
+        np.fill_diagonal(alpha, 0.0)
+        return cls(alpha, beta)
+
+    @classmethod
+    def from_node_technologies(
+        cls, technologies: Sequence[NetworkTechnology]
+    ) -> "HeterogeneousLinkMatrix":
+        """Pairwise parameters from per-node NICs: the slower endpoint dominates."""
+        if not technologies:
+            raise ConfigurationError("need at least one node technology")
+        alphas = np.array([t.alpha for t in technologies], dtype=float)
+        betas = np.array([t.beta for t in technologies], dtype=float)
+        alpha = np.maximum.outer(alphas, alphas)
+        beta = np.maximum.outer(betas, betas)
+        np.fill_diagonal(alpha, 0.0)
+        return cls(alpha, beta)
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of endpoints."""
+        return self._alpha.shape[0]
+
+    @property
+    def alpha(self) -> np.ndarray:
+        """Pairwise latency matrix (seconds), copied."""
+        return self._alpha.copy()
+
+    @property
+    def beta(self) -> np.ndarray:
+        """Pairwise per-byte time matrix (seconds/byte), copied."""
+        return self._beta.copy()
+
+    def transmission_time(self, source: int, destination: int, message_bytes: float) -> float:
+        """``T_ij = α_ij + M·β_ij`` for one pair (paper Eq. 10)."""
+        if message_bytes < 0:
+            raise ConfigurationError(f"message size must be non-negative, got {message_bytes!r}")
+        self._check_index(source)
+        self._check_index(destination)
+        return float(self._alpha[source, destination] + message_bytes * self._beta[source, destination])
+
+    def mean_offdiagonal_transmission_time(self, message_bytes: float) -> float:
+        """Average ``T_ij`` over all ordered pairs with i ≠ j.
+
+        This is the quantity the aggregated (single-technology) model uses
+        as its mean point-to-point transmission time.
+        """
+        if message_bytes < 0:
+            raise ConfigurationError(f"message size must be non-negative, got {message_bytes!r}")
+        n = self.size
+        if n < 2:
+            return 0.0
+        mask = ~np.eye(n, dtype=bool)
+        times = self._alpha[mask] + message_bytes * self._beta[mask]
+        return float(times.mean())
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise ConfigurationError(f"endpoint index {index} out of range [0, {self.size})")
+
+    def __repr__(self) -> str:
+        return f"<HeterogeneousLinkMatrix size={self.size}>"

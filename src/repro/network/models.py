@@ -1,0 +1,227 @@
+"""Service-time models of the two interconnect architectures (paper §5).
+
+Each communication network of the HMSCS (every ICN1, ECN1 and the ICN2) is
+one M/M/1 service centre; its *mean service time* is the message
+transmission time given by these models:
+
+* :class:`NonBlockingNetworkModel` — multi-stage fat-tree (Eq. 11):
+  ``T = α + (2d−1)·α_sw + M·β`` and, by Theorem 1, zero blocking time.
+* :class:`BlockingNetworkModel` — linear switch array (Eqs. 19–21):
+  ``T = α + ((k+1)/3)·α_sw + (N/2)·M·β`` where the ``N/2`` factor folds the
+  blocking time ``T_B = (N/2 − 1)·M·β`` of Eq. (20) into the transmission
+  term.
+
+Both models expose the same interface so the analytical model and the
+simulator can be architecture-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import ConfigurationError
+from ..topology.fattree import FatTreeTopology
+from ..topology.linear_array import LinearArrayTopology
+from .switch import SwitchFabric
+from .technologies import NetworkTechnology
+
+__all__ = [
+    "CommunicationNetworkModel",
+    "NonBlockingNetworkModel",
+    "BlockingNetworkModel",
+    "build_network_model",
+]
+
+
+class CommunicationNetworkModel:
+    """Common interface of the blocking / non-blocking service-time models.
+
+    Parameters
+    ----------
+    technology:
+        Link technology providing α and β.
+    switch:
+        Switch fabric providing Pr and α_sw.
+    attached_nodes:
+        Number of endpoints this network connects (N for an ICN1 this is the
+        cluster size N0; for the ICN2 it is the number of clusters C).
+    """
+
+    #: Architecture label ("non-blocking" / "blocking").
+    architecture: str = "abstract"
+
+    def __init__(
+        self,
+        technology: NetworkTechnology,
+        switch: SwitchFabric,
+        attached_nodes: int,
+    ) -> None:
+        if attached_nodes < 1:
+            raise ConfigurationError(f"attached_nodes must be >= 1, got {attached_nodes!r}")
+        self.technology = technology
+        self.switch = switch
+        self.attached_nodes = int(attached_nodes)
+
+    # -- interface ---------------------------------------------------------------
+
+    def transmission_time(self, message_bytes: float) -> float:
+        """Mean end-to-end transmission time ``T_W`` for one message (seconds)."""
+        raise NotImplementedError
+
+    def blocking_time(self, message_bytes: float) -> float:
+        """Mean blocking time ``T_B`` contributed by contention (seconds)."""
+        raise NotImplementedError
+
+    def network_latency(self, message_bytes: float) -> float:
+        """Total network latency ``T_C = T_W + T_B`` (paper Eq. 9).
+
+        Note that for the blocking model the paper folds ``T_B`` into the
+        transmission term (Eq. 21); :meth:`service_time` is the quantity the
+        queueing model should use as the mean service time.
+        """
+        return self.transmission_time(message_bytes) + self.blocking_time(message_bytes)
+
+    def service_time(self, message_bytes: float) -> float:
+        """Mean service time of the corresponding M/M/1 service centre."""
+        raise NotImplementedError
+
+    def service_rate(self, message_bytes: float) -> float:
+        """Service rate µ = 1/mean service time."""
+        st = self.service_time(message_bytes)
+        if st <= 0:
+            raise ConfigurationError("service time must be positive")
+        return 1.0 / st
+
+    @property
+    def has_full_bisection(self) -> bool:
+        """Whether the underlying topology has full bisection bandwidth."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} tech={self.technology.name!r} "
+            f"nodes={self.attached_nodes} ports={self.switch.ports}>"
+        )
+
+
+class NonBlockingNetworkModel(CommunicationNetworkModel):
+    """Multi-stage fat-tree service model (paper §5.2, Eq. 11)."""
+
+    architecture = "non-blocking"
+
+    def __init__(
+        self,
+        technology: NetworkTechnology,
+        switch: SwitchFabric,
+        attached_nodes: int,
+    ) -> None:
+        super().__init__(technology, switch, attached_nodes)
+        self.topology = FatTreeTopology(attached_nodes, switch.ports)
+
+    @property
+    def stages(self) -> int:
+        """Number of switch stages ``d`` (Eq. 12)."""
+        return self.topology.num_stages
+
+    @property
+    def num_switches(self) -> int:
+        """Switch count ``k`` (Eq. 13)."""
+        return self.topology.num_switches
+
+    @property
+    def has_full_bisection(self) -> bool:
+        """Theorem 1: always true for the fat-tree."""
+        return self.topology.full_bisection
+
+    def transmission_time(self, message_bytes: float) -> float:
+        """Eq. (11): ``α + (2d − 1)·α_sw + M·β``."""
+        if message_bytes < 0:
+            raise ConfigurationError(f"message size must be non-negative, got {message_bytes!r}")
+        switch_term = self.switch.traversal_time(self.topology.switch_traversals)
+        return self.technology.alpha + switch_term + message_bytes * self.technology.beta
+
+    def blocking_time(self, message_bytes: float) -> float:
+        """Theorem 1 ⇒ ``T_B = 0`` for the non-blocking architecture."""
+        if message_bytes < 0:
+            raise ConfigurationError(f"message size must be non-negative, got {message_bytes!r}")
+        return 0.0
+
+    def service_time(self, message_bytes: float) -> float:
+        """Service time equals the transmission time (no blocking)."""
+        return self.transmission_time(message_bytes)
+
+
+class BlockingNetworkModel(CommunicationNetworkModel):
+    """Linear-switch-array service model (paper §5.3, Eqs. 17–21)."""
+
+    architecture = "blocking"
+
+    def __init__(
+        self,
+        technology: NetworkTechnology,
+        switch: SwitchFabric,
+        attached_nodes: int,
+    ) -> None:
+        super().__init__(technology, switch, attached_nodes)
+        self.topology = LinearArrayTopology(attached_nodes, switch.ports)
+
+    @property
+    def num_switches(self) -> int:
+        """Switch count ``k = ceil(N/Pr)`` (Eq. 17)."""
+        return self.topology.num_switches
+
+    @property
+    def has_full_bisection(self) -> bool:
+        """A switch chain has bisection width 1: not full bisection (for N > 2)."""
+        return self.topology.full_bisection
+
+    @property
+    def average_switch_traversals(self) -> float:
+        """The paper's ``(k + 1)/3`` average traversed distance (Eq. 19)."""
+        return self.topology.average_switch_hops
+
+    def transmission_time(self, message_bytes: float) -> float:
+        """Eq. (19): ``α + ((k+1)/3)·α_sw + M·β`` (without the contention term)."""
+        if message_bytes < 0:
+            raise ConfigurationError(f"message size must be non-negative, got {message_bytes!r}")
+        switch_term = self.switch.traversal_time(self.average_switch_traversals)
+        return self.technology.alpha + switch_term + message_bytes * self.technology.beta
+
+    def blocking_time(self, message_bytes: float) -> float:
+        """Eq. (20): ``T_B = (N/2 − 1)·M·β`` (zero when N ≤ 2)."""
+        if message_bytes < 0:
+            raise ConfigurationError(f"message size must be non-negative, got {message_bytes!r}")
+        blocked = max(self.attached_nodes / 2.0 - 1.0, 0.0)
+        return blocked * message_bytes * self.technology.beta
+
+    def service_time(self, message_bytes: float) -> float:
+        """Eq. (21): ``α + ((k+1)/3)·α_sw + (N/2)·M·β``.
+
+        This is the transmission time with the blocking time folded in, i.e.
+        the mean service time the paper assigns to the (exponential) service
+        centre of a blocking network.
+        """
+        return self.transmission_time(message_bytes) + self.blocking_time(message_bytes)
+
+
+def build_network_model(
+    architecture: str,
+    technology: NetworkTechnology,
+    switch: SwitchFabric,
+    attached_nodes: int,
+) -> CommunicationNetworkModel:
+    """Factory: build a blocking or non-blocking model by name.
+
+    ``architecture`` accepts ``"non-blocking"``/``"nonblocking"``/``"fat-tree"``
+    or ``"blocking"``/``"linear-array"`` (case insensitive).
+    """
+    key = architecture.lower().replace("_", "-")
+    if key in {"non-blocking", "nonblocking", "fat-tree", "fattree"}:
+        return NonBlockingNetworkModel(technology, switch, attached_nodes)
+    if key in {"blocking", "linear-array", "lineararray", "linear"}:
+        return BlockingNetworkModel(technology, switch, attached_nodes)
+    raise ConfigurationError(
+        f"unknown network architecture {architecture!r}; "
+        "expected 'non-blocking' or 'blocking'"
+    )

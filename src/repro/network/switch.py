@@ -1,0 +1,59 @@
+"""Switch fabric model.
+
+The paper treats the switch fabric as a ``Pr``-port device with a fixed
+per-traversal latency ``α_sw`` (Table 2: Pr = 24 ports, α_sw = 10 µs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .units import us_to_s
+
+__all__ = ["SwitchFabric", "PAPER_SWITCH"]
+
+
+@dataclass(frozen=True)
+class SwitchFabric:
+    """A crossbar switch building block.
+
+    Parameters
+    ----------
+    ports:
+        Number of ports ``Pr``.
+    latency_s:
+        Per-traversal latency ``α_sw`` in seconds.
+    """
+
+    ports: int
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.ports < 2:
+            raise ConfigurationError(f"a switch needs at least 2 ports, got {self.ports!r}")
+        if self.latency_s < 0:
+            raise ConfigurationError(f"switch latency must be non-negative, got {self.latency_s!r}")
+
+    @property
+    def alpha_sw(self) -> float:
+        """Per-traversal latency in seconds (paper symbol α_sw)."""
+        return self.latency_s
+
+    def traversal_time(self, switch_count: float) -> float:
+        """Total latency contributed by crossing ``switch_count`` switches."""
+        if switch_count < 0:
+            raise ConfigurationError(f"switch count must be non-negative, got {switch_count!r}")
+        return switch_count * self.latency_s
+
+    @classmethod
+    def from_table_units(cls, ports: int, latency_us: float) -> "SwitchFabric":
+        """Construct from the paper's Table-2 units (ports, µs)."""
+        return cls(ports=ports, latency_s=us_to_s(latency_us))
+
+    def __str__(self) -> str:
+        return f"{self.ports}-port switch (α_sw={self.latency_s * 1e6:.1f} µs)"
+
+
+#: The switch used throughout the paper's evaluation (Table 2).
+PAPER_SWITCH = SwitchFabric.from_table_units(ports=24, latency_us=10.0)

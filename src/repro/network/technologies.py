@@ -1,0 +1,155 @@
+"""Network technology presets (latency α and bandwidth 1/β).
+
+Table 2 of the paper gives the measured parameters of Gigabit Ethernet and
+Fast Ethernet (from Lobosco & de Amorim plus the authors' own tests):
+
+=====================  ========  =====
+Item                   Quantity  Unit
+=====================  ========  =====
+GE latency             80        µs
+GE bandwidth           94        MB/s
+FE latency             50        µs
+FE bandwidth           10.5      MB/s
+Switch fabric ports    24        ports
+Switch latency         10        µs
+Message rate λ         0.25      msg/s
+=====================  ========  =====
+
+Additional presets (Myrinet, InfiniBand, 10GE) are provided for extension
+studies only; their values are order-of-magnitude numbers from the same era
+of cluster interconnect literature and are *not* used by the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+from .units import bandwidth_to_seconds_per_byte, mbps_to_bytes_per_s, us_to_s
+
+__all__ = [
+    "NetworkTechnology",
+    "GIGABIT_ETHERNET",
+    "FAST_ETHERNET",
+    "MYRINET",
+    "INFINIBAND_4X",
+    "TEN_GIGABIT_ETHERNET",
+    "TECHNOLOGY_PRESETS",
+    "get_technology",
+]
+
+
+@dataclass(frozen=True)
+class NetworkTechnology:
+    """A link technology characterised by latency and bandwidth.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    latency_s:
+        One-way small-message latency α in seconds (paper: µs).
+    bandwidth_bytes_per_s:
+        Sustained large-message bandwidth in bytes/second (paper: MB/s).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigurationError(f"latency must be non-negative, got {self.latency_s!r}")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth_bytes_per_s!r}"
+            )
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def alpha(self) -> float:
+        """Latency α in seconds (the symbol used by Eq. 10)."""
+        return self.latency_s
+
+    @property
+    def beta(self) -> float:
+        """Per-byte time β = 1/bandwidth in seconds/byte (Eq. 10)."""
+        return bandwidth_to_seconds_per_byte(self.bandwidth_bytes_per_s)
+
+    def transmission_time(self, message_bytes: float) -> float:
+        """Point-to-point time ``α + M·β`` for a message of ``message_bytes`` (Eq. 10)."""
+        if message_bytes < 0:
+            raise ConfigurationError(f"message size must be non-negative, got {message_bytes!r}")
+        return self.alpha + message_bytes * self.beta
+
+    def scaled(self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0) -> "NetworkTechnology":
+        """Return a technology with scaled latency and bandwidth (ablations)."""
+        if latency_factor < 0 or bandwidth_factor <= 0:
+            raise ConfigurationError("scale factors must be positive")
+        return NetworkTechnology(
+            name=f"{self.name}-scaled",
+            latency_s=self.latency_s * latency_factor,
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s * bandwidth_factor,
+        )
+
+    @classmethod
+    def from_table_units(cls, name: str, latency_us: float, bandwidth_mb_per_s: float) -> "NetworkTechnology":
+        """Construct from the paper's Table-2 units (µs and MB/s)."""
+        return cls(
+            name=name,
+            latency_s=us_to_s(latency_us),
+            bandwidth_bytes_per_s=mbps_to_bytes_per_s(bandwidth_mb_per_s),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} (α={self.latency_s * 1e6:.1f} µs, "
+            f"BW={self.bandwidth_bytes_per_s / 1e6:.1f} MB/s)"
+        )
+
+
+#: Gigabit Ethernet exactly as in Table 2 of the paper.
+GIGABIT_ETHERNET = NetworkTechnology.from_table_units("gigabit-ethernet", 80.0, 94.0)
+
+#: Fast Ethernet exactly as in Table 2 of the paper.
+FAST_ETHERNET = NetworkTechnology.from_table_units("fast-ethernet", 50.0, 10.5)
+
+#: Myrinet-2000 order-of-magnitude preset (extension studies only).
+MYRINET = NetworkTechnology.from_table_units("myrinet", 9.0, 230.0)
+
+#: InfiniBand 4x order-of-magnitude preset (extension studies only).
+INFINIBAND_4X = NetworkTechnology.from_table_units("infiniband-4x", 6.0, 800.0)
+
+#: 10-Gigabit Ethernet order-of-magnitude preset (extension studies only).
+TEN_GIGABIT_ETHERNET = NetworkTechnology.from_table_units("10g-ethernet", 12.0, 900.0)
+
+#: All presets by name.
+TECHNOLOGY_PRESETS: Dict[str, NetworkTechnology] = {
+    tech.name: tech
+    for tech in (
+        GIGABIT_ETHERNET,
+        FAST_ETHERNET,
+        MYRINET,
+        INFINIBAND_4X,
+        TEN_GIGABIT_ETHERNET,
+    )
+}
+
+# Friendly aliases.
+TECHNOLOGY_PRESETS["ge"] = GIGABIT_ETHERNET
+TECHNOLOGY_PRESETS["fe"] = FAST_ETHERNET
+TECHNOLOGY_PRESETS["ib"] = INFINIBAND_4X
+TECHNOLOGY_PRESETS["10ge"] = TEN_GIGABIT_ETHERNET
+
+
+def get_technology(name: str) -> NetworkTechnology:
+    """Look up a technology preset by name (case-insensitive)."""
+    key = name.lower()
+    if key not in TECHNOLOGY_PRESETS:
+        raise ConfigurationError(
+            f"unknown network technology {name!r}; known: {sorted(set(TECHNOLOGY_PRESETS))}"
+        )
+    return TECHNOLOGY_PRESETS[key]

@@ -1,0 +1,63 @@
+"""Unit conversions used at the API boundary.
+
+Internally the library works in **seconds** and **bytes**; the paper's
+Table 2 quotes microseconds and megabytes per second, so these helpers keep
+conversions explicit and in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MICROSECONDS_PER_SECOND",
+    "BYTES_PER_MEGABYTE",
+    "us_to_s",
+    "s_to_us",
+    "ms_to_s",
+    "s_to_ms",
+    "mbps_to_bytes_per_s",
+    "bytes_per_s_to_mbps",
+    "bandwidth_to_seconds_per_byte",
+]
+
+#: Number of microseconds in a second.
+MICROSECONDS_PER_SECOND: float = 1e6
+
+#: Number of bytes in a megabyte (the paper uses MB/s = 10^6 B/s).
+BYTES_PER_MEGABYTE: float = 1e6
+
+
+def us_to_s(value_us: float) -> float:
+    """Convert microseconds to seconds."""
+    return value_us / MICROSECONDS_PER_SECOND
+
+
+def s_to_us(value_s: float) -> float:
+    """Convert seconds to microseconds."""
+    return value_s * MICROSECONDS_PER_SECOND
+
+
+def ms_to_s(value_ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value_ms / 1e3
+
+
+def s_to_ms(value_s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return value_s * 1e3
+
+
+def mbps_to_bytes_per_s(value_mb_per_s: float) -> float:
+    """Convert megabytes per second to bytes per second."""
+    return value_mb_per_s * BYTES_PER_MEGABYTE
+
+
+def bytes_per_s_to_mbps(value_bytes_per_s: float) -> float:
+    """Convert bytes per second to megabytes per second."""
+    return value_bytes_per_s / BYTES_PER_MEGABYTE
+
+
+def bandwidth_to_seconds_per_byte(bandwidth_bytes_per_s: float) -> float:
+    """The per-byte transmission time β = 1 / bandwidth (paper Eq. 10)."""
+    if bandwidth_bytes_per_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bytes_per_s!r}")
+    return 1.0 / bandwidth_bytes_per_s

@@ -1,0 +1,112 @@
+"""Finite-source (machine-repairman) queueing model.
+
+The paper's assumption 4 says a processor that is waiting for a reply cannot
+generate further requests.  The exact queueing abstraction for this is the
+*machine-repairman* (M/M/1//N) model; the paper instead uses the simpler
+fixed-point correction ``λ_eff = (N − L)/N · λ`` (Eq. 7), attributed to
+Shahhoseini & Naderi [13].  We implement the exact model here so the
+approximation quality can be assessed (ablation `fixed_point_vs_exact`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["MachineRepairmanQueue", "effective_rate_correction"]
+
+
+def effective_rate_correction(nominal_rate: float, waiting: float, population: int) -> float:
+    """The paper's Eq. (7): ``λ_eff = (N − L)/N · λ``.
+
+    Parameters
+    ----------
+    nominal_rate:
+        Per-processor request rate λ while active.
+    waiting:
+        Average number of processors currently blocked on outstanding
+        requests (the total queue length ``L`` of Eq. 6).
+    population:
+        Total number of processors ``N``.
+    """
+    if population <= 0:
+        raise ValueError(f"population must be positive, got {population!r}")
+    if nominal_rate < 0:
+        raise ValueError(f"nominal rate must be non-negative, got {nominal_rate!r}")
+    waiting = min(max(waiting, 0.0), float(population))
+    return (population - waiting) / population * nominal_rate
+
+
+@dataclass(frozen=True)
+class MachineRepairmanQueue:
+    """Exact M/M/1//N model: N sources, one exponential server.
+
+    Each of the ``population`` sources independently generates a request after an
+    exponential *think time* with rate ``request_rate``; requests queue at a
+    single server with rate ``service_rate``; while a request is outstanding
+    its source is idle.
+    """
+
+    population: int
+    request_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError(f"population must be >= 1, got {self.population!r}")
+        if self.request_rate <= 0:
+            raise ValueError(f"request rate must be positive, got {self.request_rate!r}")
+        if self.service_rate <= 0:
+            raise ValueError(f"service rate must be positive, got {self.service_rate!r}")
+
+    def state_probabilities(self) -> List[float]:
+        """Steady-state probabilities ``P[n requests at the server]`` for n = 0..N.
+
+        Computed from the birth–death balance equations with normalisation;
+        evaluated in log space to avoid overflow for large N.
+        """
+        N = self.population
+        ratio = self.request_rate / self.service_rate
+        # log of unnormalised p_n = N!/(N-n)! * ratio^n
+        log_terms = [0.0] * (N + 1)
+        for n in range(1, N + 1):
+            log_terms[n] = log_terms[n - 1] + math.log((N - n + 1) * ratio)
+        max_log = max(log_terms)
+        weights = [math.exp(t - max_log) for t in log_terms]
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    @property
+    def mean_number_at_server(self) -> float:
+        """Expected number of requests queued or in service."""
+        probs = self.state_probabilities()
+        return sum(n * p for n, p in enumerate(probs))
+
+    @property
+    def server_utilization(self) -> float:
+        """Probability the server is busy (1 − P0)."""
+        return 1.0 - self.state_probabilities()[0]
+
+    @property
+    def throughput(self) -> float:
+        """Request completion rate ``X = µ·(1 − P0)``."""
+        return self.service_rate * self.server_utilization
+
+    @property
+    def effective_request_rate(self) -> float:
+        """Per-source effective request rate ``X / N``."""
+        return self.throughput / self.population
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean time a request spends at the server (interactive response-time law).
+
+        ``R = N/X − 1/λ_think``.
+        """
+        return self.population / self.throughput - 1.0 / self.request_rate
+
+    @property
+    def mean_active_sources(self) -> float:
+        """Expected number of sources currently thinking (not waiting)."""
+        return self.population - self.mean_number_at_server

@@ -1,0 +1,244 @@
+"""Open Jackson queueing networks.
+
+Jackson's theorem underpins the paper's whole methodology (assumption 2):
+because every service centre has Poisson external arrivals, exponential
+service and probabilistic routing, the network behaves as a product of
+independent M/M/1 queues once the per-centre arrival rates are obtained
+from the *traffic equations*
+
+    λ_i = γ_i + Σ_j λ_j · r_{ji}
+
+where γ_i are external arrival rates and ``r`` is the routing matrix.  The
+paper solves its specific traffic equations by hand (Eqs. 1–5); this module
+implements the general machinery so that those closed forms can be verified
+against a generic solver (see ``tests/core/test_traffic.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, StabilityError
+from .mm1 import MM1Queue
+from .mmc import MMCQueue
+
+__all__ = ["ServiceCenter", "JacksonNetwork", "JacksonSolution"]
+
+
+@dataclass(frozen=True)
+class ServiceCenter:
+    """One node of a Jackson network.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier used in routing specifications and reports.
+    service_rate:
+        Exponential service rate µ (> 0) of *each* server.
+    servers:
+        Number of parallel servers (1 = M/M/1 behaviour).
+    """
+
+    name: str
+    service_rate: float
+    servers: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("service centre name must be non-empty")
+        if self.service_rate <= 0:
+            raise ConfigurationError(
+                f"service rate of {self.name!r} must be positive, got {self.service_rate!r}"
+            )
+        if self.servers < 1:
+            raise ConfigurationError(
+                f"server count of {self.name!r} must be >= 1, got {self.servers!r}"
+            )
+
+
+@dataclass(frozen=True)
+class JacksonSolution:
+    """Per-centre steady-state metrics of a solved Jackson network."""
+
+    names: Sequence[str]
+    arrival_rates: np.ndarray
+    utilizations: np.ndarray
+    mean_numbers: np.ndarray
+    mean_sojourn_times: np.ndarray
+
+    def arrival_rate(self, name: str) -> float:
+        """Total arrival rate at centre ``name``."""
+        return float(self.arrival_rates[list(self.names).index(name)])
+
+    def utilization(self, name: str) -> float:
+        """Utilisation of centre ``name``."""
+        return float(self.utilizations[list(self.names).index(name)])
+
+    def mean_number(self, name: str) -> float:
+        """Mean number of customers at centre ``name``."""
+        return float(self.mean_numbers[list(self.names).index(name)])
+
+    def mean_sojourn_time(self, name: str) -> float:
+        """Mean sojourn time at centre ``name``."""
+        return float(self.mean_sojourn_times[list(self.names).index(name)])
+
+    @property
+    def total_mean_number(self) -> float:
+        """Total expected number of customers in the network."""
+        return float(self.mean_numbers.sum())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Per-centre metrics as nested dictionaries (for reports)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for i, name in enumerate(self.names):
+            out[name] = {
+                "arrival_rate": float(self.arrival_rates[i]),
+                "utilization": float(self.utilizations[i]),
+                "mean_number": float(self.mean_numbers[i]),
+                "mean_sojourn_time": float(self.mean_sojourn_times[i]),
+            }
+        return out
+
+
+class JacksonNetwork:
+    """An open Jackson network defined by centres, external arrivals and routing.
+
+    Example
+    -------
+    >>> net = JacksonNetwork()
+    >>> net.add_center(ServiceCenter("cpu", service_rate=10.0))
+    >>> net.add_center(ServiceCenter("disk", service_rate=5.0))
+    >>> net.set_external_arrival("cpu", 2.0)
+    >>> net.set_routing("cpu", "disk", 0.5)     # 50% of CPU departures go to disk
+    >>> net.set_routing("disk", "cpu", 1.0)     # disk departures return to the CPU
+    >>> sol = net.solve()
+    >>> round(sol.arrival_rate("cpu"), 6)
+    4.0
+    """
+
+    def __init__(self) -> None:
+        self._centers: List[ServiceCenter] = []
+        self._index: Dict[str, int] = {}
+        self._external: Dict[str, float] = {}
+        self._routing: Dict[str, Dict[str, float]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_center(self, center: ServiceCenter) -> None:
+        """Add a service centre (names must be unique)."""
+        if center.name in self._index:
+            raise ConfigurationError(f"duplicate service centre name {center.name!r}")
+        self._index[center.name] = len(self._centers)
+        self._centers.append(center)
+
+    def set_external_arrival(self, name: str, rate: float) -> None:
+        """Set the external (Poisson) arrival rate γ at centre ``name``."""
+        self._require_center(name)
+        if rate < 0:
+            raise ConfigurationError(f"external arrival rate must be non-negative, got {rate!r}")
+        self._external[name] = float(rate)
+
+    def set_routing(self, source: str, destination: str, probability: float) -> None:
+        """Set the routing probability from ``source`` to ``destination``.
+
+        Departure probabilities from a centre may sum to less than 1; the
+        remainder leaves the network.
+        """
+        self._require_center(source)
+        self._require_center(destination)
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(f"routing probability must lie in [0, 1], got {probability!r}")
+        row = self._routing.setdefault(source, {})
+        row[destination] = float(probability)
+        if sum(row.values()) > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"routing probabilities out of {source!r} exceed 1: {row!r}"
+            )
+
+    def _require_center(self, name: str) -> None:
+        if name not in self._index:
+            raise ConfigurationError(f"unknown service centre {name!r}")
+
+    @property
+    def names(self) -> List[str]:
+        """Names of all centres in insertion order."""
+        return [c.name for c in self._centers]
+
+    @property
+    def size(self) -> int:
+        """Number of centres."""
+        return len(self._centers)
+
+    # -- solving ----------------------------------------------------------------
+
+    def routing_matrix(self) -> np.ndarray:
+        """The routing matrix ``R`` with ``R[i, j] = P[i -> j]``."""
+        n = len(self._centers)
+        R = np.zeros((n, n), dtype=float)
+        for src, row in self._routing.items():
+            i = self._index[src]
+            for dst, p in row.items():
+                R[i, self._index[dst]] = p
+        return R
+
+    def external_vector(self) -> np.ndarray:
+        """External arrival-rate vector γ."""
+        gamma = np.zeros(len(self._centers), dtype=float)
+        for name, rate in self._external.items():
+            gamma[self._index[name]] = rate
+        return gamma
+
+    def traffic_equations(self) -> np.ndarray:
+        """Solve ``λ = γ + Rᵀ λ`` for the total arrival-rate vector λ."""
+        if not self._centers:
+            raise ConfigurationError("network has no service centres")
+        R = self.routing_matrix()
+        gamma = self.external_vector()
+        n = len(self._centers)
+        A = np.eye(n) - R.T
+        try:
+            lam = np.linalg.solve(A, gamma)
+        except np.linalg.LinAlgError as exc:
+            raise ConfigurationError(
+                "traffic equations are singular: the routing matrix traps customers"
+            ) from exc
+        if np.any(lam < -1e-9):
+            raise ConfigurationError("traffic equations produced negative arrival rates")
+        return np.clip(lam, 0.0, None)
+
+    def solve(self) -> JacksonSolution:
+        """Solve the network and return per-centre steady-state metrics.
+
+        Raises
+        ------
+        StabilityError
+            If any centre is saturated (λ_i >= c_i µ_i).
+        """
+        lam = self.traffic_equations()
+        n = len(self._centers)
+        util = np.zeros(n)
+        numbers = np.zeros(n)
+        sojourn = np.zeros(n)
+        for i, center in enumerate(self._centers):
+            capacity = center.service_rate * center.servers
+            if lam[i] >= capacity:
+                raise StabilityError(
+                    f"centre {center.name!r} is unstable: λ={lam[i]:.6g} >= c·µ={capacity:.6g}"
+                )
+            if center.servers == 1:
+                q = MM1Queue(lam[i], center.service_rate)
+                util[i] = q.utilization
+                numbers[i] = q.mean_number_in_system if lam[i] > 0 else 0.0
+                sojourn[i] = q.mean_sojourn_time
+            else:
+                q2 = MMCQueue(lam[i], center.service_rate, center.servers)
+                util[i] = q2.utilization
+                numbers[i] = q2.mean_number_in_system if lam[i] > 0 else 0.0
+                sojourn[i] = q2.mean_sojourn_time
+        return JacksonSolution(self.names, lam, util, numbers, sojourn)
+
+    def __repr__(self) -> str:
+        return f"<JacksonNetwork centres={self.names}>"

@@ -1,0 +1,66 @@
+"""Little's law and related operational-analysis helpers."""
+
+from __future__ import annotations
+
+from ..errors import StabilityError
+
+__all__ = [
+    "number_in_system",
+    "sojourn_time",
+    "arrival_rate_from",
+    "utilization",
+    "require_stable",
+    "saturation_arrival_rate",
+]
+
+
+def number_in_system(arrival_rate: float, sojourn_time: float) -> float:
+    """``L = λ · W``."""
+    if arrival_rate < 0 or sojourn_time < 0:
+        raise ValueError("arrival rate and sojourn time must be non-negative")
+    return arrival_rate * sojourn_time
+
+
+def sojourn_time(number: float, arrival_rate: float) -> float:
+    """``W = L / λ`` (raises for λ = 0)."""
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate!r}")
+    if number < 0:
+        raise ValueError(f"number in system must be non-negative, got {number!r}")
+    return number / arrival_rate
+
+
+def arrival_rate_from(number: float, sojourn: float) -> float:
+    """``λ = L / W`` (raises for W = 0)."""
+    if sojourn <= 0:
+        raise ValueError(f"sojourn time must be positive, got {sojourn!r}")
+    if number < 0:
+        raise ValueError(f"number in system must be non-negative, got {number!r}")
+    return number / sojourn
+
+
+def utilization(arrival_rate: float, service_rate: float, servers: int = 1) -> float:
+    """``ρ = λ / (c·µ)``."""
+    if service_rate <= 0:
+        raise ValueError(f"service rate must be positive, got {service_rate!r}")
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers!r}")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival rate must be non-negative, got {arrival_rate!r}")
+    return arrival_rate / (service_rate * servers)
+
+
+def require_stable(arrival_rate: float, service_rate: float, servers: int = 1, name: str = "queue") -> None:
+    """Raise :class:`~repro.errors.StabilityError` if ρ >= 1."""
+    rho = utilization(arrival_rate, service_rate, servers)
+    if rho >= 1.0:
+        raise StabilityError(f"{name} is unstable: utilisation {rho:.4g} >= 1")
+
+
+def saturation_arrival_rate(service_rate: float, servers: int = 1) -> float:
+    """The arrival rate at which a station saturates (``c·µ``)."""
+    if service_rate <= 0:
+        raise ValueError(f"service rate must be positive, got {service_rate!r}")
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers!r}")
+    return service_rate * servers

@@ -1,0 +1,85 @@
+"""M/G/1 queue via the Pollaczek–Khinchine formula.
+
+The blocking-network model adds a deterministic-looking contention term to
+the transmission time; modelling the resulting service time as *general*
+rather than exponential is one of the ablations we run (the paper itself
+assumes exponential service throughout, Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import StabilityError
+from .distributions import Distribution
+
+__all__ = ["MG1Queue"]
+
+
+@dataclass(frozen=True)
+class MG1Queue:
+    """M/G/1 queue: Poisson arrivals, general service distribution.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate λ.
+    service:
+        Service-time :class:`~repro.queueing.distributions.Distribution`
+        providing mean and SCV.
+    """
+
+    arrival_rate: float
+    service: Distribution
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate!r}")
+        if self.service.mean <= 0:
+            raise ValueError("service time mean must be positive")
+
+    @property
+    def utilization(self) -> float:
+        """``ρ = λ·E[S]``."""
+        return self.arrival_rate * self.service.mean
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the queue is stable (ρ < 1)."""
+        return self.utilization < 1.0
+
+    def _require_stable(self) -> None:
+        if not self.is_stable:
+            raise StabilityError(
+                f"M/G/1 queue unstable: ρ = {self.utilization} >= 1"
+            )
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Pollaczek–Khinchine mean waiting time in queue.
+
+        ``Wq = λ·E[S²] / (2(1−ρ)) = ρ·E[S]·(1+c²)/(2(1−ρ))``.
+        """
+        self._require_stable()
+        rho = self.utilization
+        es = self.service.mean
+        cs2 = self.service.scv
+        if math.isnan(cs2):
+            raise ValueError("service distribution has undefined SCV")
+        return rho * es * (1.0 + cs2) / (2.0 * (1.0 - rho))
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """Mean total time in system ``W = Wq + E[S]``."""
+        return self.mean_waiting_time + self.service.mean
+
+    @property
+    def mean_number_in_queue(self) -> float:
+        """``Lq = λ·Wq`` (Little's law)."""
+        return self.arrival_rate * self.mean_waiting_time
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """``L = λ·W`` (Little's law)."""
+        return self.arrival_rate * self.mean_sojourn_time

@@ -1,0 +1,189 @@
+"""M/M/1 and M/M/1/K queue formulas.
+
+The paper models every communication network as an M/M/1 service centre
+(Poisson arrivals by Jackson's theorem, exponential service time equal to
+the message transmission time).  Equation (16) of the paper,
+``W_i = 1/(µ_i − λ_i)``, is the M/M/1 sojourn time; Eq. (6) uses the M/M/1
+mean queue length ``L_i = λ_i/(µ_i − λ_i)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import StabilityError
+
+__all__ = ["MM1Queue", "MM1KQueue"]
+
+
+@dataclass(frozen=True)
+class MM1Queue:
+    """An M/M/1 queue with arrival rate ``arrival_rate`` and service rate ``service_rate``.
+
+    All classic steady-state metrics are exposed as properties.  Rates are
+    in "per unit time" with the same unit used consistently.
+    """
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate!r}")
+        if self.service_rate <= 0:
+            raise ValueError(f"service rate must be positive, got {self.service_rate!r}")
+
+    # -- basic quantities -------------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Traffic intensity ``ρ = λ/µ``."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the queue is stable (ρ < 1)."""
+        return self.utilization < 1.0
+
+    def _require_stable(self) -> None:
+        if not self.is_stable:
+            raise StabilityError(
+                f"M/M/1 queue is unstable: λ={self.arrival_rate} >= µ={self.service_rate}"
+            )
+
+    # -- steady-state metrics ---------------------------------------------------
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """``L = ρ/(1-ρ)`` — this is the paper's queue length L_i (Eq. 6)."""
+        self._require_stable()
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    @property
+    def mean_number_in_queue(self) -> float:
+        """``Lq = ρ²/(1-ρ)``."""
+        self._require_stable()
+        rho = self.utilization
+        return rho * rho / (1.0 - rho)
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """``W = 1/(µ-λ)`` — the paper's waiting time W_i (Eq. 16)."""
+        self._require_stable()
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """``Wq = ρ/(µ-λ)`` — time spent waiting before service starts."""
+        self._require_stable()
+        return self.utilization / (self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_service_time(self) -> float:
+        """``1/µ``."""
+        return 1.0 / self.service_rate
+
+    def probability_n_in_system(self, n: int) -> float:
+        """Steady-state probability of exactly ``n`` customers in the system."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        self._require_stable()
+        rho = self.utilization
+        return (1.0 - rho) * rho**n
+
+    def probability_wait_exceeds(self, t: float) -> float:
+        """``P[W > t]`` for the total sojourn time (exponential with rate µ-λ)."""
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t!r}")
+        self._require_stable()
+        return math.exp(-(self.service_rate - self.arrival_rate) * t)
+
+    def sojourn_time_quantile(self, q: float) -> float:
+        """Quantile of the sojourn-time distribution."""
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"q must lie in [0, 1), got {q!r}")
+        self._require_stable()
+        return -math.log(1.0 - q) / (self.service_rate - self.arrival_rate)
+
+
+@dataclass(frozen=True)
+class MM1KQueue:
+    """M/M/1/K queue: single server, finite buffer of ``capacity`` customers.
+
+    Used in extension studies of bounded network buffers; arriving customers
+    that find the buffer full are lost.
+    """
+
+    arrival_rate: float
+    service_rate: float
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate!r}")
+        if self.service_rate <= 0:
+            raise ValueError(f"service rate must be positive, got {self.service_rate!r}")
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity!r}")
+
+    @property
+    def utilization(self) -> float:
+        """Offered traffic intensity ``ρ = λ/µ`` (may exceed 1)."""
+        return self.arrival_rate / self.service_rate
+
+    def _state_probabilities(self) -> list:
+        """Normalised state probabilities p_0..p_K, computed in log space.
+
+        The textbook closed form ``(1−ρ)ρ^n / (1−ρ^(K+1))`` overflows for
+        large ρ and moderate K; working with ``exp(n·logρ − max)`` is exact
+        up to floating point and never overflows.
+        """
+        rho = self.utilization
+        K = self.capacity
+        if rho == 0.0:
+            return [1.0] + [0.0] * K
+        if math.isclose(rho, 1.0):
+            return [1.0 / (K + 1)] * (K + 1)
+        log_rho = math.log(rho)
+        log_weights = [n * log_rho for n in range(K + 1)]
+        max_log = max(log_weights)
+        weights = [math.exp(lw - max_log) for lw in log_weights]
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    def probability_n_in_system(self, n: int) -> float:
+        """Steady-state probability of exactly ``n`` customers (0 <= n <= K)."""
+        if n < 0 or n > self.capacity:
+            return 0.0
+        return self._state_probabilities()[n]
+
+    @property
+    def blocking_probability(self) -> float:
+        """Probability an arrival is lost (finds the buffer full)."""
+        return self.probability_n_in_system(self.capacity)
+
+    @property
+    def effective_arrival_rate(self) -> float:
+        """Rate of accepted (non-blocked) arrivals."""
+        return self.arrival_rate * (1.0 - self.blocking_probability)
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """Expected number of customers in the system."""
+        probs = self._state_probabilities()
+        return sum(n * p for n, p in enumerate(probs))
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """Expected sojourn time of accepted customers (Little's law)."""
+        lam_eff = self.effective_arrival_rate
+        if lam_eff == 0:
+            return math.nan
+        return self.mean_number_in_system / lam_eff
+
+    @property
+    def throughput(self) -> float:
+        """Departure rate, equal to the effective arrival rate."""
+        return self.effective_arrival_rate

@@ -1,0 +1,130 @@
+"""M/M/c (Erlang-C) and M/M/c/c (Erlang-B) queue formulas.
+
+Multi-port non-blocking switch fabrics can be approximated as multi-server
+stations; these formulas back the extension/ablation studies that compare a
+single fat M/M/1 pipe against c parallel thinner servers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import StabilityError
+
+__all__ = ["MMCQueue", "erlang_b", "erlang_c"]
+
+
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang-B blocking probability for ``servers`` servers and ``offered_load`` Erlangs.
+
+    Uses the numerically stable recurrence
+    ``B(0, a) = 1``, ``B(c, a) = a·B(c-1, a) / (c + a·B(c-1, a))``.
+    """
+    if servers < 0:
+        raise ValueError(f"servers must be non-negative, got {servers!r}")
+    if offered_load < 0:
+        raise ValueError(f"offered load must be non-negative, got {offered_load!r}")
+    b = 1.0
+    for c in range(1, servers + 1):
+        b = offered_load * b / (c + offered_load * b)
+    return b
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must wait (M/M/c).
+
+    Derived from Erlang-B via ``C = c·B / (c − a(1−B))``; requires a < c for
+    a finite answer.
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers!r}")
+    if offered_load < 0:
+        raise ValueError(f"offered load must be non-negative, got {offered_load!r}")
+    if offered_load >= servers:
+        return 1.0
+    b = erlang_b(servers, offered_load)
+    return servers * b / (servers - offered_load * (1.0 - b))
+
+
+@dataclass(frozen=True)
+class MMCQueue:
+    """M/M/c queue with ``servers`` identical exponential servers."""
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate!r}")
+        if self.service_rate <= 0:
+            raise ValueError(f"service rate must be positive, got {self.service_rate!r}")
+        if self.servers < 1:
+            raise ValueError(f"servers must be >= 1, got {self.servers!r}")
+
+    @property
+    def offered_load(self) -> float:
+        """``a = λ/µ`` in Erlangs."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def utilization(self) -> float:
+        """Per-server utilisation ``ρ = λ/(cµ)``."""
+        return self.offered_load / self.servers
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the queue is stable (ρ < 1)."""
+        return self.utilization < 1.0
+
+    def _require_stable(self) -> None:
+        if not self.is_stable:
+            raise StabilityError(
+                f"M/M/c queue unstable: offered load {self.offered_load} >= c={self.servers}"
+            )
+
+    @property
+    def probability_wait(self) -> float:
+        """Erlang-C probability that an arriving customer has to queue."""
+        self._require_stable()
+        return erlang_c(self.servers, self.offered_load)
+
+    @property
+    def mean_number_in_queue(self) -> float:
+        """Expected number of waiting customers ``Lq``."""
+        self._require_stable()
+        rho = self.utilization
+        return self.probability_wait * rho / (1.0 - rho)
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """Expected number in the system ``L = Lq + a``."""
+        return self.mean_number_in_queue + self.offered_load
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Expected time in queue ``Wq = Lq / λ`` (0 if λ = 0)."""
+        if self.arrival_rate == 0:
+            return 0.0
+        return self.mean_number_in_queue / self.arrival_rate
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """Expected total time in system ``W = Wq + 1/µ``."""
+        return self.mean_waiting_time + 1.0 / self.service_rate
+
+    def probability_n_in_system(self, n: int) -> float:
+        """Steady-state probability of exactly ``n`` customers in the system."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n!r}")
+        self._require_stable()
+        a = self.offered_load
+        c = self.servers
+        # p0 from the standard M/M/c balance equations.
+        summation = sum(a**k / math.factorial(k) for k in range(c))
+        summation += a**c / (math.factorial(c) * (1.0 - self.utilization))
+        p0 = 1.0 / summation
+        if n < c:
+            return p0 * a**n / math.factorial(n)
+        return p0 * a**n / (math.factorial(c) * c ** (n - c))

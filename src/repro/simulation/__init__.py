@@ -1,0 +1,32 @@
+"""Validation simulator: event-driven HMSCS model matching the paper's §6 setup."""
+
+from .components import LatencySink, ServiceCenterSim
+from .message import Message
+from .runner import (
+    ReplicatedResult,
+    ValidationPoint,
+    run_replications,
+    validate_against_analysis,
+)
+from .simulator import MultiClusterSimulator, SimulationConfig, SimulationResult
+from .trace_simulator import (
+    TraceDrivenSimulator,
+    TraceSimulationConfig,
+    TraceSimulationResult,
+)
+
+__all__ = [
+    "Message",
+    "ServiceCenterSim",
+    "LatencySink",
+    "MultiClusterSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "ReplicatedResult",
+    "ValidationPoint",
+    "run_replications",
+    "validate_against_analysis",
+    "TraceDrivenSimulator",
+    "TraceSimulationConfig",
+    "TraceSimulationResult",
+]

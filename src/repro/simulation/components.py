@@ -1,0 +1,147 @@
+"""Building blocks of the validation simulator.
+
+The simulator mirrors the paper's description of its own validation setup
+(§6): each processor generates requests with exponentially distributed
+inter-arrival times, destinations are uniform over the other nodes, each
+message is time-stamped at generation, and the latency is recorded by a
+*sink* when the request completes.  Communication networks are
+store-and-forward service centres: a FIFO single server whose service time
+is exponentially distributed with the mean given by the §5 network models
+(this is exactly the M/M/1 assumption of the analytical model).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..des.core import Environment
+from ..des.events import Event
+from ..des.monitor import Monitor, TimeWeightedMonitor
+from ..des.resources import Resource
+from ..des.rng import VariateGenerator
+from ..errors import SimulationError
+from ..queueing.distributions import Distribution
+from .message import Message
+
+__all__ = ["ServiceCenterSim", "LatencySink"]
+
+
+class ServiceCenterSim:
+    """A store-and-forward network as a FIFO single-server queue.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    name:
+        Service-centre name used in message paths and reports (e.g.
+        ``"icn1[3]"``, ``"ecn1[0]"``, ``"icn2"``).
+    service_distribution:
+        Distribution of the per-message service time; the paper uses an
+        exponential whose mean is the §5 transmission time.
+    rng:
+        Independent random stream for this centre's service times.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        service_distribution: Distribution,
+        rng: VariateGenerator,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.service_distribution = service_distribution
+        self.rng = rng
+        self.server = Resource(env, capacity=1)
+        #: Time-weighted number of messages present (queued + in service).
+        self.occupancy = TimeWeightedMonitor(name=f"{name}.occupancy", start_time=env.now)
+        self._busy_time = 0.0
+        self._served = 0
+
+    # -- behaviour ------------------------------------------------------------------
+
+    def serve(self, message: Message) -> Generator[Event, None, None]:
+        """Process generator: pass ``message`` through this service centre."""
+        self.occupancy.increment(self.env.now)
+        message.path.append(self.name)
+        with self.server.request() as req:
+            yield req
+            service_time = self.service_distribution.sample(self.rng)
+            self._busy_time += service_time
+            yield self.env.timeout(service_time)
+        self.occupancy.decrement(self.env.now)
+        self._served += 1
+
+    # -- statistics -----------------------------------------------------------------
+
+    @property
+    def served(self) -> int:
+        """Number of messages fully served so far."""
+        return self._served
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative service time dispensed (seconds)."""
+        return self._busy_time
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Fraction of time the server has been busy up to ``now``."""
+        horizon = self.env.now if now is None else now
+        if horizon <= 0:
+            return 0.0
+        return min(self._busy_time / horizon, 1.0)
+
+    def mean_occupancy(self, now: Optional[float] = None) -> float:
+        """Time-average number of messages at the centre (queue + service)."""
+        return self.occupancy.time_average(self.env.now if now is None else now)
+
+    def __repr__(self) -> str:
+        return f"<ServiceCenterSim {self.name!r} served={self._served}>"
+
+
+class LatencySink:
+    """Collects completed messages and decides when the run is finished."""
+
+    def __init__(self, env: Environment, target_messages: int, warmup_messages: int = 0) -> None:
+        if target_messages < 1:
+            raise SimulationError(f"target_messages must be >= 1, got {target_messages!r}")
+        if warmup_messages < 0 or warmup_messages >= target_messages:
+            raise SimulationError(
+                "warmup_messages must be non-negative and smaller than target_messages"
+            )
+        self.env = env
+        self.target_messages = target_messages
+        self.warmup_messages = warmup_messages
+        self.latencies = Monitor("latency")
+        self.local_latencies = Monitor("latency.local")
+        self.remote_latencies = Monitor("latency.remote")
+        self.completed: int = 0
+        self.messages: List[Message] = []
+        #: Event triggered once ``target_messages`` messages have completed.
+        self.done: Event = env.event()
+
+    def record(self, message: Message) -> None:
+        """Register a completed message (called by the processor agents)."""
+        if message.completed_at is None:
+            raise SimulationError(f"message {message.ident} recorded before completion")
+        self.completed += 1
+        if self.completed > self.warmup_messages:
+            latency = message.latency
+            self.latencies.record(message.completed_at, latency)
+            if message.is_remote:
+                self.remote_latencies.record(message.completed_at, latency)
+            else:
+                self.local_latencies.record(message.completed_at, latency)
+            self.messages.append(message)
+        if self.completed >= self.target_messages and not self.done.triggered:
+            self.done.succeed(self.completed)
+
+    @property
+    def measured(self) -> int:
+        """Number of messages recorded after the warm-up cut."""
+        return self.latencies.count
+
+    def __repr__(self) -> str:
+        return f"<LatencySink completed={self.completed}/{self.target_messages}>"

@@ -1,0 +1,133 @@
+"""Replication management and analysis-vs-simulation comparison.
+
+The paper validates the analytical model by overlaying its predictions on
+simulation results (Figures 4–7).  :func:`run_replications` runs several
+independent simulation replications (different seeds) and aggregates them;
+:func:`validate_against_analysis` runs both the model and the simulator for
+the same configuration and reports the relative error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.system import MultiClusterSystem
+from ..core.model import AnalyticalModel, ModelConfig, PerformanceReport
+from ..errors import ConfigurationError
+from ..stats.compare import relative_error
+from ..stats.intervals import ConfidenceInterval, mean_confidence_interval
+from ..workload.destinations import DestinationPolicy
+from .simulator import MultiClusterSimulator, SimulationConfig, SimulationResult
+
+__all__ = ["ReplicatedResult", "ValidationPoint", "run_replications", "validate_against_analysis"]
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Aggregate of several independent simulation replications."""
+
+    replications: int
+    mean_latency_s: float
+    latency_interval: Optional[ConfidenceInterval]
+    per_replication: List[SimulationResult]
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean latency over replications in milliseconds."""
+        return self.mean_latency_s * 1e3
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """Analysis and simulation side by side for one configuration."""
+
+    analysis: PerformanceReport
+    simulation: ReplicatedResult
+
+    @property
+    def analysis_latency_ms(self) -> float:
+        """Model-predicted latency (ms)."""
+        return self.analysis.mean_latency_ms
+
+    @property
+    def simulation_latency_ms(self) -> float:
+        """Simulated latency (ms)."""
+        return self.simulation.mean_latency_ms
+
+    @property
+    def relative_error(self) -> float:
+        """``|analysis − simulation| / simulation``."""
+        return relative_error(self.analysis.mean_latency_s, self.simulation.mean_latency_s)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for tables."""
+        return {
+            "num_clusters": self.analysis.num_clusters,
+            "message_bytes": self.analysis.message_bytes,
+            "analysis_latency_ms": self.analysis_latency_ms,
+            "simulation_latency_ms": self.simulation_latency_ms,
+            "relative_error": self.relative_error,
+        }
+
+
+def run_replications(
+    system: MultiClusterSystem,
+    config: SimulationConfig,
+    replications: int = 3,
+    destination_policy: Optional[DestinationPolicy] = None,
+) -> ReplicatedResult:
+    """Run ``replications`` independent simulations (seeds ``seed + i``)."""
+    if replications < 1:
+        raise ConfigurationError(f"replications must be >= 1, got {replications!r}")
+    results: List[SimulationResult] = []
+    for i in range(replications):
+        rep_config = replace(config, seed=config.seed + i)
+        simulator = MultiClusterSimulator(system, rep_config, destination_policy)
+        results.append(simulator.run())
+
+    latencies = np.array([r.mean_latency_s for r in results])
+    interval = mean_confidence_interval(latencies) if replications >= 2 else None
+    return ReplicatedResult(
+        replications=replications,
+        mean_latency_s=float(latencies.mean()),
+        latency_interval=interval,
+        per_replication=results,
+    )
+
+
+def validate_against_analysis(
+    system: MultiClusterSystem,
+    model_config: ModelConfig,
+    sim_config: Optional[SimulationConfig] = None,
+    replications: int = 1,
+) -> ValidationPoint:
+    """Evaluate the analytical model and the simulator for the same setup.
+
+    ``sim_config`` defaults to a configuration consistent with
+    ``model_config`` (same architecture, message size and rate).
+    """
+    if sim_config is None:
+        sim_config = SimulationConfig(
+            architecture=model_config.architecture,
+            message_bytes=model_config.message_bytes,
+            generation_rate=model_config.generation_rate,
+        )
+    else:
+        mismatches = []
+        if sim_config.architecture != model_config.architecture:
+            mismatches.append("architecture")
+        if sim_config.message_bytes != model_config.message_bytes:
+            mismatches.append("message_bytes")
+        if sim_config.generation_rate != model_config.generation_rate:
+            mismatches.append("generation_rate")
+        if mismatches:
+            raise ConfigurationError(
+                f"simulation and model configurations disagree on {mismatches}"
+            )
+
+    analysis = AnalyticalModel(system, model_config).evaluate()
+    simulation = run_replications(system, sim_config, replications)
+    return ValidationPoint(analysis=analysis, simulation=simulation)

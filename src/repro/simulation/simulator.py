@@ -1,0 +1,293 @@
+"""The multi-cluster validation simulator (paper §6).
+
+The simulator reproduces the paper's validation methodology:
+
+* every processor independently generates requests with exponentially
+  distributed inter-arrival times (mean 1/λ),
+* destinations are chosen uniformly over all other nodes,
+* a *local* request is served by the source cluster's ICN1; a *remote*
+  request crosses the source ECN1, the ICN2 and the destination ECN1,
+* every network is a FIFO store-and-forward server with exponentially
+  distributed service time whose mean comes from the §5 network models,
+* a processor is blocked while its request is outstanding (assumption 4),
+* each message is time-stamped at generation and its latency recorded at a
+  sink; a run ends after a configured number of completed messages
+  (10 000 in the paper).
+
+Unlike the closed-form analysis, the simulator accepts *any*
+:class:`~repro.cluster.system.MultiClusterSystem`, including unequal
+Cluster-of-Clusters configurations, which is how the heterogeneous model
+extension is validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..cluster.system import MultiClusterSystem
+from ..des.core import Environment
+from ..des.events import Event
+from ..des.rng import RandomStreams
+from ..errors import ConfigurationError, SimulationError
+from ..network.models import CommunicationNetworkModel, build_network_model
+from ..queueing.distributions import Deterministic, Distribution, Exponential
+from ..stats.intervals import ConfidenceInterval, batch_means
+from ..workload.destinations import DestinationPolicy, UniformDestinations
+from .components import LatencySink, ServiceCenterSim
+from .message import Message
+
+__all__ = ["SimulationConfig", "SimulationResult", "MultiClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of one simulation run.
+
+    Parameters
+    ----------
+    architecture:
+        ``"non-blocking"`` or ``"blocking"`` (applied to all networks).
+    message_bytes:
+        Fixed message length M in bytes.
+    generation_rate:
+        Per-processor request rate λ (messages/second) while active.
+    num_messages:
+        Number of completed messages after which the run stops (the paper
+        gathers 10 000).
+    warmup_fraction:
+        Fraction of ``num_messages`` discarded as warm-up before statistics
+        are collected.
+    seed:
+        Master seed for all random streams.
+    exponential_service:
+        ``True`` reproduces the paper's exponential service assumption;
+        ``False`` uses deterministic service times equal to the mean (an
+        ablation of the M/M/1 assumption).
+    batch_count:
+        Number of batches for the batch-means confidence interval.
+    """
+
+    architecture: str = "non-blocking"
+    message_bytes: float = 1024.0
+    generation_rate: float = 0.25
+    num_messages: int = 10_000
+    warmup_fraction: float = 0.1
+    seed: int = 0
+    exponential_service: bool = True
+    batch_count: int = 20
+
+    def __post_init__(self) -> None:
+        if self.message_bytes <= 0:
+            raise ConfigurationError(f"message size must be positive, got {self.message_bytes!r}")
+        if self.generation_rate <= 0:
+            raise ConfigurationError(
+                f"generation rate must be positive, got {self.generation_rate!r}"
+            )
+        if self.num_messages < 1:
+            raise ConfigurationError(f"num_messages must be >= 1, got {self.num_messages!r}")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigurationError(
+                f"warmup_fraction must lie in [0, 1), got {self.warmup_fraction!r}"
+            )
+        if self.batch_count < 2:
+            raise ConfigurationError(f"batch_count must be >= 2, got {self.batch_count!r}")
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Summary of one simulation run."""
+
+    mean_latency_s: float
+    confidence_interval: Optional[ConfidenceInterval]
+    mean_local_latency_s: float
+    mean_remote_latency_s: float
+    measured_messages: int
+    completed_messages: int
+    remote_fraction: float
+    simulated_time_s: float
+    utilizations: Dict[str, float]
+    mean_occupancies: Dict[str, float]
+    seed: int
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean message latency in milliseconds (the figures' unit)."""
+        return self.mean_latency_s * 1e3
+
+    def as_dict(self) -> Dict[str, float]:
+        """Headline metrics as a flat dictionary."""
+        out = {
+            "mean_latency_ms": self.mean_latency_ms,
+            "mean_local_latency_ms": self.mean_local_latency_s * 1e3,
+            "mean_remote_latency_ms": self.mean_remote_latency_s * 1e3,
+            "measured_messages": float(self.measured_messages),
+            "remote_fraction": self.remote_fraction,
+            "simulated_time_s": self.simulated_time_s,
+        }
+        if self.confidence_interval is not None:
+            out["ci_half_width_ms"] = self.confidence_interval.half_width * 1e3
+        return out
+
+
+class MultiClusterSimulator:
+    """Discrete-event simulator of an HMSCS system."""
+
+    def __init__(
+        self,
+        system: MultiClusterSystem,
+        config: Optional[SimulationConfig] = None,
+        destination_policy: Optional[DestinationPolicy] = None,
+    ) -> None:
+        self.system = system
+        self.config = config if config is not None else SimulationConfig()
+        self.cluster_sizes = [c.num_processors for c in system.clusters]
+        if sum(self.cluster_sizes) < 2:
+            raise ConfigurationError("simulation needs at least two processors")
+        self.destination_policy = (
+            destination_policy
+            if destination_policy is not None
+            else UniformDestinations(self.cluster_sizes)
+        )
+        self._streams = RandomStreams(self.config.seed)
+
+        self.env = Environment()
+        self._build_service_centers()
+        warmup = int(self.config.num_messages * self.config.warmup_fraction)
+        self.sink = LatencySink(self.env, self.config.num_messages, warmup)
+        self._message_counter = 0
+        self._start_processors()
+
+    # -- construction -----------------------------------------------------------------
+
+    def _service_distribution(self, mean: float) -> Distribution:
+        if self.config.exponential_service:
+            return Exponential(mean)
+        return Deterministic(mean)
+
+    def _build_service_centers(self) -> None:
+        cfg = self.config
+        switch = self.system.switch
+        m = cfg.message_bytes
+
+        self.icn1: List[ServiceCenterSim] = []
+        self.ecn1: List[ServiceCenterSim] = []
+        for idx, cluster in enumerate(self.system.clusters):
+            icn_model = build_network_model(
+                cfg.architecture, cluster.icn_technology, switch, cluster.num_processors
+            )
+            ecn_model = build_network_model(
+                cfg.architecture, cluster.ecn_technology, switch, cluster.num_processors
+            )
+            self.icn1.append(
+                ServiceCenterSim(
+                    self.env,
+                    f"icn1[{idx}]",
+                    self._service_distribution(icn_model.service_time(m)),
+                    self._streams.stream(f"service-icn1-{idx}"),
+                )
+            )
+            self.ecn1.append(
+                ServiceCenterSim(
+                    self.env,
+                    f"ecn1[{idx}]",
+                    self._service_distribution(ecn_model.service_time(m)),
+                    self._streams.stream(f"service-ecn1-{idx}"),
+                )
+            )
+        icn2_model = build_network_model(
+            cfg.architecture,
+            self.system.icn2_technology,
+            switch,
+            max(self.system.num_clusters, 1),
+        )
+        self.icn2 = ServiceCenterSim(
+            self.env,
+            "icn2",
+            self._service_distribution(icn2_model.service_time(m)),
+            self._streams.stream("service-icn2"),
+        )
+
+    def _start_processors(self) -> None:
+        for cluster_idx, size in enumerate(self.cluster_sizes):
+            for proc_idx in range(size):
+                self.env.process(self._processor(cluster_idx, proc_idx))
+
+    # -- processes ---------------------------------------------------------------------
+
+    def _processor(self, cluster_idx: int, proc_idx: int) -> Generator[Event, None, None]:
+        """Closed-loop processor: think, send one request, wait for the reply."""
+        cluster = self.system.clusters[cluster_idx]
+        rate = cluster.processor_type.scaled_rate(self.config.generation_rate)
+        arrival_rng = self._streams.stream(f"arrivals-{cluster_idx}-{proc_idx}")
+        dest_rng = self._streams.stream(f"destination-{cluster_idx}-{proc_idx}")
+        source = (cluster_idx, proc_idx)
+
+        while True:
+            yield self.env.timeout(arrival_rng.exponential_rate(rate))
+            destination = self.destination_policy.choose(source, dest_rng)
+            message = Message(
+                ident=self._message_counter,
+                source=source,
+                destination=destination,
+                size_bytes=self.config.message_bytes,
+                created_at=self.env.now,
+            )
+            self._message_counter += 1
+
+            if destination[0] == cluster_idx:
+                # Intra-cluster: a single pass through the cluster's ICN1.
+                yield from self.icn1[cluster_idx].serve(message)
+            else:
+                # Inter-cluster: source ECN1 -> ICN2 -> destination ECN1.
+                yield from self.ecn1[cluster_idx].serve(message)
+                yield from self.icn2.serve(message)
+                yield from self.ecn1[destination[0]].serve(message)
+
+            message.completed_at = self.env.now
+            self.sink.record(message)
+
+    # -- running -----------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run until the configured number of messages has completed."""
+        self.env.run(until=self.sink.done)
+        return self._collect_result()
+
+    def _collect_result(self) -> SimulationResult:
+        sink = self.sink
+        if sink.measured == 0:
+            raise SimulationError("simulation finished without measuring any messages")
+        now = self.env.now
+
+        latencies = sink.latencies.values
+        ci: Optional[ConfidenceInterval] = None
+        if latencies.size >= self.config.batch_count:
+            ci = batch_means(latencies, num_batches=self.config.batch_count)
+
+        remote_count = sink.remote_latencies.count
+        measured = sink.measured
+
+        utilizations: Dict[str, float] = {}
+        occupancies: Dict[str, float] = {}
+        for center in [*self.icn1, *self.ecn1, self.icn2]:
+            utilizations[center.name] = center.utilization(now)
+            occupancies[center.name] = center.mean_occupancy(now)
+
+        return SimulationResult(
+            mean_latency_s=sink.latencies.mean(),
+            confidence_interval=ci,
+            mean_local_latency_s=(
+                sink.local_latencies.mean() if sink.local_latencies.count else 0.0
+            ),
+            mean_remote_latency_s=(
+                sink.remote_latencies.mean() if sink.remote_latencies.count else 0.0
+            ),
+            measured_messages=measured,
+            completed_messages=sink.completed,
+            remote_fraction=remote_count / measured if measured else 0.0,
+            simulated_time_s=now,
+            utilizations=utilizations,
+            mean_occupancies=occupancies,
+            seed=self.config.seed,
+        )

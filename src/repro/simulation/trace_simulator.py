@@ -1,0 +1,232 @@
+"""Open-loop, trace-driven simulation of an HMSCS system.
+
+The validation simulator in :mod:`repro.simulation.simulator` is
+*closed-loop*: each processor blocks while its request is outstanding
+(assumption 4 of the paper).  Real applications are often better described
+by a recorded or synthetic *trace* of messages injected at fixed times
+regardless of completion — an open-loop workload.  This module replays a
+:class:`~repro.workload.messages.WorkloadTrace` through the same
+store-and-forward service centres so that:
+
+* the effect of assumption 4 can be quantified (closed vs open loop at the
+  same average rate), and
+* externally generated traces (e.g. from an application prototype) can be
+  evaluated against candidate system configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from ..cluster.system import MultiClusterSystem
+from ..des.core import Environment
+from ..des.events import Event
+from ..des.rng import RandomStreams
+from ..errors import ConfigurationError, SimulationError
+from ..network.models import build_network_model
+from ..queueing.distributions import Deterministic, Distribution, Exponential
+from ..stats.intervals import ConfidenceInterval, batch_means
+from ..workload.messages import TraceEntry, WorkloadTrace
+from .components import ServiceCenterSim
+from .message import Message
+
+__all__ = ["TraceSimulationConfig", "TraceSimulationResult", "TraceDrivenSimulator"]
+
+
+@dataclass(frozen=True)
+class TraceSimulationConfig:
+    """Configuration of a trace replay.
+
+    Parameters
+    ----------
+    architecture:
+        ``"non-blocking"`` or ``"blocking"`` (applied to all networks).
+    seed:
+        Master seed for the service-time streams.
+    exponential_service:
+        Exponential (paper assumption) vs deterministic service times.
+    batch_count:
+        Batches for the batch-means confidence interval.
+    """
+
+    architecture: str = "non-blocking"
+    seed: int = 0
+    exponential_service: bool = True
+    batch_count: int = 20
+
+    def __post_init__(self) -> None:
+        if self.batch_count < 2:
+            raise ConfigurationError(f"batch_count must be >= 2, got {self.batch_count!r}")
+
+
+@dataclass(frozen=True)
+class TraceSimulationResult:
+    """Summary of one trace replay."""
+
+    mean_latency_s: float
+    confidence_interval: Optional[ConfidenceInterval]
+    completed_messages: int
+    injected_messages: int
+    remote_fraction: float
+    makespan_s: float
+    utilizations: Dict[str, float]
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean message latency in milliseconds."""
+        return self.mean_latency_s * 1e3
+
+
+class TraceDrivenSimulator:
+    """Replay a workload trace through an HMSCS system model."""
+
+    def __init__(
+        self,
+        system: MultiClusterSystem,
+        trace: WorkloadTrace,
+        config: Optional[TraceSimulationConfig] = None,
+    ) -> None:
+        if len(trace) == 0:
+            raise ConfigurationError("cannot simulate an empty trace")
+        self.system = system
+        self.trace = trace
+        self.config = config if config is not None else TraceSimulationConfig()
+        self._streams = RandomStreams(self.config.seed)
+        self.env = Environment()
+        self._latencies: List[float] = []
+        self._remote = 0
+        self._completed = 0
+        self._validate_trace_addresses()
+        self._build_service_centers()
+
+    # -- construction -----------------------------------------------------------------
+
+    def _validate_trace_addresses(self) -> None:
+        sizes = [c.num_processors for c in self.system.clusters]
+        for entry in self.trace:
+            for label, (cluster, proc) in (("source", entry.source), ("destination", entry.destination)):
+                if not (0 <= cluster < len(sizes)) or not (0 <= proc < sizes[cluster]):
+                    raise ConfigurationError(
+                        f"trace {label} {(cluster, proc)} does not exist in system "
+                        f"{self.system.name!r}"
+                    )
+
+    def _service_distribution(self, mean: float) -> Distribution:
+        if self.config.exponential_service:
+            return Exponential(mean)
+        return Deterministic(mean)
+
+    def _build_service_centers(self) -> None:
+        cfg = self.config
+        switch = self.system.switch
+        # The trace may contain mixed sizes; service centres are parameterised
+        # per message, so here we build one model per cluster and draw the
+        # service time per message from its mean for that message's size.
+        self._icn1_models = []
+        self._ecn1_models = []
+        self.icn1: List[ServiceCenterSim] = []
+        self.ecn1: List[ServiceCenterSim] = []
+        for idx, cluster in enumerate(self.system.clusters):
+            icn_model = build_network_model(
+                cfg.architecture, cluster.icn_technology, switch, cluster.num_processors
+            )
+            ecn_model = build_network_model(
+                cfg.architecture, cluster.ecn_technology, switch, cluster.num_processors
+            )
+            self._icn1_models.append(icn_model)
+            self._ecn1_models.append(ecn_model)
+            mean_size = self.trace.mean_size
+            self.icn1.append(
+                ServiceCenterSim(
+                    self.env,
+                    f"icn1[{idx}]",
+                    self._service_distribution(icn_model.service_time(mean_size)),
+                    self._streams.stream(f"trace-icn1-{idx}"),
+                )
+            )
+            self.ecn1.append(
+                ServiceCenterSim(
+                    self.env,
+                    f"ecn1[{idx}]",
+                    self._service_distribution(ecn_model.service_time(mean_size)),
+                    self._streams.stream(f"trace-ecn1-{idx}"),
+                )
+            )
+        icn2_model = build_network_model(
+            cfg.architecture,
+            self.system.icn2_technology,
+            switch,
+            max(self.system.num_clusters, 1),
+        )
+        self._icn2_model = icn2_model
+        self.icn2 = ServiceCenterSim(
+            self.env,
+            "icn2",
+            self._service_distribution(icn2_model.service_time(self.trace.mean_size)),
+            self._streams.stream("trace-icn2"),
+        )
+
+    # -- processes ---------------------------------------------------------------------
+
+    def _injector(self) -> Generator[Event, None, None]:
+        """Inject every trace entry at its recorded time (open loop)."""
+        last_time = 0.0
+        for ident, entry in enumerate(self.trace):
+            delay = entry.time - last_time
+            if delay < 0:
+                raise SimulationError("trace entries must be sorted by time")
+            if delay > 0:
+                yield self.env.timeout(delay)
+            last_time = entry.time
+            self.env.process(self._deliver(ident, entry))
+
+    def _deliver(self, ident: int, entry: TraceEntry) -> Generator[Event, None, None]:
+        message = Message(
+            ident=ident,
+            source=entry.source,
+            destination=entry.destination,
+            size_bytes=entry.size_bytes,
+            created_at=self.env.now,
+        )
+        src_cluster = entry.source[0]
+        dst_cluster = entry.destination[0]
+        if src_cluster == dst_cluster:
+            yield from self.icn1[src_cluster].serve(message)
+        else:
+            yield from self.ecn1[src_cluster].serve(message)
+            yield from self.icn2.serve(message)
+            yield from self.ecn1[dst_cluster].serve(message)
+        message.completed_at = self.env.now
+        self._latencies.append(message.latency)
+        self._remote += int(message.is_remote)
+        self._completed += 1
+
+    # -- running -----------------------------------------------------------------------
+
+    def run(self) -> TraceSimulationResult:
+        """Replay the whole trace and return the latency summary."""
+        self.env.process(self._injector())
+        self.env.run()
+        if not self._latencies:
+            raise SimulationError("trace replay completed no messages")
+
+        ci: Optional[ConfidenceInterval] = None
+        if len(self._latencies) >= self.config.batch_count:
+            ci = batch_means(self._latencies, num_batches=self.config.batch_count)
+
+        now = self.env.now
+        utilizations = {
+            center.name: center.utilization(now)
+            for center in [*self.icn1, *self.ecn1, self.icn2]
+        }
+        mean_latency = sum(self._latencies) / len(self._latencies)
+        return TraceSimulationResult(
+            mean_latency_s=mean_latency,
+            confidence_interval=ci,
+            completed_messages=self._completed,
+            injected_messages=len(self.trace),
+            remote_fraction=self._remote / self._completed,
+            makespan_s=now,
+            utilizations=utilizations,
+        )

@@ -1,0 +1,37 @@
+"""Statistics toolkit: online accumulators, output analysis and comparison metrics."""
+
+from .compare import (
+    ComparisonSummary,
+    absolute_error,
+    compare_series,
+    max_relative_error,
+    mean_absolute_percentage_error,
+    relative_error,
+    root_mean_square_error,
+)
+from .histogram import Histogram, LogHistogram
+from .intervals import ConfidenceInterval, batch_means, mean_confidence_interval, t_quantile
+from .online import ExponentialMovingAverage, RunningCovariance, RunningStatistics
+from .warmup import moving_average_crossing, mser5_truncation, truncate_warmup
+
+__all__ = [
+    "RunningStatistics",
+    "RunningCovariance",
+    "ExponentialMovingAverage",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "batch_means",
+    "t_quantile",
+    "Histogram",
+    "LogHistogram",
+    "mser5_truncation",
+    "moving_average_crossing",
+    "truncate_warmup",
+    "relative_error",
+    "absolute_error",
+    "mean_absolute_percentage_error",
+    "root_mean_square_error",
+    "max_relative_error",
+    "ComparisonSummary",
+    "compare_series",
+]

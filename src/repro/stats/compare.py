@@ -1,0 +1,112 @@
+"""Metrics for comparing analytical predictions against simulation results.
+
+The paper's validation claim ("the analytical model can predict the average
+message latency with good degree of accuracy") is qualitative; we quantify
+it with the metrics below and report them in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "relative_error",
+    "absolute_error",
+    "mean_absolute_percentage_error",
+    "root_mean_square_error",
+    "max_relative_error",
+    "ComparisonSummary",
+    "compare_series",
+]
+
+
+def relative_error(predicted: float, observed: float) -> float:
+    """``|predicted - observed| / |observed|`` (NaN when observed == 0)."""
+    if observed == 0:
+        return math.nan
+    return abs(predicted - observed) / abs(observed)
+
+
+def absolute_error(predicted: float, observed: float) -> float:
+    """``|predicted - observed|``."""
+    return abs(predicted - observed)
+
+
+def mean_absolute_percentage_error(
+    predicted: Sequence[float], observed: Sequence[float]
+) -> float:
+    """MAPE (in percent) between two aligned series."""
+    p = np.asarray(list(predicted), dtype=float)
+    o = np.asarray(list(observed), dtype=float)
+    if p.shape != o.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {o.shape}")
+    if p.size == 0:
+        raise ValueError("cannot compute MAPE of empty series")
+    mask = o != 0
+    if not np.any(mask):
+        return math.nan
+    return float(np.mean(np.abs((p[mask] - o[mask]) / o[mask])) * 100.0)
+
+
+def root_mean_square_error(predicted: Sequence[float], observed: Sequence[float]) -> float:
+    """RMSE between two aligned series."""
+    p = np.asarray(list(predicted), dtype=float)
+    o = np.asarray(list(observed), dtype=float)
+    if p.shape != o.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {o.shape}")
+    if p.size == 0:
+        raise ValueError("cannot compute RMSE of empty series")
+    return float(np.sqrt(np.mean((p - o) ** 2)))
+
+
+def max_relative_error(predicted: Sequence[float], observed: Sequence[float]) -> float:
+    """Largest pointwise relative error between two aligned series."""
+    p = np.asarray(list(predicted), dtype=float)
+    o = np.asarray(list(observed), dtype=float)
+    if p.shape != o.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {o.shape}")
+    mask = o != 0
+    if not np.any(mask):
+        return math.nan
+    return float(np.max(np.abs((p[mask] - o[mask]) / o[mask])))
+
+
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """Aggregate agreement metrics between a model and a reference series."""
+
+    mape_percent: float
+    rmse: float
+    max_relative_error: float
+    n_points: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the summary as a plain dictionary (for reports/CSV)."""
+        return {
+            "mape_percent": self.mape_percent,
+            "rmse": self.rmse,
+            "max_relative_error": self.max_relative_error,
+            "n_points": float(self.n_points),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"MAPE={self.mape_percent:.2f}%  RMSE={self.rmse:.4g}  "
+            f"max rel. err={self.max_relative_error * 100:.2f}%  (n={self.n_points})"
+        )
+
+
+def compare_series(predicted: Sequence[float], observed: Sequence[float]) -> ComparisonSummary:
+    """Build a :class:`ComparisonSummary` for two aligned series."""
+    p = list(predicted)
+    o = list(observed)
+    return ComparisonSummary(
+        mape_percent=mean_absolute_percentage_error(p, o),
+        rmse=root_mean_square_error(p, o),
+        max_relative_error=max_relative_error(p, o),
+        n_points=len(p),
+    )

@@ -1,0 +1,209 @@
+"""Online (single-pass) statistics.
+
+The simulator records hundreds of thousands of observations per run; the
+Welford update lets it keep running means and variances without storing all
+samples and without catastrophic cancellation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+__all__ = ["RunningStatistics", "RunningCovariance", "ExponentialMovingAverage"]
+
+
+class RunningStatistics:
+    """Numerically stable running mean / variance / extrema (Welford).
+
+    Example
+    -------
+    >>> stats = RunningStatistics()
+    >>> for x in [1.0, 2.0, 3.0, 4.0]:
+    ...     stats.push(x)
+    >>> stats.mean
+    2.5
+    >>> round(stats.variance, 6)
+    1.666667
+    """
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max", "_total")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def push(self, value: float) -> None:
+        """Incorporate one observation."""
+        value = float(value)
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def push_many(self, values: Iterable[float]) -> None:
+        """Incorporate many observations."""
+        for value in values:
+            self.push(value)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self._n else math.nan
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._total
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN with fewer than two observations)."""
+        if self._n < 2:
+            return math.nan
+        return self._m2 / (self._n - 1)
+
+    @property
+    def population_variance(self) -> float:
+        """Population (biased) variance."""
+        if self._n < 1:
+            return math.nan
+        return self._m2 / self._n
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (NaN when empty)."""
+        return self._min if self._n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (NaN when empty)."""
+        return self._max if self._n else math.nan
+
+    @property
+    def standard_error(self) -> float:
+        """Standard error of the mean."""
+        if self._n < 2:
+            return math.nan
+        return self.std / math.sqrt(self._n)
+
+    def merge(self, other: "RunningStatistics") -> "RunningStatistics":
+        """Return a new accumulator equivalent to seeing both sample sets."""
+        if not isinstance(other, RunningStatistics):
+            raise TypeError("can only merge with another RunningStatistics")
+        merged = RunningStatistics()
+        n = self._n + other._n
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = (self._n * self._mean + other._n * other._mean) / n
+        merged._m2 = self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        merged._total = self._total + other._total
+        return merged
+
+    def __repr__(self) -> str:
+        return f"<RunningStatistics n={self._n} mean={self.mean:.6g} std={self.std:.6g}>"
+
+
+class RunningCovariance:
+    """Single-pass covariance / correlation of a paired sample."""
+
+    __slots__ = ("_n", "_mean_x", "_mean_y", "_c", "_m2x", "_m2y")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean_x = 0.0
+        self._mean_y = 0.0
+        self._c = 0.0
+        self._m2x = 0.0
+        self._m2y = 0.0
+
+    def push(self, x: float, y: float) -> None:
+        """Incorporate one paired observation ``(x, y)``."""
+        x = float(x)
+        y = float(y)
+        self._n += 1
+        dx = x - self._mean_x
+        dy = y - self._mean_y
+        self._mean_x += dx / self._n
+        self._mean_y += dy / self._n
+        self._c += dx * (y - self._mean_y)
+        self._m2x += dx * (x - self._mean_x)
+        self._m2y += dy * (y - self._mean_y)
+
+    @property
+    def count(self) -> int:
+        """Number of paired observations."""
+        return self._n
+
+    @property
+    def covariance(self) -> float:
+        """Unbiased sample covariance."""
+        if self._n < 2:
+            return math.nan
+        return self._c / (self._n - 1)
+
+    @property
+    def correlation(self) -> float:
+        """Pearson correlation coefficient."""
+        if self._n < 2 or self._m2x == 0.0 or self._m2y == 0.0:
+            return math.nan
+        return self._c / math.sqrt(self._m2x * self._m2y)
+
+
+class ExponentialMovingAverage:
+    """Exponentially weighted moving average, used for convergence checks.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in ``(0, 1]``; larger values weight recent
+        observations more heavily.
+    """
+
+    __slots__ = ("_alpha", "_value")
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha!r}")
+        self._alpha = float(alpha)
+        self._value: Optional[float] = None
+
+    def push(self, value: float) -> float:
+        """Incorporate ``value`` and return the updated average."""
+        value = float(value)
+        if self._value is None:
+            self._value = value
+        else:
+            self._value = self._alpha * value + (1.0 - self._alpha) * self._value
+        return self._value
+
+    @property
+    def value(self) -> float:
+        """Current average (NaN before the first observation)."""
+        return self._value if self._value is not None else math.nan

@@ -1,0 +1,105 @@
+"""Warm-up (initial-transient) detection for steady-state simulations.
+
+The paper gathers statistics over 10 000 messages per run; because the
+system starts empty, early messages see shorter queues than the steady
+state.  This module implements the MSER-5 rule (Marginal Standard Error
+Rule) and a simple moving-average crossing heuristic to choose how many
+initial observations to discard.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["mser5_truncation", "moving_average_crossing", "truncate_warmup"]
+
+
+def mser5_truncation(observations: Sequence[float], batch_size: int = 5) -> int:
+    """Return the number of observations to delete according to MSER-5.
+
+    The rule batches the sequence into means of ``batch_size`` observations,
+    then chooses the truncation point ``d`` (in batches) minimising the
+    marginal standard error ``std(Y[d:]) / sqrt(n - d)`` over the first half
+    of the run.  The returned value is in *observations*, not batches.
+    """
+    data = np.asarray(list(observations), dtype=float)
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+    if data.size < 2 * batch_size:
+        return 0
+
+    n_batches = data.size // batch_size
+    batched = data[: n_batches * batch_size].reshape(n_batches, batch_size).mean(axis=1)
+
+    best_d = 0
+    best_score = np.inf
+    # Only consider truncating up to half the run (standard MSER safeguard).
+    max_d = n_batches // 2
+    for d in range(0, max_d + 1):
+        tail = batched[d:]
+        if tail.size < 2:
+            break
+        score = tail.std(ddof=0) / np.sqrt(tail.size)
+        if score < best_score:
+            best_score = score
+            best_d = d
+    return best_d * batch_size
+
+
+def moving_average_crossing(observations: Sequence[float], window: int = 50) -> int:
+    """Welch-style heuristic: first index where the moving average crosses
+    the overall (second-half) mean.
+
+    Returns 0 for short sequences where the heuristic is meaningless.
+    """
+    data = np.asarray(list(observations), dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window!r}")
+    if data.size < 4 * window:
+        return 0
+    steady_mean = data[data.size // 2 :].mean()
+    kernel = np.ones(window) / window
+    smoothed = np.convolve(data, kernel, mode="valid")
+    initial_gap = smoothed[0] - steady_mean
+    if initial_gap == 0.0:
+        return 0
+    # First index where the moving average reaches (or crosses) the
+    # steady-state mean from its initial side.
+    for idx in range(1, smoothed.size):
+        if (smoothed[idx] - steady_mean) * initial_gap <= 0.0:
+            return idx
+    return 0
+
+
+def truncate_warmup(
+    observations: Sequence[float], method: str = "mser5", **kwargs
+) -> Tuple[np.ndarray, int]:
+    """Remove the warm-up prefix from ``observations``.
+
+    Parameters
+    ----------
+    observations:
+        The raw output sequence.
+    method:
+        ``"mser5"``, ``"welch"`` (moving-average crossing) or ``"none"``.
+
+    Returns
+    -------
+    (steady, cutoff):
+        The truncated array and the number of deleted observations.
+    """
+    data = np.asarray(list(observations), dtype=float)
+    if method == "none":
+        cutoff = 0
+    elif method == "mser5":
+        cutoff = mser5_truncation(data, **kwargs)
+    elif method == "welch":
+        cutoff = moving_average_crossing(data, **kwargs)
+    else:
+        raise ValueError(f"unknown warm-up method {method!r}")
+    # Never delete so much that fewer than 10 observations remain.
+    if data.size - cutoff < 10:
+        cutoff = max(0, data.size - 10)
+    return data[cutoff:], cutoff

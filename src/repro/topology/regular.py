@@ -1,0 +1,320 @@
+"""Regular direct topologies used by the extension / ablation studies.
+
+The paper's related work (e.g. Sarbazi-Azad et al. on k-ary n-cubes, ref
+[20]) analyses direct networks; these classes let the same latency model be
+exercised on meshes, tori, hypercubes, k-ary n-cubes, stars and trees so
+that the fat-tree / linear-array comparison of the paper can be put in a
+wider design-space context.
+
+For direct topologies every node has its own router/switch, so the number
+of "switches" equals the number of nodes, and the switch-traversal count of
+a message is ``hops + 1`` (it enters its source router and exits at the
+destination router).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..errors import TopologyError
+from .base import Topology
+
+__all__ = [
+    "MeshTopology",
+    "TorusTopology",
+    "HypercubeTopology",
+    "KAryNCubeTopology",
+    "StarTopology",
+    "BinaryTreeTopology",
+]
+
+
+class _DirectTopology(Topology):
+    """Common behaviour for direct (router-per-node) topologies."""
+
+    @property
+    def num_stages(self) -> int:
+        """Direct networks are single-stage from the model's point of view."""
+        return 1
+
+    @property
+    def num_switches(self) -> int:
+        """One router per node."""
+        return self.num_nodes
+
+
+class KAryNCubeTopology(_DirectTopology):
+    """k-ary n-cube: n dimensions of k nodes each with wrap-around links."""
+
+    family = "k-ary-n-cube"
+
+    def __init__(self, arity: int, dimensions: int, switch_ports: int = 8) -> None:
+        if arity < 2:
+            raise TopologyError(f"arity must be >= 2, got {arity!r}")
+        if dimensions < 1:
+            raise TopologyError(f"dimensions must be >= 1, got {dimensions!r}")
+        super().__init__(arity**dimensions, switch_ports)
+        self.arity = int(arity)
+        self.dimensions = int(dimensions)
+
+    @property
+    def bisection_width(self) -> int:
+        """``2·k^(n−1)`` wrap-around channels cross the bisection (k even)."""
+        if self.arity == 2:
+            # Degenerate into a hypercube: bisection N/2, no doubled wrap links.
+            return self.num_nodes // 2
+        return 2 * self.arity ** (self.dimensions - 1)
+
+    @property
+    def average_hop_distance(self) -> float:
+        """Average routing distance under uniform traffic (``n·k/4`` for even k)."""
+        k = self.arity
+        per_dim = (k / 4.0) if k % 2 == 0 else (k * k - 1) / (4.0 * k)
+        return self.dimensions * per_dim
+
+    @property
+    def average_switch_hops(self) -> float:
+        """Routers traversed = hop distance + 1."""
+        return self.average_hop_distance + 1.0
+
+    @property
+    def diameter_switch_hops(self) -> int:
+        """Diameter in routers: ``n·floor(k/2) + 1``."""
+        return self.dimensions * (self.arity // 2) + 1
+
+    def to_graph(self):
+        """Explicit k-ary n-cube graph (nodes identified by coordinate tuples)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        coords = self._coordinates()
+        for c in coords:
+            graph.add_node(("node", c), kind="node")
+        for c in coords:
+            for dim in range(self.dimensions):
+                neighbour = list(c)
+                neighbour[dim] = (neighbour[dim] + 1) % self.arity
+                graph.add_edge(("node", c), ("node", tuple(neighbour)))
+        return graph
+
+    def _coordinates(self) -> List[Tuple[int, ...]]:
+        coords: List[Tuple[int, ...]] = [()]
+        for _ in range(self.dimensions):
+            coords = [c + (v,) for c in coords for v in range(self.arity)]
+        return coords
+
+
+class TorusTopology(KAryNCubeTopology):
+    """2-D torus (k-ary 2-cube) convenience wrapper."""
+
+    family = "torus"
+
+    def __init__(self, side: int, switch_ports: int = 8) -> None:
+        super().__init__(arity=side, dimensions=2, switch_ports=switch_ports)
+        self.side = int(side)
+
+
+class MeshTopology(_DirectTopology):
+    """2-D mesh without wrap-around links."""
+
+    family = "mesh"
+
+    def __init__(self, rows: int, cols: int, switch_ports: int = 8) -> None:
+        if rows < 1 or cols < 1:
+            raise TopologyError(f"mesh dimensions must be >= 1, got {rows}x{cols}")
+        super().__init__(rows * cols, switch_ports)
+        self.rows = int(rows)
+        self.cols = int(cols)
+
+    @property
+    def bisection_width(self) -> int:
+        """Cutting the longer dimension in half severs ``min(rows, cols)`` links."""
+        return min(self.rows, self.cols)
+
+    @property
+    def average_hop_distance(self) -> float:
+        """Average Manhattan distance between two uniformly random nodes."""
+        # E|x1-x2| for uniform ints in [0, n) is (n^2 - 1) / (3n).
+        def avg_abs_diff(n: int) -> float:
+            return (n * n - 1) / (3.0 * n)
+
+        return avg_abs_diff(self.rows) + avg_abs_diff(self.cols)
+
+    @property
+    def average_switch_hops(self) -> float:
+        """Routers traversed = Manhattan distance + 1."""
+        return self.average_hop_distance + 1.0
+
+    @property
+    def diameter_switch_hops(self) -> int:
+        """Corner-to-corner path in routers."""
+        return (self.rows - 1) + (self.cols - 1) + 1
+
+    def to_graph(self):
+        """Explicit grid graph."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for r in range(self.rows):
+            for c in range(self.cols):
+                graph.add_node(("node", (r, c)), kind="node")
+        for r in range(self.rows):
+            for c in range(self.cols):
+                if r + 1 < self.rows:
+                    graph.add_edge(("node", (r, c)), ("node", (r + 1, c)))
+                if c + 1 < self.cols:
+                    graph.add_edge(("node", (r, c)), ("node", (r, c + 1)))
+        return graph
+
+
+class HypercubeTopology(_DirectTopology):
+    """n-dimensional binary hypercube."""
+
+    family = "hypercube"
+
+    def __init__(self, dimensions: int, switch_ports: int = 8) -> None:
+        if dimensions < 1:
+            raise TopologyError(f"dimensions must be >= 1, got {dimensions!r}")
+        super().__init__(2**dimensions, switch_ports)
+        self.dimensions = int(dimensions)
+
+    @property
+    def bisection_width(self) -> int:
+        """``N/2`` — hypercubes have full bisection bandwidth."""
+        return self.num_nodes // 2
+
+    @property
+    def average_hop_distance(self) -> float:
+        """Average Hamming distance = n/2."""
+        return self.dimensions / 2.0
+
+    @property
+    def average_switch_hops(self) -> float:
+        """Routers traversed = Hamming distance + 1."""
+        return self.average_hop_distance + 1.0
+
+    @property
+    def diameter_switch_hops(self) -> int:
+        """``n + 1`` routers corner to corner."""
+        return self.dimensions + 1
+
+    def to_graph(self):
+        """Explicit hypercube graph over integer node labels."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for node in range(self.num_nodes):
+            graph.add_node(("node", node), kind="node")
+        for node in range(self.num_nodes):
+            for bit in range(self.dimensions):
+                neighbour = node ^ (1 << bit)
+                graph.add_edge(("node", node), ("node", neighbour))
+        return graph
+
+
+class StarTopology(Topology):
+    """All nodes attached to one central switch (crossbar)."""
+
+    family = "star"
+
+    def __init__(self, num_nodes: int, switch_ports: int) -> None:
+        super().__init__(num_nodes, switch_ports)
+        if num_nodes > switch_ports:
+            raise TopologyError(
+                f"a star of {num_nodes} nodes needs a switch with >= {num_nodes} ports"
+            )
+
+    @property
+    def num_stages(self) -> int:
+        return 1
+
+    @property
+    def num_switches(self) -> int:
+        return 1
+
+    @property
+    def bisection_width(self) -> int:
+        """Half the nodes' links cross any balanced bisection."""
+        return self.num_nodes // 2
+
+    @property
+    def average_switch_hops(self) -> float:
+        """Every message crosses exactly the central switch."""
+        return 1.0
+
+    @property
+    def diameter_switch_hops(self) -> int:
+        return 1
+
+    def to_graph(self):
+        """Explicit star graph."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node(("switch", 0), kind="switch", stage=0)
+        for node in range(self.num_nodes):
+            graph.add_node(("node", node), kind="node")
+            graph.add_edge(("node", node), ("switch", 0))
+        return graph
+
+
+class BinaryTreeTopology(Topology):
+    """Complete binary tree of switches with nodes at the leaves.
+
+    The classic example of a bisection width of 1 (used in §5.1 of the
+    paper to motivate the definition).
+    """
+
+    family = "binary-tree"
+
+    def __init__(self, num_nodes: int, switch_ports: int = 3) -> None:
+        super().__init__(num_nodes, switch_ports)
+        if num_nodes < 2:
+            raise TopologyError("a tree needs at least 2 nodes")
+        self._levels = math.ceil(math.log2(num_nodes))
+
+    @property
+    def levels(self) -> int:
+        """Number of switch levels above the leaves."""
+        return self._levels
+
+    @property
+    def num_stages(self) -> int:
+        return self._levels
+
+    @property
+    def num_switches(self) -> int:
+        """A complete binary tree with ``2^levels`` leaves has ``2^levels − 1`` internal switches."""
+        return 2**self._levels - 1
+
+    @property
+    def bisection_width(self) -> int:
+        """Removing one of the root's links splits the tree: bisection width 1."""
+        return 1
+
+    @property
+    def average_switch_hops(self) -> float:
+        """Conservative estimate: most random pairs meet at or near the root."""
+        return float(2 * self._levels - 1)
+
+    @property
+    def diameter_switch_hops(self) -> int:
+        return 2 * self._levels - 1
+
+    def to_graph(self):
+        """Explicit complete binary tree with nodes attached to leaf switches."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        total_switches = self.num_switches
+        for idx in range(total_switches):
+            graph.add_node(("switch", idx), kind="switch")
+            if idx > 0:
+                graph.add_edge(("switch", (idx - 1) // 2), ("switch", idx))
+        leaves = [idx for idx in range(total_switches) if 2 * idx + 1 >= total_switches]
+        for node in range(self.num_nodes):
+            leaf = leaves[node % len(leaves)]
+            graph.add_node(("node", node), kind="node")
+            graph.add_edge(("node", node), ("switch", leaf))
+        return graph

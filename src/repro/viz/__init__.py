@@ -1,0 +1,18 @@
+"""Terminal-friendly visualisation: ASCII charts and table/CSV writers."""
+
+from .ascii_chart import bar_chart, line_chart
+from .tables import (
+    format_fixed_width_table,
+    format_markdown_table,
+    rows_to_csv_text,
+    write_csv,
+)
+
+__all__ = [
+    "line_chart",
+    "bar_chart",
+    "format_markdown_table",
+    "format_fixed_width_table",
+    "rows_to_csv_text",
+    "write_csv",
+]

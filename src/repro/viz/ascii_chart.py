@@ -1,0 +1,143 @@
+"""ASCII line charts for terminal-friendly reproduction of the paper's figures.
+
+The paper's figures plot average message latency against the number of
+clusters for several (series, message-size) combinations; ``line_chart``
+renders the same data as a character grid so the examples and the CLI can
+show the curve shapes without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 70,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    logx: bool = False,
+) -> str:
+    """Render one or more series over a shared x axis as ASCII art.
+
+    Parameters
+    ----------
+    x_values:
+        Shared x coordinates.
+    series:
+        Mapping of series name to y values (same length as ``x_values``).
+    width, height:
+        Plot area size in characters.
+    logx:
+        Place x positions on a log scale (the figures use powers of two).
+    """
+    if not x_values:
+        return "(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length {len(ys)} != x length {len(x_values)}")
+    if width < 10 or height < 5:
+        raise ValueError("chart must be at least 10x5 characters")
+
+    xs = [math.log(x) if logx else float(x) for x in x_values]
+    all_y = [y for ys in series.values() for y in ys if math.isfinite(y)]
+    if not all_y:
+        return "(no finite data)"
+    y_min, y_max = min(all_y), max(all_y)
+    if math.isclose(y_min, y_max):
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if math.isclose(x_min, x_max):
+        x_max = x_min + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return (height - 1) - int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        cols = [to_col(x) for x in xs]
+        rows = [to_row(y) if math.isfinite(y) else None for y in ys]
+        # Draw straight segments between consecutive points.
+        for i in range(len(cols) - 1):
+            if rows[i] is None or rows[i + 1] is None:
+                continue
+            _draw_segment(grid, cols[i], rows[i], cols[i + 1], rows[i + 1], marker)
+        for c, r in zip(cols, rows):
+            if r is not None:
+                grid[r][c] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_axis_width = max(len(f"{y_max:.3g}"), len(f"{y_min:.3g}"))
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = f"{y_max:.3g}".rjust(y_axis_width)
+        elif row_idx == height - 1:
+            label = f"{y_min:.3g}".rjust(y_axis_width)
+        else:
+            label = " " * y_axis_width
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * y_axis_width + " +" + "-" * width)
+    x_left = f"{x_values[0]:g}"
+    x_right = f"{x_values[-1]:g}"
+    padding = max(width - len(x_left) - len(x_right), 1)
+    lines.append(" " * (y_axis_width + 2) + x_left + " " * padding + x_right)
+    if x_label:
+        lines.append(" " * (y_axis_width + 2) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series.keys())
+    )
+    lines.append("legend: " + legend)
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+def _draw_segment(grid: List[List[str]], c0: int, r0: int, c1: int, r1: int, marker: str) -> None:
+    """Bresenham-style line between two grid cells using a dim marker."""
+    steps = max(abs(c1 - c0), abs(r1 - r0))
+    if steps == 0:
+        return
+    for s in range(steps + 1):
+        t = s / steps
+        c = int(round(c0 + (c1 - c0) * t))
+        r = int(round(r0 + (r1 - r0) * t))
+        if grid[r][c] == " ":
+            grid[r][c] = "."
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a horizontal bar chart (used for utilisation summaries)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(no data)"
+    finite = [v for v in values if math.isfinite(v)]
+    maximum = max(finite) if finite else 1.0
+    if maximum <= 0:
+        maximum = 1.0
+    label_width = max(len(str(lbl)) for lbl in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar_len = int(round(value / maximum * width)) if math.isfinite(value) else 0
+        lines.append(f"{str(label).rjust(label_width)} | {'#' * bar_len} {value:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Plain-text table and CSV rendering for experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_markdown_table", "format_fixed_width_table", "write_csv", "rows_to_csv_text"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_markdown_table(rows: Sequence[Mapping], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of dictionaries as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no data)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    header = "| " + " | ".join(cols) + " |"
+    separator = "| " + " | ".join("---" for _ in cols) + " |"
+    body = [
+        "| " + " | ".join(_format_cell(row.get(col, "")) for col in cols) + " |" for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_fixed_width_table(
+    rows: Sequence[Mapping], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render a list of dictionaries as an aligned fixed-width text table."""
+    if not rows:
+        return "(no data)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_format_cell(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(cols)
+    ]
+    lines = [
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols)),
+        "  ".join("-" * widths[i] for i in range(len(cols))),
+    ]
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def rows_to_csv_text(rows: Sequence[Mapping], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (header + data rows)."""
+    if not rows:
+        return ""
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=cols, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: row.get(col, "") for col in cols})
+    return buffer.getvalue()
+
+
+def write_csv(path: str, rows: Sequence[Mapping], columns: Optional[Sequence[str]] = None) -> None:
+    """Write rows to a CSV file at ``path``."""
+    text = rows_to_csv_text(rows, columns)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,38 @@
+"""Workload generators: arrival processes, destination policies, message sizes, traces."""
+
+from .arrivals import ArrivalProcess, DeterministicArrivals, MMPPArrivals, PoissonArrivals
+from .destinations import (
+    DestinationPolicy,
+    HotspotDestinations,
+    LocalizedDestinations,
+    NodeAddress,
+    UniformDestinations,
+)
+from .messages import (
+    BimodalMessageSize,
+    FixedMessageSize,
+    MessageSizeModel,
+    TraceEntry,
+    UniformMessageSize,
+    WorkloadTrace,
+    generate_trace,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "MMPPArrivals",
+    "DestinationPolicy",
+    "UniformDestinations",
+    "LocalizedDestinations",
+    "HotspotDestinations",
+    "NodeAddress",
+    "MessageSizeModel",
+    "FixedMessageSize",
+    "BimodalMessageSize",
+    "UniformMessageSize",
+    "TraceEntry",
+    "WorkloadTrace",
+    "generate_trace",
+]

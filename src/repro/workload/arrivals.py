@@ -1,0 +1,108 @@
+"""Arrival-process generators for the simulator's processors.
+
+The paper's assumption 1 is a Poisson process per processor; the other
+processes here (deterministic, bursty MMPP) exist for sensitivity studies of
+that assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..des.rng import VariateGenerator
+from ..errors import ConfigurationError
+
+__all__ = ["ArrivalProcess", "PoissonArrivals", "DeterministicArrivals", "MMPPArrivals"]
+
+
+class ArrivalProcess:
+    """Base class: an arrival process yields successive inter-arrival times."""
+
+    #: Nominal mean rate (events per unit time) of the process.
+    rate: float = 0.0
+
+    def interarrival(self, rng: VariateGenerator) -> float:
+        """Draw the next inter-arrival time."""
+        raise NotImplementedError
+
+    def mean_interarrival(self) -> float:
+        """Mean inter-arrival time ``1/rate``."""
+        if self.rate <= 0:
+            raise ConfigurationError("arrival process has a non-positive rate")
+        return 1.0 / self.rate
+
+
+@dataclass
+class PoissonArrivals(ArrivalProcess):
+    """Poisson process: exponential inter-arrival times (paper assumption 1)."""
+
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate!r}")
+
+    def interarrival(self, rng: VariateGenerator) -> float:
+        return rng.exponential_rate(self.rate)
+
+
+@dataclass
+class DeterministicArrivals(ArrivalProcess):
+    """Constant inter-arrival times (periodic sources)."""
+
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate!r}")
+
+    def interarrival(self, rng: VariateGenerator) -> float:
+        return 1.0 / self.rate
+
+
+@dataclass
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty traffic).
+
+    The process alternates between a *low* and a *high* rate state; state
+    holding times are exponential.  Used only by extension studies: the
+    paper's model assumes plain Poisson arrivals, and this class quantifies
+    how sensitive the latency predictions are to burstiness.
+    """
+
+    low_rate: float = 0.5
+    high_rate: float = 2.0
+    mean_low_duration: float = 10.0
+    mean_high_duration: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.low_rate <= 0 or self.high_rate <= 0:
+            raise ConfigurationError("both state rates must be positive")
+        if self.mean_low_duration <= 0 or self.mean_high_duration <= 0:
+            raise ConfigurationError("state durations must be positive")
+        self._in_high = False
+        self._state_left = 0.0
+        # Long-run average rate (time-weighted over the two states).
+        total = self.mean_low_duration + self.mean_high_duration
+        self.rate = (
+            self.low_rate * self.mean_low_duration + self.high_rate * self.mean_high_duration
+        ) / total
+
+    def interarrival(self, rng: VariateGenerator) -> float:
+        # Advance through (possibly several) state changes until an arrival
+        # falls inside the current state's remaining holding time.
+        elapsed = 0.0
+        for _ in range(10_000):
+            current_rate = self.high_rate if self._in_high else self.low_rate
+            if self._state_left <= 0.0:
+                mean_dur = self.mean_high_duration if self._in_high else self.mean_low_duration
+                self._state_left = rng.exponential(mean_dur)
+            candidate = rng.exponential_rate(current_rate)
+            if candidate <= self._state_left:
+                self._state_left -= candidate
+                return elapsed + candidate
+            elapsed += self._state_left
+            self._state_left = 0.0
+            self._in_high = not self._in_high
+        raise ConfigurationError("MMPP failed to produce an arrival (rates too small?)")

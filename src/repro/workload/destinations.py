@@ -1,0 +1,151 @@
+"""Destination-selection policies for generated messages.
+
+Assumption 3 of the paper is uniform selection over all other nodes;
+localized and hotspot policies are provided because §5.3 explicitly notes
+that the linear-array (blocking) network "is not suited for random traffic
+patterns, but for localized traffic patterns" — the localized policy lets
+that remark be tested quantitatively (ablation ``traffic_locality``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..des.rng import VariateGenerator
+from ..errors import ConfigurationError
+
+__all__ = [
+    "NodeAddress",
+    "DestinationPolicy",
+    "UniformDestinations",
+    "LocalizedDestinations",
+    "HotspotDestinations",
+]
+
+#: A node address is (cluster index, processor index within the cluster).
+NodeAddress = Tuple[int, int]
+
+
+class DestinationPolicy:
+    """Base class for destination selection policies."""
+
+    def __init__(self, cluster_sizes: Sequence[int]) -> None:
+        if not cluster_sizes or any(s < 1 for s in cluster_sizes):
+            raise ConfigurationError(f"invalid cluster sizes {cluster_sizes!r}")
+        self.cluster_sizes = tuple(int(s) for s in cluster_sizes)
+        self.total_nodes = sum(self.cluster_sizes)
+        if self.total_nodes < 2:
+            raise ConfigurationError("destination selection needs at least two nodes")
+
+    def choose(self, source: NodeAddress, rng: VariateGenerator) -> NodeAddress:
+        """Pick a destination different from ``source``."""
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _uniform_other_node(self, source: NodeAddress, rng: VariateGenerator) -> NodeAddress:
+        """Uniform choice over all nodes except ``source`` (flat index trick)."""
+        src_flat = self._flatten(source)
+        pick = rng.integer(0, self.total_nodes - 2)
+        if pick >= src_flat:
+            pick += 1
+        return self._unflatten(pick)
+
+    def _uniform_in_cluster(self, source: NodeAddress, rng: VariateGenerator) -> NodeAddress:
+        cluster, proc = source
+        size = self.cluster_sizes[cluster]
+        if size < 2:
+            # No other local node exists; fall back to any other node.
+            return self._uniform_other_node(source, rng)
+        pick = rng.integer(0, size - 2)
+        if pick >= proc:
+            pick += 1
+        return (cluster, pick)
+
+    def _uniform_remote(self, source: NodeAddress, rng: VariateGenerator) -> NodeAddress:
+        cluster, _ = source
+        remote_total = self.total_nodes - self.cluster_sizes[cluster]
+        if remote_total < 1:
+            return self._uniform_in_cluster(source, rng)
+        pick = rng.integer(0, remote_total - 1)
+        for c, size in enumerate(self.cluster_sizes):
+            if c == cluster:
+                continue
+            if pick < size:
+                return (c, pick)
+            pick -= size
+        raise AssertionError("unreachable: remote pick out of range")  # pragma: no cover
+
+    def _flatten(self, address: NodeAddress) -> int:
+        cluster, proc = address
+        if not 0 <= cluster < len(self.cluster_sizes):
+            raise ConfigurationError(f"cluster index {cluster} out of range")
+        if not 0 <= proc < self.cluster_sizes[cluster]:
+            raise ConfigurationError(f"processor index {proc} out of range for cluster {cluster}")
+        return sum(self.cluster_sizes[:cluster]) + proc
+
+    def _unflatten(self, flat: int) -> NodeAddress:
+        for cluster, size in enumerate(self.cluster_sizes):
+            if flat < size:
+                return (cluster, flat)
+            flat -= size
+        raise ConfigurationError(f"flat index {flat} out of range")
+
+
+@dataclass(frozen=True)
+class _PolicyConfig:
+    """Internal bag of policy parameters (keeps subclasses hashable/printable)."""
+
+    locality: float = 0.0
+    hotspot_fraction: float = 0.0
+
+
+class UniformDestinations(DestinationPolicy):
+    """Assumption 3: uniform over all other nodes of the system."""
+
+    def choose(self, source: NodeAddress, rng: VariateGenerator) -> NodeAddress:
+        return self._uniform_other_node(source, rng)
+
+
+class LocalizedDestinations(DestinationPolicy):
+    """With probability ``locality`` choose inside the source's cluster.
+
+    ``locality = 1 − P`` of the paper recovers the uniform policy; larger
+    values model applications with mostly nearest-neighbour communication.
+    """
+
+    def __init__(self, cluster_sizes: Sequence[int], locality: float) -> None:
+        super().__init__(cluster_sizes)
+        if not 0.0 <= locality <= 1.0:
+            raise ConfigurationError(f"locality must lie in [0, 1], got {locality!r}")
+        self.locality = float(locality)
+
+    def choose(self, source: NodeAddress, rng: VariateGenerator) -> NodeAddress:
+        if rng.bernoulli(self.locality):
+            return self._uniform_in_cluster(source, rng)
+        return self._uniform_remote(source, rng)
+
+
+class HotspotDestinations(DestinationPolicy):
+    """A fraction of messages target one hotspot node; the rest are uniform."""
+
+    def __init__(
+        self,
+        cluster_sizes: Sequence[int],
+        hotspot: NodeAddress,
+        hotspot_fraction: float = 0.1,
+    ) -> None:
+        super().__init__(cluster_sizes)
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hotspot fraction must lie in [0, 1], got {hotspot_fraction!r}"
+            )
+        self._flatten(hotspot)  # validates the address
+        self.hotspot = hotspot
+        self.hotspot_fraction = float(hotspot_fraction)
+
+    def choose(self, source: NodeAddress, rng: VariateGenerator) -> NodeAddress:
+        if source != self.hotspot and rng.bernoulli(self.hotspot_fraction):
+            return self.hotspot
+        return self._uniform_other_node(source, rng)

@@ -1,0 +1,195 @@
+"""Message-size models and synthetic trace generation.
+
+Assumption 6 fixes the message length at M bytes; the other size models and
+the trace generator support sensitivity studies and replayable workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..des.rng import RandomStreams, VariateGenerator
+from ..errors import ConfigurationError
+from .arrivals import ArrivalProcess, PoissonArrivals
+from .destinations import DestinationPolicy, NodeAddress, UniformDestinations
+
+__all__ = [
+    "MessageSizeModel",
+    "FixedMessageSize",
+    "BimodalMessageSize",
+    "UniformMessageSize",
+    "TraceEntry",
+    "WorkloadTrace",
+    "generate_trace",
+]
+
+
+class MessageSizeModel:
+    """Base class: draws the size in bytes of each generated message."""
+
+    def sample(self, rng: VariateGenerator) -> float:
+        """Draw one message size (bytes)."""
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        """Mean message size (bytes)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedMessageSize(MessageSizeModel):
+    """Assumption 6: every message is exactly ``size_bytes`` long."""
+
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"message size must be positive, got {self.size_bytes!r}")
+
+    def sample(self, rng: VariateGenerator) -> float:
+        return self.size_bytes
+
+    @property
+    def mean(self) -> float:
+        return self.size_bytes
+
+
+@dataclass(frozen=True)
+class BimodalMessageSize(MessageSizeModel):
+    """Short control messages mixed with long data messages."""
+
+    short_bytes: float = 64.0
+    long_bytes: float = 4096.0
+    long_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.short_bytes <= 0 or self.long_bytes <= 0:
+            raise ConfigurationError("message sizes must be positive")
+        if not 0.0 <= self.long_fraction <= 1.0:
+            raise ConfigurationError(
+                f"long fraction must lie in [0, 1], got {self.long_fraction!r}"
+            )
+
+    def sample(self, rng: VariateGenerator) -> float:
+        return self.long_bytes if rng.bernoulli(self.long_fraction) else self.short_bytes
+
+    @property
+    def mean(self) -> float:
+        return self.long_fraction * self.long_bytes + (1 - self.long_fraction) * self.short_bytes
+
+
+@dataclass(frozen=True)
+class UniformMessageSize(MessageSizeModel):
+    """Uniformly distributed message sizes on ``[low_bytes, high_bytes]``."""
+
+    low_bytes: float
+    high_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.low_bytes <= 0 or self.high_bytes < self.low_bytes:
+            raise ConfigurationError(
+                f"need 0 < low <= high, got [{self.low_bytes!r}, {self.high_bytes!r}]"
+            )
+
+    def sample(self, rng: VariateGenerator) -> float:
+        return rng.uniform(self.low_bytes, self.high_bytes)
+
+    @property
+    def mean(self) -> float:
+        return (self.low_bytes + self.high_bytes) / 2.0
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One pre-generated message of a workload trace."""
+
+    time: float
+    source: NodeAddress
+    destination: NodeAddress
+    size_bytes: float
+
+
+@dataclass
+class WorkloadTrace:
+    """A replayable, pre-generated sequence of messages (sorted by time)."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last entry (0 for an empty trace)."""
+        return self.entries[-1].time if self.entries else 0.0
+
+    @property
+    def mean_size(self) -> float:
+        """Average message size of the trace."""
+        if not self.entries:
+            return 0.0
+        return sum(e.size_bytes for e in self.entries) / len(self.entries)
+
+    def messages_per_source(self) -> dict:
+        """Histogram of how many messages each source generated."""
+        counts: dict = {}
+        for entry in self.entries:
+            counts[entry.source] = counts.get(entry.source, 0) + 1
+        return counts
+
+
+def generate_trace(
+    cluster_sizes: Sequence[int],
+    num_messages: int,
+    arrival_process: Optional[ArrivalProcess] = None,
+    destination_policy: Optional[DestinationPolicy] = None,
+    size_model: Optional[MessageSizeModel] = None,
+    seed: int = 0,
+) -> WorkloadTrace:
+    """Pre-generate an open-loop workload trace.
+
+    Each node runs its own arrival process; the merged trace is sorted by
+    generation time.  Note that the validation simulator normally generates
+    traffic *closed-loop* (a processor blocks while its request is pending,
+    assumption 4); traces are for open-loop extension studies and for
+    feeding external simulators.
+    """
+    if num_messages < 0:
+        raise ConfigurationError(f"num_messages must be non-negative, got {num_messages!r}")
+    streams = RandomStreams(seed)
+    arrival = arrival_process if arrival_process is not None else PoissonArrivals(rate=0.25)
+    dest = (
+        destination_policy
+        if destination_policy is not None
+        else UniformDestinations(cluster_sizes)
+    )
+    sizes = size_model if size_model is not None else FixedMessageSize(1024.0)
+
+    total_nodes = sum(cluster_sizes)
+    if total_nodes < 2:
+        raise ConfigurationError("trace generation needs at least two nodes")
+    per_node = max(1, num_messages // total_nodes + 1)
+
+    entries: List[TraceEntry] = []
+    for cluster, size in enumerate(cluster_sizes):
+        for proc in range(size):
+            node = (cluster, proc)
+            rng = streams.stream(f"trace-{cluster}-{proc}")
+            t = 0.0
+            for _ in range(per_node):
+                t += arrival.interarrival(rng)
+                entries.append(
+                    TraceEntry(
+                        time=t,
+                        source=node,
+                        destination=dest.choose(node, rng),
+                        size_bytes=sizes.sample(rng),
+                    )
+                )
+    entries.sort(key=lambda e: e.time)
+    return WorkloadTrace(entries=entries[:num_messages])

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.presets import paper_evaluation_system
+from repro.cluster.system import MultiClusterSystem
+from repro.des.core import Environment
+from repro.des.rng import RandomStreams
+from repro.network.switch import SwitchFabric
+from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams for tests."""
+    return RandomStreams(seed=12345)
+
+
+@pytest.fixture
+def small_case1_system() -> MultiClusterSystem:
+    """A small Case-1 system (4 clusters x 8 processors) for fast tests."""
+    return paper_evaluation_system(
+        num_clusters=4,
+        icn_technology=GIGABIT_ETHERNET,
+        ecn_technology=FAST_ETHERNET,
+        total_processors=32,
+    )
+
+
+@pytest.fixture
+def paper_case1_system() -> MultiClusterSystem:
+    """The paper's 256-node Case-1 platform with 16 clusters."""
+    return paper_evaluation_system(
+        num_clusters=16,
+        icn_technology=GIGABIT_ETHERNET,
+        ecn_technology=FAST_ETHERNET,
+        total_processors=256,
+    )
+
+
+@pytest.fixture
+def small_switch() -> SwitchFabric:
+    """An 8-port switch matching the paper's Figure-3 example."""
+    return SwitchFabric(ports=8, latency_s=10e-6)

@@ -1,0 +1,121 @@
+"""Unit tests for the Cluster-of-Clusters analytical extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.presets import llnl_like_system, paper_evaluation_system
+from repro.cluster.system import MultiClusterSystem
+from repro.core.cluster_of_clusters import (
+    ClusterOfClustersModel,
+    HeterogeneousModelConfig,
+)
+from repro.core.model import AnalyticalModel, ModelConfig
+from repro.errors import ConfigurationError, StabilityError
+from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
+
+
+class TestHeterogeneousModelConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HeterogeneousModelConfig(message_bytes=0)
+        with pytest.raises(ConfigurationError):
+            HeterogeneousModelConfig(generation_rate=-1)
+
+
+class TestClusterOfClustersModel:
+    def test_reduces_to_supercluster_model_when_homogeneous(self):
+        """On an equal-size homogeneous system both models must agree closely."""
+        system = paper_evaluation_system(8, GIGABIT_ETHERNET, FAST_ETHERNET)
+        super_report = AnalyticalModel(
+            system, ModelConfig(architecture="non-blocking", message_bytes=1024)
+        ).evaluate()
+        hetero_report = ClusterOfClustersModel(
+            system,
+            HeterogeneousModelConfig(architecture="non-blocking", message_bytes=1024),
+        ).evaluate()
+        assert hetero_report.mean_latency_s == pytest.approx(
+            super_report.mean_latency_s, rel=1e-6
+        )
+
+    def test_llnl_like_system_evaluates(self):
+        report = ClusterOfClustersModel(llnl_like_system()).evaluate()
+        assert report.mean_latency_s > 0
+        assert report.num_clusters == 4
+        assert report.total_processors == 304
+        assert set(report.per_cluster_local_latency_s) == {"mcr", "alc", "thunder", "pvc"}
+        assert report.mean_latency_ms == pytest.approx(report.mean_latency_s * 1e3)
+
+    def test_outgoing_probability_depends_on_cluster_size(self):
+        report = ClusterOfClustersModel(llnl_like_system()).evaluate()
+        p = report.per_cluster_outgoing_probability
+        # The smallest cluster (pvc, 16 nodes) has the highest remote probability.
+        assert p["pvc"] > p["mcr"]
+        assert all(0.0 < value < 1.0 for value in p.values())
+
+    def test_faster_icn2_lowers_latency(self):
+        slow = MultiClusterSystem.from_cluster_sizes(
+            sizes=[16, 32],
+            icn_technologies=[GIGABIT_ETHERNET, GIGABIT_ETHERNET],
+            ecn_technologies=[FAST_ETHERNET, FAST_ETHERNET],
+            icn2_technology=FAST_ETHERNET,
+        )
+        fast = MultiClusterSystem.from_cluster_sizes(
+            sizes=[16, 32],
+            icn_technologies=[GIGABIT_ETHERNET, GIGABIT_ETHERNET],
+            ecn_technologies=[FAST_ETHERNET, FAST_ETHERNET],
+            icn2_technology=GIGABIT_ETHERNET,
+        )
+        slow_latency = ClusterOfClustersModel(slow).evaluate().mean_latency_s
+        fast_latency = ClusterOfClustersModel(fast).evaluate().mean_latency_s
+        assert fast_latency < slow_latency
+
+    def test_blocking_architecture_slower(self):
+        system = llnl_like_system()
+        nb = ClusterOfClustersModel(
+            system, HeterogeneousModelConfig(architecture="non-blocking")
+        ).evaluate()
+        b = ClusterOfClustersModel(
+            system, HeterogeneousModelConfig(architecture="blocking")
+        ).evaluate()
+        assert b.mean_latency_s > nb.mean_latency_s
+
+    def test_utilizations_reported_per_cluster(self):
+        report = ClusterOfClustersModel(llnl_like_system()).evaluate()
+        assert "icn2" in report.utilizations
+        assert any(key.startswith("icn1[") for key in report.utilizations)
+        assert all(0.0 <= u < 1.0 for u in report.utilizations.values())
+
+    def test_single_processor_total_rejected(self):
+        tiny = MultiClusterSystem.from_cluster_sizes(
+            sizes=[1],
+            icn_technologies=[FAST_ETHERNET],
+            ecn_technologies=[FAST_ETHERNET],
+            icn2_technology=FAST_ETHERNET,
+        )
+        with pytest.raises(ConfigurationError):
+            ClusterOfClustersModel(tiny)
+
+    def test_saturated_configuration_raises(self):
+        system = llnl_like_system()
+        with pytest.raises(StabilityError):
+            ClusterOfClustersModel(
+                system,
+                HeterogeneousModelConfig(
+                    generation_rate=1e6, finite_source_correction=False
+                ),
+            ).evaluate()
+
+    def test_finite_source_correction_reduces_rates_under_load(self):
+        system = llnl_like_system()
+        report = ClusterOfClustersModel(
+            system, HeterogeneousModelConfig(generation_rate=500.0)
+        ).evaluate()
+        # Under heavy offered load the effective rates drop below nominal.
+        assert all(rate < 500.0 for rate in report.per_cluster_effective_rate.values())
+
+    def test_processor_speed_scales_generation(self):
+        report = ClusterOfClustersModel(llnl_like_system()).evaluate()
+        rates = report.per_cluster_effective_rate
+        # Thunder's Itanium2 nodes have relative speed 1.4 vs PVC's 0.8.
+        assert rates["thunder"] > rates["pvc"]

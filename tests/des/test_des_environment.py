@@ -1,0 +1,142 @@
+"""Unit tests for the DES environment / scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.core import EmptySchedule, Environment
+from repro.errors import SimulationError
+
+
+class TestClock:
+    def test_initial_time_default(self):
+        assert Environment().now == 0.0
+
+    def test_initial_time_custom(self):
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_time_advances_monotonically(self, env):
+        seen = []
+
+        def proc(env):
+            for delay in (1.0, 0.5, 2.0):
+                yield env.timeout(delay)
+                seen.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert seen == [1.0, 1.5, 3.5]
+        assert seen == sorted(seen)
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(4.0)
+        env.timeout(2.0)
+        assert env.peek() == 2.0
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+
+class TestRun:
+    def test_run_until_time(self, env):
+        fired = []
+
+        def proc(env):
+            while True:
+                yield env.timeout(1.0)
+                fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_run_until_past_time_rejected(self, env):
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_run_until_event_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(2.0)
+            return "finished"
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == "finished"
+
+    def test_run_drains_queue_without_until(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert env.queue_size == 0
+        assert env.now == 2.0
+
+    def test_run_until_never_triggered_event_raises(self, env):
+        never = env.event()
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError):
+            env.run(until=never)
+
+    def test_step_on_empty_schedule_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_run_until_empty_counts_events(self, env):
+        env.timeout(1.0)
+        env.timeout(2.0)
+        assert env.run_until_empty() == 2
+
+    def test_run_until_empty_budget_exceeded(self, env):
+        def forever(env):
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(forever(env))
+        with pytest.raises(SimulationError):
+            env.run_until_empty(max_events=10)
+
+    def test_unhandled_process_failure_propagates(self, env):
+        def broken(env):
+            yield env.timeout(1.0)
+            raise ValueError("broken process")
+
+        env.process(broken(env))
+        with pytest.raises(ValueError, match="broken process"):
+            env.run()
+
+
+class TestOrdering:
+    def test_same_time_fifo_order(self, env):
+        order = []
+
+        def proc(env, name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        for name in ("a", "b", "c"):
+            env.process(proc(env, name))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected_in_schedule(self, env):
+        event = env.event()
+        with pytest.raises(ValueError):
+            env.schedule(event, delay=-0.1)
+
+    def test_queue_size_tracks_scheduled_events(self, env):
+        env.timeout(1.0)
+        env.timeout(2.0)
+        assert env.queue_size == 2
+        env.step()
+        assert env.queue_size == 1
+
+    def test_repr_contains_time(self, env):
+        env.timeout(1.0)
+        assert "t=0.0" in repr(env)

@@ -1,0 +1,126 @@
+"""Unit tests for monitors and tracing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.des.monitor import Monitor, TimeWeightedMonitor, Tracer
+
+
+class TestMonitor:
+    def test_empty_monitor_stats_are_nan(self):
+        mon = Monitor()
+        assert math.isnan(mon.mean())
+        assert math.isnan(mon.minimum())
+        assert math.isnan(mon.maximum())
+        assert mon.count == 0
+
+    def test_record_and_statistics(self):
+        mon = Monitor("latency")
+        for t, v in enumerate([2.0, 4.0, 6.0, 8.0]):
+            mon.record(float(t), v)
+        assert mon.mean() == pytest.approx(5.0)
+        assert mon.minimum() == 2.0
+        assert mon.maximum() == 8.0
+        assert mon.std() == pytest.approx(2.581988897, rel=1e-6)
+        assert mon.percentile(50) == pytest.approx(5.0)
+
+    def test_extend_requires_matching_lengths(self):
+        mon = Monitor()
+        with pytest.raises(ValueError):
+            mon.extend([1.0, 2.0], [1.0])
+
+    def test_extend_and_len(self):
+        mon = Monitor()
+        mon.extend([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert len(mon) == 3
+        assert list(mon.values) == [1.0, 2.0, 3.0]
+
+    def test_truncated_removes_warmup(self):
+        mon = Monitor()
+        mon.extend(range(10), [100.0] * 5 + [1.0] * 5)
+        steady = mon.truncated(5)
+        assert steady.count == 5
+        assert steady.mean() == pytest.approx(1.0)
+
+    def test_truncated_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Monitor().truncated(-1)
+
+    def test_reset(self):
+        mon = Monitor()
+        mon.record(0.0, 1.0)
+        mon.reset()
+        assert mon.count == 0
+
+    def test_summary_keys(self):
+        mon = Monitor()
+        mon.extend(range(100), [float(i) for i in range(100)])
+        summary = mon.summary()
+        assert set(summary) == {"count", "mean", "std", "min", "max", "p50", "p95", "p99"}
+        assert summary["count"] == 100
+
+
+class TestTimeWeightedMonitor:
+    def test_time_average_piecewise_constant(self):
+        mon = TimeWeightedMonitor(initial=0.0)
+        mon.update(2.0, 4.0)   # level 0 on [0, 2), then 4
+        mon.update(6.0, 1.0)   # level 4 on [2, 6), then 1
+        # Average over [0, 10): (0*2 + 4*4 + 1*4) / 10 = 2.0
+        assert mon.time_average(now=10.0) == pytest.approx(2.0)
+
+    def test_increment_decrement(self):
+        mon = TimeWeightedMonitor()
+        mon.increment(1.0)
+        mon.increment(2.0)
+        mon.decrement(3.0)
+        assert mon.current == 1.0
+        assert mon.maximum == 2.0
+        assert mon.minimum == 0.0
+
+    def test_time_going_backwards_rejected(self):
+        mon = TimeWeightedMonitor()
+        mon.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            mon.update(4.0, 2.0)
+
+    def test_time_average_before_last_update_rejected(self):
+        mon = TimeWeightedMonitor()
+        mon.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            mon.time_average(now=1.0)
+
+    def test_zero_horizon_returns_current(self):
+        mon = TimeWeightedMonitor(initial=3.0, start_time=2.0)
+        assert mon.time_average(now=2.0) == 3.0
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.log(0.0, "msg", "hello")
+        assert len(tracer) == 0
+
+    def test_enabled_records(self):
+        tracer = Tracer(enabled=True)
+        tracer.log(1.0, "msg", "hello", source=3)
+        assert len(tracer) == 1
+        record = tracer.records[0]
+        assert record.time == 1.0
+        assert record.category == "msg"
+        assert record.data == {"source": 3}
+
+    def test_category_filtering(self):
+        tracer = Tracer(enabled=True, categories={"network"})
+        tracer.log(0.0, "network", "a")
+        tracer.log(0.0, "cpu", "b")
+        assert len(tracer) == 1
+        assert tracer.filter("network")[0].message == "a"
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        tracer.log(0.0, "x", "y")
+        tracer.clear()
+        assert len(tracer) == 0

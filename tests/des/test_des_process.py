@@ -1,0 +1,179 @@
+"""Unit tests for DES processes and interrupts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.core import Environment
+from repro.des.process import Interrupt, Process
+from repro.errors import SimulationError
+
+
+class TestProcessBasics:
+    def test_process_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            Process(env, lambda: None)  # type: ignore[arg-type]
+
+    def test_process_is_alive_until_done(self, env):
+        def worker(env):
+            yield env.timeout(1.0)
+
+        proc = env.process(worker(env))
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+
+    def test_process_return_value(self, env):
+        def worker(env):
+            yield env.timeout(1.0)
+            return 99
+
+        proc = env.process(worker(env))
+        env.run()
+        assert proc.value == 99
+
+    def test_process_name(self, env):
+        def my_worker(env):
+            yield env.timeout(1.0)
+
+        proc = env.process(my_worker(env))
+        assert proc.name == "my_worker"
+        assert "my_worker" in repr(proc)
+
+    def test_waiting_for_another_process(self, env):
+        order = []
+
+        def child(env):
+            yield env.timeout(2.0)
+            order.append("child")
+            return "child-result"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            order.append(f"parent:{result}")
+
+        env.process(parent(env))
+        env.run()
+        assert order == ["child", "parent:child-result"]
+
+    def test_yielding_non_event_fails_process(self, env):
+        def bad(env):
+            yield 42  # not an Event
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_in_process_propagates_to_waiter(self, env):
+        seen = []
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise KeyError("inner")
+
+        def waiter(env):
+            try:
+                yield env.process(failing(env))
+            except KeyError as exc:
+                seen.append(str(exc))
+
+        env.process(waiter(env))
+        env.run()
+        assert seen == ["'inner'"]
+
+    def test_sequential_timeouts_accumulate(self, env):
+        trace = []
+
+        def worker(env):
+            for _ in range(3):
+                yield env.timeout(1.5)
+                trace.append(env.now)
+
+        env.process(worker(env))
+        env.run()
+        assert trace == [1.5, 3.0, 4.5]
+
+    def test_already_processed_event_resumes_immediately(self, env):
+        """Yielding an event that already fired should not deadlock."""
+        results = []
+
+        def worker(env, ready):
+            yield env.timeout(2.0)
+            value = yield ready  # ready fired at t=0
+            results.append((env.now, value))
+
+        ready = env.event()
+        ready.succeed("early")
+        env.process(worker(env, ready))
+        env.run()
+        assert results == [(2.0, "early")]
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        causes = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as interrupt:
+                causes.append((interrupt.cause, env.now))
+
+        def attacker(env, target):
+            yield env.timeout(1.0)
+            target.interrupt(cause="stop now")
+
+        target = env.process(victim(env))
+        env.process(attacker(env, target))
+        env.run()
+        # The interrupt is delivered at t = 1.0 (the abandoned timeout still
+        # drains from the queue afterwards, which is fine — nobody waits on it).
+        assert causes == [("stop now", 1.0)]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                log.append(("interrupted", env.now))
+            yield env.timeout(2.0)
+            log.append(("done", env.now))
+
+        def attacker(env, target):
+            yield env.timeout(3.0)
+            target.interrupt()
+
+        target = env.process(victim(env))
+        env.process(attacker(env, target))
+        env.run()
+        assert log == [("interrupted", 3.0), ("done", 5.0)]
+
+    def test_interrupting_dead_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1.0)
+
+        proc = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        errors = []
+
+        def selfish(env):
+            yield env.timeout(1.0)
+            try:
+                env.active_process.interrupt()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        env.process(selfish(env))
+        env.run()
+        assert len(errors) == 1
+
+    def test_interrupt_str(self):
+        interrupt = Interrupt("why")
+        assert "why" in str(interrupt)
+        assert interrupt.cause == "why"

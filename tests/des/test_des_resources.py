@@ -1,0 +1,182 @@
+"""Unit tests for DES resources (FIFO, priority, preemptive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.process import Interrupt
+from repro.des.resources import Preempted, PreemptiveResource, PriorityResource, Resource
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_single_server_serialises_users(self, env):
+        completions = []
+        resource = Resource(env, capacity=1)
+
+        def user(env, resource, name, service):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(service)
+            completions.append((name, env.now))
+
+        for i in range(3):
+            env.process(user(env, resource, i, 2.0))
+        env.run()
+        assert completions == [(0, 2.0), (1, 4.0), (2, 6.0)]
+
+    def test_multi_server_parallelism(self, env):
+        completions = []
+        resource = Resource(env, capacity=2)
+
+        def user(env, resource, name):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(3.0)
+            completions.append((name, env.now))
+
+        for i in range(4):
+            env.process(user(env, resource, i))
+        env.run()
+        assert completions == [(0, 3.0), (1, 3.0), (2, 6.0), (3, 6.0)]
+
+    def test_count_and_queue_lengths(self, env):
+        resource = Resource(env, capacity=1)
+        states = []
+
+        def user(env, resource):
+            with resource.request() as req:
+                yield req
+                states.append((resource.count, len(resource.queue)))
+                yield env.timeout(1.0)
+
+        env.process(user(env, resource))
+        env.process(user(env, resource))
+        env.run()
+        # The first user observed one waiting request; the second none.
+        assert states == [(1, 1), (1, 0)]
+
+    def test_release_without_context_manager(self, env):
+        resource = Resource(env, capacity=1)
+        done = []
+
+        def user(env, resource):
+            req = resource.request()
+            yield req
+            yield env.timeout(1.0)
+            resource.release(req)
+            done.append(env.now)
+
+        env.process(user(env, resource))
+        env.process(user(env, resource))
+        env.run()
+        assert done == [1.0, 2.0]
+
+    def test_fifo_ordering(self, env):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(env, resource, name, start):
+            yield env.timeout(start)
+            with resource.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(5.0)
+
+        for i, start in enumerate([0.0, 1.0, 2.0, 3.0]):
+            env.process(user(env, resource, i, start))
+        env.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_repr(self, env):
+        resource = Resource(env, capacity=3)
+        assert "capacity=3" in repr(resource)
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        resource = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, resource, name, priority, start):
+            yield env.timeout(start)
+            with resource.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(10.0)
+
+        # The first user occupies the server; the others queue with priorities.
+        env.process(user(env, resource, "first", 0, 0.0))
+        env.process(user(env, resource, "low", 5, 1.0))
+        env.process(user(env, resource, "high", 1, 2.0))
+        env.run()
+        assert order == ["first", "high", "low"]
+
+    def test_fifo_within_same_priority(self, env):
+        resource = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, resource, name, start):
+            yield env.timeout(start)
+            with resource.request(priority=3) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(10.0)
+
+        for i, start in enumerate([0.0, 1.0, 2.0]):
+            env.process(user(env, resource, i, start))
+        env.run()
+        assert order == [0, 1, 2]
+
+
+class TestPreemptiveResource:
+    def test_preemption_interrupts_lower_priority(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        events = []
+
+        def low(env, resource):
+            with resource.request(priority=10) as req:
+                yield req
+                try:
+                    yield env.timeout(10.0)
+                    events.append("low-finished")
+                except Interrupt as interrupt:
+                    assert isinstance(interrupt.cause, Preempted)
+                    events.append(("low-preempted", env.now))
+
+        def high(env, resource):
+            yield env.timeout(2.0)
+            with resource.request(priority=0, preempt=True) as req:
+                yield req
+                events.append(("high-running", env.now))
+                yield env.timeout(1.0)
+
+        env.process(low(env, resource))
+        env.process(high(env, resource))
+        env.run()
+        assert ("low-preempted", 2.0) in events
+        assert ("high-running", 2.0) in events
+
+    def test_no_preemption_when_flag_false(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        events = []
+
+        def low(env, resource):
+            with resource.request(priority=10) as req:
+                yield req
+                yield env.timeout(5.0)
+                events.append(("low-finished", env.now))
+
+        def polite_high(env, resource):
+            yield env.timeout(1.0)
+            with resource.request(priority=0, preempt=False) as req:
+                yield req
+                events.append(("high-running", env.now))
+
+        env.process(low(env, resource))
+        env.process(polite_high(env, resource))
+        env.run()
+        assert events == [("low-finished", 5.0), ("high-running", 5.0)]

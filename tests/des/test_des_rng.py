@@ -1,0 +1,130 @@
+"""Unit tests for random streams and variate generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des.rng import RandomStreams, VariateGenerator
+
+
+class TestRandomStreams:
+    def test_same_seed_same_streams(self):
+        a = RandomStreams(seed=7).stream("arrivals")
+        b = RandomStreams(seed=7).stream("arrivals")
+        assert [a.exponential(1.0) for _ in range(5)] == [b.exponential(1.0) for _ in range(5)]
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(seed=7)
+        a = streams.stream("arrivals")
+        b = streams.stream("service")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).stream("x")
+        b = RandomStreams(seed=2).stream("x")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_stream_cache_returns_same_object(self):
+        streams = RandomStreams(seed=3)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_bulk(self):
+        streams = RandomStreams(seed=3)
+        bundle = streams.streams(["a", "b"])
+        assert set(bundle) == {"a", "b"}
+
+    def test_spawn_creates_independent_replication(self):
+        base = RandomStreams(seed=5)
+        rep = base.spawn(1)
+        assert base.stream("x").uniform() != rep.stream("x").uniform()
+
+    def test_order_of_creation_does_not_matter(self):
+        s1 = RandomStreams(seed=11)
+        s2 = RandomStreams(seed=11)
+        # Create in different orders.
+        a1 = s1.stream("alpha")
+        _ = s1.stream("beta")
+        _ = s2.stream("beta")
+        a2 = s2.stream("alpha")
+        assert a1.exponential(2.0) == a2.exponential(2.0)
+
+
+class TestVariateGenerator:
+    @pytest.fixture
+    def gen(self) -> VariateGenerator:
+        return RandomStreams(seed=42).stream("test")
+
+    def test_exponential_mean(self, gen):
+        samples = [gen.exponential(2.0) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.05)
+        assert min(samples) > 0
+
+    def test_exponential_rate(self, gen):
+        samples = [gen.exponential_rate(4.0) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(0.25, rel=0.05)
+
+    def test_exponential_invalid(self, gen):
+        with pytest.raises(ValueError):
+            gen.exponential(0.0)
+        with pytest.raises(ValueError):
+            gen.exponential_rate(-1.0)
+
+    def test_uniform_bounds(self, gen):
+        samples = [gen.uniform(2.0, 5.0) for _ in range(1000)]
+        assert all(2.0 <= s < 5.0 for s in samples)
+        with pytest.raises(ValueError):
+            gen.uniform(5.0, 2.0)
+
+    def test_erlang_mean_and_lower_variance(self, gen):
+        exp = [gen.exponential(3.0) for _ in range(20_000)]
+        erl = [gen.erlang(4, 3.0) for _ in range(20_000)]
+        assert np.mean(erl) == pytest.approx(3.0, rel=0.05)
+        assert np.var(erl) < np.var(exp)
+
+    def test_erlang_invalid(self, gen):
+        with pytest.raises(ValueError):
+            gen.erlang(0, 1.0)
+
+    def test_hyperexponential_mean(self, gen):
+        samples = [gen.hyperexponential([1.0, 4.0], [0.5, 0.5]) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(2.5, rel=0.05)
+
+    def test_hyperexponential_invalid_probs(self, gen):
+        with pytest.raises(ValueError):
+            gen.hyperexponential([1.0, 2.0], [0.7, 0.7])
+
+    def test_integer_bounds_inclusive(self, gen):
+        samples = {gen.integer(0, 3) for _ in range(500)}
+        assert samples == {0, 1, 2, 3}
+
+    def test_choice_and_weights(self, gen):
+        items = ["a", "b", "c"]
+        assert gen.choice(items) in items
+        biased = [gen.choice(items, probs=[0.0, 1.0, 0.0]) for _ in range(20)]
+        assert set(biased) == {"b"}
+
+    def test_choice_empty_rejected(self, gen):
+        with pytest.raises(ValueError):
+            gen.choice([])
+
+    def test_bernoulli_probability(self, gen):
+        trues = sum(gen.bernoulli(0.3) for _ in range(20_000))
+        assert trues / 20_000 == pytest.approx(0.3, abs=0.02)
+        with pytest.raises(ValueError):
+            gen.bernoulli(1.5)
+
+    def test_deterministic(self, gen):
+        assert gen.deterministic(3.5) == 3.5
+
+    def test_geometric_positive(self, gen):
+        assert gen.geometric(0.5) >= 1
+        with pytest.raises(ValueError):
+            gen.geometric(0.0)
+
+    def test_normal_and_lognormal_validation(self, gen):
+        with pytest.raises(ValueError):
+            gen.normal(0.0, -1.0)
+        with pytest.raises(ValueError):
+            gen.lognormal(0.0, -1.0)
+        assert gen.lognormal(0.0, 0.5) > 0

@@ -1,0 +1,203 @@
+"""Unit tests for DES stores and containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.store import Container, FilterStore, Store
+
+
+class TestStore:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_put_then_get(self, env):
+        store = Store(env)
+        received = []
+
+        def producer(env, store):
+            yield store.put("msg-1")
+            yield store.put("msg-2")
+
+        def consumer(env, store):
+            item = yield store.get()
+            received.append(item)
+            item = yield store.get()
+            received.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert received == ["msg-1", "msg-2"]
+
+    def test_get_blocks_until_item_available(self, env):
+        store = Store(env)
+        times = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            times.append((item, env.now))
+
+        def producer(env, store):
+            yield env.timeout(5.0)
+            yield store.put("late")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert times == [("late", 5.0)]
+
+    def test_put_blocks_when_full(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env, store):
+            yield store.put("a")
+            log.append(("put-a", env.now))
+            yield store.put("b")
+            log.append(("put-b", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(3.0)
+            item = yield store.get()
+            log.append((f"got-{item}", env.now))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert ("put-a", 0.0) in log
+        assert ("got-a", 3.0) in log
+        assert ("put-b", 3.0) in log
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        out = []
+
+        def producer(env, store):
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer(env, store):
+            for _ in range(5):
+                item = yield store.get()
+                out.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_len_reflects_items(self, env):
+        store = Store(env)
+
+        def producer(env, store):
+            yield store.put("x")
+
+        env.process(producer(env, store))
+        env.run()
+        assert len(store) == 1
+
+
+class TestFilterStore:
+    def test_filtered_get(self, env):
+        store = FilterStore(env)
+        received = []
+
+        def producer(env, store):
+            yield store.put({"kind": "data", "id": 1})
+            yield store.put({"kind": "control", "id": 2})
+
+        def consumer(env, store):
+            item = yield store.get(lambda m: m["kind"] == "control")
+            received.append(item["id"])
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert received == [2]
+        # The non-matching item is still in the store.
+        assert len(store) == 1
+
+    def test_waits_for_matching_item(self, env):
+        store = FilterStore(env)
+        times = []
+
+        def consumer(env, store):
+            yield store.get(lambda item: item > 10)
+            times.append(env.now)
+
+        def producer(env, store):
+            yield store.put(1)
+            yield env.timeout(4.0)
+            yield store.put(99)
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert times == [4.0]
+
+
+class TestContainer:
+    def test_invalid_parameters(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=20)
+
+    def test_put_and_get_amounts(self, env):
+        tank = Container(env, capacity=100, init=50)
+        levels = []
+
+        def actor(env, tank):
+            yield tank.get(30)
+            levels.append(tank.level)
+            yield tank.put(10)
+            levels.append(tank.level)
+
+        env.process(actor(env, tank))
+        env.run()
+        assert levels == [20, 30]
+
+    def test_get_blocks_until_enough(self, env):
+        tank = Container(env, capacity=100, init=0)
+        times = []
+
+        def consumer(env, tank):
+            yield tank.get(10)
+            times.append(env.now)
+
+        def producer(env, tank):
+            yield env.timeout(2.0)
+            yield tank.put(5)
+            yield env.timeout(2.0)
+            yield tank.put(5)
+
+        env.process(consumer(env, tank))
+        env.process(producer(env, tank))
+        env.run()
+        assert times == [4.0]
+
+    def test_put_blocks_at_capacity(self, env):
+        tank = Container(env, capacity=10, init=10)
+        times = []
+
+        def producer(env, tank):
+            yield tank.put(5)
+            times.append(env.now)
+
+        def consumer(env, tank):
+            yield env.timeout(7.0)
+            yield tank.get(5)
+
+        env.process(producer(env, tank))
+        env.process(consumer(env, tank))
+        env.run()
+        assert times == [7.0]
+
+    def test_non_positive_amounts_rejected(self, env):
+        tank = Container(env, capacity=10, init=5)
+        with pytest.raises(ValueError):
+            tank.put(0)
+        with pytest.raises(ValueError):
+            tank.get(-1)

@@ -1,0 +1,76 @@
+"""Unit tests for the auto-generated reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import ReproductionReport, ShapeChecks, generate_report
+
+
+class TestShapeChecks:
+    def test_all_pass_property(self):
+        assert ShapeChecks(True, True, True).all_pass
+        assert not ShapeChecks(True, False, True).all_pass
+
+    def test_as_dict_keys(self):
+        d = ShapeChecks(True, True, False).as_dict()
+        assert set(d) == {"latency grows with C", "dip at C=16", "M=1024 above M=512"}
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def analysis_report(self) -> ReproductionReport:
+        # Analysis-only over the full grid: fast enough for a class fixture.
+        return generate_report(include_simulation=False)
+
+    def test_contains_all_figures(self, analysis_report):
+        assert set(analysis_report.figures) == {4, 5, 6, 7}
+        for result in analysis_report.figures.values():
+            assert len(result.points) == 18
+
+    def test_shape_checks_hold_for_nonblocking_figures(self, analysis_report):
+        for figure in (4, 5):
+            checks = analysis_report.shape_checks(figure)
+            assert checks.grows_with_cluster_count
+            assert checks.dip_at_c16
+            assert checks.larger_messages_slower
+
+    def test_ratio_study_included(self, analysis_report):
+        assert analysis_report.ratio_study.blocking_always_slower()
+
+    def test_markdown_rendering(self, analysis_report):
+        text = analysis_report.to_markdown()
+        assert "# Reproduction report" in text
+        assert "## Figure 4" in text
+        assert "## Figure 7" in text
+        assert "Blocking vs non-blocking ratio" in text
+        assert "dip at C=16" in text
+
+    def test_write_to_file(self, analysis_report, tmp_path):
+        path = tmp_path / "report.md"
+        analysis_report.write(str(path))
+        assert path.exists()
+        assert "Reproduction report" in path.read_text()
+
+    def test_subset_of_figures(self):
+        report = generate_report(
+            include_simulation=False, figures=[4], cluster_counts=[1, 8, 16, 32, 256]
+        )
+        assert set(report.figures) == {4}
+        assert report.shape_checks(4).dip_at_c16
+
+    def test_dip_check_requires_relevant_counts(self):
+        report = generate_report(include_simulation=False, figures=[4],
+                                 cluster_counts=[1, 256])
+        assert not report.shape_checks(4).dip_at_c16
+
+    def test_report_with_simulation_small(self):
+        report = generate_report(
+            include_simulation=True,
+            figures=[4],
+            cluster_counts=[4],
+            simulation_messages=800,
+        )
+        result = report.figures[4]
+        assert all(p.simulation_latency_ms is not None for p in result.points)
+        assert "Analysis vs simulation" in report.to_markdown()

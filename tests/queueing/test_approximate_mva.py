@@ -1,0 +1,76 @@
+"""Unit tests for the Schweitzer approximate MVA solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queueing.approximate_mva import approximate_mva
+from repro.queueing.mva import MVAStation, mean_value_analysis
+
+
+def interactive_system(think: float, demand: float):
+    return [
+        MVAStation("think", visit_ratio=1.0, service_time=think, is_delay=True),
+        MVAStation("server", visit_ratio=1.0, service_time=demand),
+    ]
+
+
+class TestApproximateMVA:
+    def test_population_zero(self):
+        result = approximate_mva(interactive_system(5.0, 1.0), population=0)
+        assert result.throughput == 0.0
+        assert float(result.queue_lengths.sum()) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            approximate_mva([], population=5)
+        with pytest.raises(ConfigurationError):
+            approximate_mva(interactive_system(1.0, 1.0), population=-1)
+
+    @pytest.mark.parametrize("population", [1, 5, 20, 100])
+    def test_close_to_exact_mva(self, population):
+        stations = interactive_system(think=4.0, demand=0.5)
+        exact = mean_value_analysis(stations, population)
+        approx = approximate_mva(stations, population)
+        assert approx.throughput == pytest.approx(exact.throughput, rel=0.05)
+        assert approx.queue_length("server") == pytest.approx(
+            exact.queue_length("server"), rel=0.15, abs=0.1
+        )
+
+    def test_bottleneck_saturation(self):
+        stations = interactive_system(think=2.0, demand=1.0)
+        result = approximate_mva(stations, population=500)
+        assert result.throughput == pytest.approx(1.0, rel=1e-3)
+        assert result.utilization("server") == pytest.approx(1.0, rel=1e-3)
+
+    def test_queue_lengths_sum_to_population(self):
+        stations = [
+            MVAStation("think", 1.0, 3.0, is_delay=True),
+            MVAStation("a", 1.0, 0.5),
+            MVAStation("b", 0.25, 1.0),
+        ]
+        result = approximate_mva(stations, population=40)
+        assert float(result.queue_lengths.sum()) == pytest.approx(40.0, rel=1e-6)
+
+    def test_large_population_fast_and_consistent(self):
+        """The approximation handles populations far beyond the paper's 256."""
+        stations = interactive_system(think=10.0, demand=0.001)
+        result = approximate_mva(stations, population=100_000)
+        assert result.throughput > 0
+        assert result.utilization("server") <= 1.0 + 1e-9
+
+    def test_multi_station_network_matches_exact_shape(self):
+        stations = [
+            MVAStation("think", 1.0, 4.0, is_delay=True),
+            MVAStation("icn1", 0.1, 0.2),
+            MVAStation("ecn1", 1.8, 0.15),
+            MVAStation("icn2", 0.9, 0.18),
+        ]
+        exact = mean_value_analysis(stations, 64)
+        approx = approximate_mva(stations, 64)
+        # The bottleneck identified by both solutions must be the same station.
+        exact_bottleneck = max(stations[1:], key=lambda s: exact.utilization(s.name)).name
+        approx_bottleneck = max(stations[1:], key=lambda s: approx.utilization(s.name)).name
+        assert exact_bottleneck == approx_bottleneck
+        assert approx.throughput == pytest.approx(exact.throughput, rel=0.1)

@@ -1,0 +1,161 @@
+"""Unit tests for distribution descriptors and the M/G/1 queue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des.rng import RandomStreams
+from repro.errors import StabilityError
+from repro.queueing.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    UniformDistribution,
+)
+from repro.queueing.mg1 import MG1Queue
+from repro.queueing.mm1 import MM1Queue
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(seed=99).stream("dist")
+
+
+class TestExponential:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_moments(self):
+        d = Exponential(2.0)
+        assert d.mean == 2.0
+        assert d.variance == 4.0
+        assert d.scv == pytest.approx(1.0)
+        assert d.rate == pytest.approx(0.5)
+
+    def test_from_rate(self):
+        assert Exponential.from_rate(4.0).mean == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            Exponential.from_rate(0.0)
+
+    def test_scaled(self):
+        assert Exponential(2.0).scaled(3.0).mean == pytest.approx(6.0)
+
+    def test_sampling_mean(self, rng):
+        d = Exponential(3.0)
+        samples = [d.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(3.0, rel=0.05)
+
+
+class TestDeterministic:
+    def test_moments(self):
+        d = Deterministic(5.0)
+        assert d.mean == 5.0
+        assert d.variance == 0.0
+        assert d.scv == 0.0
+
+    def test_sampling_is_constant(self, rng):
+        d = Deterministic(1.5)
+        assert {d.sample(rng) for _ in range(10)} == {1.5}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+
+class TestErlang:
+    def test_moments(self):
+        d = Erlang(k=4, mean_value=2.0)
+        assert d.mean == 2.0
+        assert d.variance == pytest.approx(1.0)
+        assert d.scv == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Erlang(0, 1.0)
+        with pytest.raises(ValueError):
+            Erlang(2, -1.0)
+
+    def test_sampling(self, rng):
+        d = Erlang(3, 6.0)
+        samples = [d.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(6.0, rel=0.05)
+
+
+class TestHyperExponential:
+    def test_moments(self):
+        d = HyperExponential(means=(1.0, 3.0), probabilities=(0.5, 0.5))
+        assert d.mean == pytest.approx(2.0)
+        assert d.scv > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HyperExponential(means=(1.0,), probabilities=(0.5,))
+        with pytest.raises(ValueError):
+            HyperExponential(means=(1.0, -1.0), probabilities=(0.5, 0.5))
+
+    def test_fit_from_mean_and_scv(self):
+        d = HyperExponential.from_mean_and_scv(mean=4.0, scv=3.0)
+        assert d.mean == pytest.approx(4.0)
+        assert d.scv == pytest.approx(3.0, rel=1e-6)
+
+    def test_fit_requires_scv_above_one(self):
+        with pytest.raises(ValueError):
+            HyperExponential.from_mean_and_scv(1.0, 0.8)
+
+    def test_sampling(self, rng):
+        d = HyperExponential.from_mean_and_scv(mean=2.0, scv=4.0)
+        samples = [d.sample(rng) for _ in range(40_000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.1)
+
+
+class TestUniformDistribution:
+    def test_moments(self):
+        d = UniformDistribution(2.0, 6.0)
+        assert d.mean == 4.0
+        assert d.variance == pytest.approx(16.0 / 12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformDistribution(5.0, 2.0)
+
+    def test_sampling_bounds(self, rng):
+        d = UniformDistribution(1.0, 2.0)
+        samples = [d.sample(rng) for _ in range(100)]
+        assert all(1.0 <= s <= 2.0 for s in samples)
+
+
+class TestMG1:
+    def test_exponential_service_reduces_to_mm1(self):
+        lam = 2.0
+        service = Exponential(0.25)  # µ = 4
+        mg1 = MG1Queue(lam, service)
+        mm1 = MM1Queue(lam, 4.0)
+        assert mg1.mean_waiting_time == pytest.approx(mm1.mean_waiting_time)
+        assert mg1.mean_sojourn_time == pytest.approx(mm1.mean_sojourn_time)
+        assert mg1.mean_number_in_system == pytest.approx(mm1.mean_number_in_system)
+
+    def test_deterministic_service_halves_waiting(self):
+        """The classic M/D/1 result: Wq is half the M/M/1 value."""
+        lam = 2.0
+        wq_md1 = MG1Queue(lam, Deterministic(0.25)).mean_waiting_time
+        wq_mm1 = MG1Queue(lam, Exponential(0.25)).mean_waiting_time
+        assert wq_md1 == pytest.approx(wq_mm1 / 2.0)
+
+    def test_high_variance_service_increases_waiting(self):
+        lam = 2.0
+        bursty = HyperExponential.from_mean_and_scv(0.25, 5.0)
+        assert (
+            MG1Queue(lam, bursty).mean_waiting_time
+            > MG1Queue(lam, Exponential(0.25)).mean_waiting_time
+        )
+
+    def test_unstable_raises(self):
+        with pytest.raises(StabilityError):
+            _ = MG1Queue(5.0, Exponential(0.25)).mean_waiting_time
+
+    def test_littles_law(self):
+        q = MG1Queue(1.0, Erlang(2, 0.3))
+        assert q.mean_number_in_system == pytest.approx(q.arrival_rate * q.mean_sojourn_time)

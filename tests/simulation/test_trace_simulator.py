@@ -1,0 +1,102 @@
+"""Unit tests for the open-loop, trace-driven simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.presets import paper_evaluation_system
+from repro.errors import ConfigurationError
+from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
+from repro.simulation.trace_simulator import (
+    TraceDrivenSimulator,
+    TraceSimulationConfig,
+    TraceSimulationResult,
+)
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.destinations import LocalizedDestinations
+from repro.workload.messages import FixedMessageSize, TraceEntry, WorkloadTrace, generate_trace
+
+
+@pytest.fixture
+def small_system():
+    return paper_evaluation_system(4, GIGABIT_ETHERNET, FAST_ETHERNET, total_processors=32)
+
+
+@pytest.fixture
+def small_trace():
+    return generate_trace([8, 8, 8, 8], num_messages=800,
+                          arrival_process=PoissonArrivals(rate=0.25), seed=5)
+
+
+class TestTraceSimulationConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceSimulationConfig(batch_count=1)
+
+
+class TestTraceDrivenSimulator:
+    def test_replays_all_messages(self, small_system, small_trace):
+        result = TraceDrivenSimulator(small_system, small_trace).run()
+        assert isinstance(result, TraceSimulationResult)
+        assert result.completed_messages == len(small_trace)
+        assert result.injected_messages == len(small_trace)
+        assert result.mean_latency_s > 0
+        assert result.mean_latency_ms == pytest.approx(result.mean_latency_s * 1e3)
+        assert result.makespan_s >= small_trace.duration
+        assert 0.0 <= result.remote_fraction <= 1.0
+        assert "icn2" in result.utilizations
+
+    def test_reproducible(self, small_system, small_trace):
+        a = TraceDrivenSimulator(small_system, small_trace,
+                                 TraceSimulationConfig(seed=3)).run()
+        b = TraceDrivenSimulator(small_system, small_trace,
+                                 TraceSimulationConfig(seed=3)).run()
+        assert a.mean_latency_s == pytest.approx(b.mean_latency_s, rel=1e-12)
+
+    def test_open_loop_close_to_closed_loop_at_light_load(self, small_system, small_trace):
+        """At the paper's nearly idle load, open- and closed-loop latencies agree."""
+        from repro.simulation.simulator import MultiClusterSimulator, SimulationConfig
+
+        open_loop = TraceDrivenSimulator(small_system, small_trace).run()
+        closed_loop = MultiClusterSimulator(
+            small_system, SimulationConfig(num_messages=800, seed=5)
+        ).run()
+        assert open_loop.mean_latency_s == pytest.approx(closed_loop.mean_latency_s, rel=0.15)
+
+    def test_blocking_architecture_slower(self, small_system, small_trace):
+        nb = TraceDrivenSimulator(
+            small_system, small_trace, TraceSimulationConfig(architecture="non-blocking")
+        ).run()
+        b = TraceDrivenSimulator(
+            small_system, small_trace, TraceSimulationConfig(architecture="blocking")
+        ).run()
+        assert b.mean_latency_s > nb.mean_latency_s
+
+    def test_local_only_trace_never_touches_icn2(self, small_system):
+        trace = generate_trace(
+            [8, 8, 8, 8],
+            num_messages=300,
+            destination_policy=LocalizedDestinations([8, 8, 8, 8], locality=1.0),
+            size_model=FixedMessageSize(512),
+            seed=9,
+        )
+        simulator = TraceDrivenSimulator(small_system, trace)
+        result = simulator.run()
+        assert result.remote_fraction == 0.0
+        assert result.utilizations["icn2"] == 0.0
+        assert simulator.icn2.served == 0
+
+    def test_empty_trace_rejected(self, small_system):
+        with pytest.raises(ConfigurationError):
+            TraceDrivenSimulator(small_system, WorkloadTrace(entries=[]))
+
+    def test_trace_with_invalid_address_rejected(self, small_system):
+        bad = WorkloadTrace(entries=[TraceEntry(0.0, (0, 0), (9, 0), 512.0)])
+        with pytest.raises(ConfigurationError):
+            TraceDrivenSimulator(small_system, bad)
+
+    def test_deterministic_service_option(self, small_system, small_trace):
+        result = TraceDrivenSimulator(
+            small_system, small_trace, TraceSimulationConfig(exponential_service=False)
+        ).run()
+        assert result.mean_latency_s > 0

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_arguments(self):
+        args = build_parser().parse_args(["figure", "4", "--simulate", "--clusters", "1", "4"])
+        assert args.command == "figure"
+        assert args.number == 4
+        assert args.simulate
+        assert args.clusters == [1, 4]
+
+    def test_unknown_figure_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "3"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Case 1" in out or "case-1" in out
+        assert "Figure 4" in out
+        assert "0.25" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--case", "case-1", "--clusters", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Mean message latency" in out
+        assert "Outgoing probability" in out
+
+    def test_figure_analysis_only(self, capsys):
+        code = main(["figure", "4", "--clusters", "1", "16", "--sizes", "1024", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "analysis_ms" in out
+        assert "legend" in out
+
+    def test_figure_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig4.csv"
+        code = main(["figure", "4", "--clusters", "1", "4", "--sizes", "512",
+                     "--csv", str(csv_path)])
+        assert code == 0
+        assert csv_path.exists()
+        assert "analysis_ms" in csv_path.read_text()
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "message-size"]) == 0
+        out = capsys.readouterr().out
+        assert "message-size" in out
+
+    def test_validate_small(self, capsys):
+        code = main([
+            "validate", "--case", "case-1", "--clusters", "4",
+            "--messages", "800", "--message-bytes", "512",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rel. error" in out
+
+    def test_report_analysis_only(self, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        code = main(["report", "--clusters", "1", "8", "16", "32", "256",
+                     "--output", str(out_path)])
+        assert code == 0
+        text = out_path.read_text()
+        assert "# Reproduction report" in text
+        assert "## Figure 4" in text
+        assert "Blocking vs non-blocking ratio" in text
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

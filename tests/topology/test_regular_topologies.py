@@ -1,0 +1,194 @@
+"""Unit tests for the extension topologies and the graph-based metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.linear_array import LinearArrayTopology
+from repro.topology.metrics import (
+    average_node_distance,
+    bisection_width_estimate,
+    bisection_width_exact,
+    graph_diameter,
+    node_count,
+    switch_count,
+)
+from repro.topology.regular import (
+    BinaryTreeTopology,
+    HypercubeTopology,
+    KAryNCubeTopology,
+    MeshTopology,
+    StarTopology,
+    TorusTopology,
+)
+
+
+class TestMesh:
+    def test_counts(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.num_nodes == 16
+        assert mesh.num_switches == 16
+        assert mesh.num_stages == 1
+
+    def test_bisection(self):
+        assert MeshTopology(4, 4).bisection_width == 4
+        assert MeshTopology(2, 8).bisection_width == 2
+
+    def test_average_distance_positive(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.average_hop_distance > 0
+        assert mesh.average_switch_hops == mesh.average_hop_distance + 1
+
+    def test_diameter(self):
+        assert MeshTopology(4, 4).diameter_switch_hops == 7
+
+    def test_graph_structure(self):
+        import networkx as nx
+
+        graph = MeshTopology(3, 3).to_graph()
+        assert graph.number_of_nodes() == 9
+        assert graph.number_of_edges() == 12  # 2 * 3 * (3-1)
+        assert nx.is_connected(graph)
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            MeshTopology(0, 4)
+
+
+class TestTorusAndKAry:
+    def test_torus_is_kary2cube(self):
+        torus = TorusTopology(4)
+        assert torus.num_nodes == 16
+        assert torus.dimensions == 2
+        assert torus.arity == 4
+
+    def test_kary_bisection(self):
+        # 4-ary 2-cube: 2 * 4 = 8.
+        assert KAryNCubeTopology(4, 2).bisection_width == 8
+        # Binary cube degenerates into a hypercube bisection.
+        assert KAryNCubeTopology(2, 4).bisection_width == 8
+
+    def test_kary_average_distance(self):
+        # k even: n*k/4 hops.
+        assert KAryNCubeTopology(4, 2).average_hop_distance == pytest.approx(2.0)
+        # odd k: n*(k^2-1)/(4k)
+        assert KAryNCubeTopology(3, 2).average_hop_distance == pytest.approx(2 * 8 / 12)
+
+    def test_kary_graph_degree(self):
+        graph = KAryNCubeTopology(4, 2).to_graph()
+        degrees = {d for _, d in graph.degree()}
+        assert degrees == {4}  # every node has 2 neighbours per dimension
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            KAryNCubeTopology(1, 2)
+        with pytest.raises(TopologyError):
+            KAryNCubeTopology(4, 0)
+
+
+class TestHypercube:
+    def test_counts(self):
+        cube = HypercubeTopology(4)
+        assert cube.num_nodes == 16
+        assert cube.bisection_width == 8
+        assert cube.full_bisection
+
+    def test_average_and_diameter(self):
+        cube = HypercubeTopology(6)
+        assert cube.average_hop_distance == pytest.approx(3.0)
+        assert cube.diameter_switch_hops == 7
+
+    def test_graph_degree_equals_dimension(self):
+        graph = HypercubeTopology(3).to_graph()
+        assert {d for _, d in graph.degree()} == {3}
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            HypercubeTopology(0)
+
+
+class TestStarAndTree:
+    def test_star_counts(self):
+        star = StarTopology(num_nodes=8, switch_ports=24)
+        assert star.num_switches == 1
+        assert star.average_switch_hops == 1.0
+        assert star.bisection_width == 4
+
+    def test_star_requires_enough_ports(self):
+        with pytest.raises(TopologyError):
+            StarTopology(num_nodes=32, switch_ports=24)
+
+    def test_tree_bisection_is_one(self):
+        """§5.1 of the paper: the bisection width of a tree is 1."""
+        tree = BinaryTreeTopology(num_nodes=16)
+        assert tree.bisection_width == 1
+        assert not tree.full_bisection
+
+    def test_tree_counts(self):
+        tree = BinaryTreeTopology(num_nodes=16)
+        assert tree.levels == 4
+        assert tree.num_switches == 15
+
+    def test_tree_graph_connected(self):
+        import networkx as nx
+
+        graph = BinaryTreeTopology(num_nodes=8).to_graph()
+        assert nx.is_connected(graph)
+
+    def test_tree_validation(self):
+        with pytest.raises(TopologyError):
+            BinaryTreeTopology(num_nodes=1)
+
+
+class TestGraphMetrics:
+    def test_node_and_switch_counts(self):
+        graph = FatTreeTopology(16, 8).to_graph()
+        assert node_count(graph) == 16
+        assert switch_count(graph) == 6
+
+    def test_average_distance_and_diameter(self):
+        graph = StarTopology(6, 24).to_graph()
+        # Every node pair is exactly 2 hops apart through the central switch.
+        assert average_node_distance(graph) == pytest.approx(2.0)
+        assert graph_diameter(graph) == 2
+
+    def test_exact_bisection_of_small_fat_tree(self):
+        """Theorem 1 checked on the explicit Figure-3 wiring."""
+        graph = FatTreeTopology(8, 4).to_graph()
+        assert bisection_width_exact(graph, max_nodes=8) >= 4
+
+    def test_exact_bisection_of_linear_array_is_one(self):
+        graph = LinearArrayTopology(8, 4).to_graph()
+        assert bisection_width_exact(graph, max_nodes=8) == 1
+
+    def test_exact_bisection_size_guard(self):
+        graph = FatTreeTopology(64, 8).to_graph()
+        with pytest.raises(TopologyError):
+            bisection_width_exact(graph, max_nodes=16)
+
+    def test_estimate_matches_exact_on_chain(self):
+        # 8 nodes over two 4-port switches: the balanced split cuts only the
+        # single inter-switch link.
+        graph = LinearArrayTopology(8, 4).to_graph()
+        estimate = bisection_width_estimate(graph, trials=50, seed=1)
+        assert estimate == 1
+
+    def test_estimate_is_upper_bound_of_exact(self):
+        # 12 nodes over three switches: a balanced 6/6 split cannot align
+        # with the switch boundaries, so the achievable cut exceeds 1.
+        graph = LinearArrayTopology(12, 4).to_graph()
+        estimate = bisection_width_estimate(graph, trials=30, seed=2)
+        exact = bisection_width_exact(graph, max_nodes=12)
+        assert estimate >= exact
+        assert exact >= 1
+
+    def test_base_class_graph_not_implemented(self):
+        from repro.topology.base import Topology
+
+        class Dummy(Topology):
+            family = "dummy"
+
+        with pytest.raises(TopologyError):
+            Dummy(4, 4).to_graph()

@@ -1,0 +1,193 @@
+"""Unit tests for arrival processes, destination policies, message sizes and traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des.rng import RandomStreams
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import DeterministicArrivals, MMPPArrivals, PoissonArrivals
+from repro.workload.destinations import (
+    HotspotDestinations,
+    LocalizedDestinations,
+    UniformDestinations,
+)
+from repro.workload.messages import (
+    BimodalMessageSize,
+    FixedMessageSize,
+    UniformMessageSize,
+    generate_trace,
+)
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(seed=2024).stream("workload")
+
+
+class TestArrivals:
+    def test_poisson_mean_rate(self, rng):
+        process = PoissonArrivals(rate=4.0)
+        gaps = [process.interarrival(rng) for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(0.25, rel=0.05)
+        assert process.mean_interarrival() == pytest.approx(0.25)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=0.0)
+
+    def test_deterministic_constant(self, rng):
+        process = DeterministicArrivals(rate=2.0)
+        assert {process.interarrival(rng) for _ in range(5)} == {0.5}
+
+    def test_mmpp_long_run_rate(self, rng):
+        process = MMPPArrivals(
+            low_rate=1.0, high_rate=9.0, mean_low_duration=10.0, mean_high_duration=10.0
+        )
+        assert process.rate == pytest.approx(5.0)
+        gaps = [process.interarrival(rng) for _ in range(40_000)]
+        assert 1.0 / np.mean(gaps) == pytest.approx(5.0, rel=0.15)
+
+    def test_mmpp_burstier_than_poisson(self, rng):
+        mmpp = MMPPArrivals(low_rate=0.5, high_rate=20.0,
+                            mean_low_duration=20.0, mean_high_duration=2.0)
+        poisson = PoissonArrivals(rate=mmpp.rate)
+        mmpp_gaps = [mmpp.interarrival(rng) for _ in range(20_000)]
+        poisson_gaps = [poisson.interarrival(rng) for _ in range(20_000)]
+        cv2_mmpp = np.var(mmpp_gaps) / np.mean(mmpp_gaps) ** 2
+        cv2_poisson = np.var(poisson_gaps) / np.mean(poisson_gaps) ** 2
+        assert cv2_mmpp > cv2_poisson
+
+    def test_mmpp_validation(self):
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(low_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(mean_low_duration=0.0)
+
+
+class TestDestinations:
+    def test_uniform_never_selects_self(self, rng):
+        policy = UniformDestinations([4, 4, 4])
+        source = (1, 2)
+        destinations = [policy.choose(source, rng) for _ in range(2000)]
+        assert source not in destinations
+
+    def test_uniform_covers_all_other_nodes(self, rng):
+        policy = UniformDestinations([2, 2])
+        source = (0, 0)
+        seen = {policy.choose(source, rng) for _ in range(2000)}
+        assert seen == {(0, 1), (1, 0), (1, 1)}
+
+    def test_uniform_remote_fraction_matches_equation_8(self, rng):
+        """The empirical remote fraction must match P = (C−1)N0/(CN0−1)."""
+        policy = UniformDestinations([8] * 4)
+        source = (0, 3)
+        remote = sum(policy.choose(source, rng)[0] != 0 for _ in range(20_000))
+        expected = (4 - 1) * 8 / (4 * 8 - 1)
+        assert remote / 20_000 == pytest.approx(expected, abs=0.02)
+
+    def test_localized_policy_extremes(self, rng):
+        all_local = LocalizedDestinations([8, 8], locality=1.0)
+        all_remote = LocalizedDestinations([8, 8], locality=0.0)
+        source = (0, 0)
+        assert all(all_local.choose(source, rng)[0] == 0 for _ in range(200))
+        assert all(all_remote.choose(source, rng)[0] == 1 for _ in range(200))
+
+    def test_localized_validation(self):
+        with pytest.raises(ConfigurationError):
+            LocalizedDestinations([4, 4], locality=1.5)
+
+    def test_localized_single_node_cluster_falls_back(self, rng):
+        policy = LocalizedDestinations([1, 4], locality=1.0)
+        # The lone node has no local peer, so the choice must still be valid.
+        destination = policy.choose((0, 0), rng)
+        assert destination != (0, 0)
+
+    def test_hotspot_policy_bias(self, rng):
+        hotspot = (1, 0)
+        policy = HotspotDestinations([4, 4], hotspot=hotspot, hotspot_fraction=0.5)
+        picks = [policy.choose((0, 0), rng) for _ in range(4000)]
+        fraction = sum(p == hotspot for p in picks) / len(picks)
+        assert fraction > 0.4
+
+    def test_hotspot_never_targets_itself_via_bias(self, rng):
+        hotspot = (0, 0)
+        policy = HotspotDestinations([2, 2], hotspot=hotspot, hotspot_fraction=1.0)
+        assert policy.choose(hotspot, rng) != hotspot
+
+    def test_invalid_cluster_sizes(self):
+        with pytest.raises(ConfigurationError):
+            UniformDestinations([])
+        with pytest.raises(ConfigurationError):
+            UniformDestinations([1])
+        with pytest.raises(ConfigurationError):
+            UniformDestinations([0, 4])
+
+    def test_invalid_source_address(self, rng):
+        policy = UniformDestinations([2, 2])
+        with pytest.raises(ConfigurationError):
+            policy.choose((5, 0), rng)
+
+
+class TestMessageSizes:
+    def test_fixed(self, rng):
+        model = FixedMessageSize(1024)
+        assert model.sample(rng) == 1024
+        assert model.mean == 1024
+        with pytest.raises(ConfigurationError):
+            FixedMessageSize(0)
+
+    def test_bimodal_mean(self, rng):
+        model = BimodalMessageSize(short_bytes=100, long_bytes=1000, long_fraction=0.5)
+        assert model.mean == pytest.approx(550)
+        samples = {model.sample(rng) for _ in range(200)}
+        assert samples == {100, 1000}
+
+    def test_bimodal_validation(self):
+        with pytest.raises(ConfigurationError):
+            BimodalMessageSize(long_fraction=2.0)
+
+    def test_uniform_size(self, rng):
+        model = UniformMessageSize(100, 200)
+        assert model.mean == 150
+        assert all(100 <= model.sample(rng) <= 200 for _ in range(100))
+        with pytest.raises(ConfigurationError):
+            UniformMessageSize(200, 100)
+
+
+class TestTraceGeneration:
+    def test_trace_sorted_and_sized(self):
+        trace = generate_trace([4, 4], num_messages=500, seed=3)
+        assert len(trace) == 500
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+        assert trace.duration == times[-1]
+
+    def test_trace_destinations_valid(self):
+        trace = generate_trace([4, 4], num_messages=300, seed=4)
+        for entry in trace:
+            assert entry.source != entry.destination
+            assert 0 <= entry.destination[0] < 2
+            assert 0 <= entry.destination[1] < 4
+
+    def test_trace_reproducibility(self):
+        a = generate_trace([2, 2], num_messages=100, seed=5)
+        b = generate_trace([2, 2], num_messages=100, seed=5)
+        assert a.entries == b.entries
+
+    def test_trace_mean_size(self):
+        trace = generate_trace([2, 2], num_messages=50, seed=6)
+        assert trace.mean_size == pytest.approx(1024.0)
+
+    def test_messages_per_source(self):
+        trace = generate_trace([2, 2], num_messages=400, seed=7)
+        counts = trace.messages_per_source()
+        assert sum(counts.values()) == 400
+        assert len(counts) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_trace([2, 2], num_messages=-1)
+        with pytest.raises(ConfigurationError):
+            generate_trace([1], num_messages=10)
