@@ -32,7 +32,13 @@ def test_analytical_model_evaluation_speed(benchmark):
 
 @pytest.mark.benchmark(group="engine")
 def test_des_event_throughput(benchmark):
-    """Raw kernel throughput: a chain of timeouts through a shared resource."""
+    """Raw kernel throughput: a chain of timeouts through a shared resource.
+
+    Reports ``events_per_sec`` in ``extra_info`` so the before/after effect
+    of kernel hot-path work (``__slots__``, inlined Timeout scheduling) is
+    directly visible in the benchmark output.
+    """
+    EVENTS_PER_RUN = 10_000  # 2000 processes x (request + timeout + ...) events
 
     def run_kernel():
         env = Environment()
@@ -50,6 +56,31 @@ def test_des_event_throughput(benchmark):
 
     final_time = benchmark(run_kernel)
     assert final_time == pytest.approx(2_000.0)
+    benchmark.extra_info["events_per_sec"] = EVENTS_PER_RUN / benchmark.stats.stats.min
+
+
+@pytest.mark.benchmark(group="engine")
+def test_des_timeout_chain_event_rate(benchmark):
+    """Pure event-loop rate: one process yielding 50k timeouts back to back.
+
+    This is the tightest loop the kernel has — no resources, no conditions —
+    so it isolates the cost of ``Environment.timeout`` + ``step``.
+    """
+    CHAIN = 50_000
+
+    def run_chain():
+        env = Environment()
+
+        def chain(env):
+            for _ in range(CHAIN):
+                yield env.timeout(1.0)
+
+        env.process(chain(env))
+        return env.run_until_empty()
+
+    processed = benchmark(run_chain)
+    assert processed == CHAIN + 2  # + Initialize + process-termination events
+    benchmark.extra_info["events_per_sec"] = processed / benchmark.stats.stats.min
 
 
 @pytest.mark.benchmark(group="engine")

@@ -1,0 +1,106 @@
+"""Serial-vs-pool speedup benchmark for the parallel sweep engine.
+
+Runs the same figure-style replication sweep twice — once in-process
+(``jobs=1``) and once across a process pool (one worker per core) — asserts
+the results are bit-identical, and emits a JSON summary of wall-clock times
+and speedup (printed to stdout like the other ``bench_*`` summaries).
+
+On a multi-core machine the pool run should approach ``min(jobs, tasks)``-x
+speedup because the simulations are fully independent; on a single-core CI
+box the speedup hovers around 1.0x (pool overhead only) — the bit-identity
+assertion is what must hold everywhere.
+
+Run as a script for the JSON report without pytest::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import pytest
+
+from _bench_utils import SIM_MESSAGES
+from repro.cluster.presets import paper_evaluation_system
+from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
+from repro.parallel import SweepEngine, SweepTask, resolve_jobs, spawn_seeds
+from repro.simulation.runner import replication_configs, run_simulation_task
+from repro.simulation.simulator import SimulationConfig
+
+
+def _sweep_tasks(num_messages: int, replications: int = 8):
+    """A figure-style sweep: one task per (cluster count, replication)."""
+    tasks = []
+    cluster_counts = (2, 4, 8, 16)
+    point_seeds = spawn_seeds(0, len(cluster_counts))
+    for num_clusters, point_seed in zip(cluster_counts, point_seeds):
+        system = paper_evaluation_system(
+            num_clusters, GIGABIT_ETHERNET, FAST_ETHERNET, total_processors=64
+        )
+        config = SimulationConfig(num_messages=num_messages, seed=point_seed)
+        for i, rep_config in enumerate(replication_configs(config, replications)):
+            tasks.append(
+                SweepTask(
+                    fn=run_simulation_task,
+                    args=(system, rep_config),
+                    label=f"C={num_clusters} rep[{i}]",
+                )
+            )
+    return tasks
+
+
+def run_comparison(jobs: int | None = None, num_messages: int | None = None) -> dict:
+    """Time the identical sweep serially and through the pool."""
+    jobs = resolve_jobs(jobs)
+    num_messages = num_messages if num_messages is not None else max(SIM_MESSAGES // 4, 500)
+    tasks = _sweep_tasks(num_messages)
+
+    t0 = time.perf_counter()
+    serial_results = SweepEngine(jobs=1).run(tasks)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pool_results = SweepEngine(jobs=jobs).run(tasks)
+    parallel_s = time.perf_counter() - t0
+
+    identical = serial_results == pool_results
+    return {
+        "benchmark": "bench_parallel",
+        "tasks": len(tasks),
+        "messages_per_task": num_messages,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "bit_identical": identical,
+    }
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_sweep_speedup():
+    """Pool results must be bit-identical to serial; speedup is reported."""
+    summary = run_comparison()
+    print("\n" + json.dumps(summary, indent=2))
+    assert summary["bit_identical"], "pool sweep diverged from the serial sweep"
+    # Speedup is hardware-dependent (~= core count on idle multi-core boxes,
+    # ~1.0 on single-core CI); only sanity-check that the pool finished.
+    assert summary["parallel_s"] > 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="pool workers (0 = one per CPU core)")
+    parser.add_argument("--messages", type=int, default=None,
+                        help="simulated messages per task")
+    args = parser.parse_args()
+    print(json.dumps(run_comparison(jobs=args.jobs, num_messages=args.messages), indent=2))
+
+
+if __name__ == "__main__":
+    main()

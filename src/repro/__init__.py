@@ -33,6 +33,8 @@ Subpackages
     Arrival processes, destination policies, message sizes and traces.
 ``repro.simulation``
     The validation simulator and analysis-vs-simulation comparison.
+``repro.parallel``
+    Process-pool sweep engine and deterministic per-task seeding.
 ``repro.experiments``
     Scenario tables, figure drivers, the blocking-ratio study and ablations.
 ``repro.viz``

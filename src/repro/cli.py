@@ -4,10 +4,17 @@ Usage examples::
 
     python -m repro figure 4                 # analysis-only reproduction of Figure 4
     python -m repro figure 6 --simulate      # include the validation simulator
+    python -m repro figure 6 --simulate --jobs 0   # ... fanned out over all CPU cores
     python -m repro ratio                    # blocking/non-blocking ratio study (§6 claim)
     python -m repro validate --clusters 8    # analysis vs simulation at one point
     python -m repro ablation switch-ports    # one of the ablation studies
     python -m repro info                     # paper parameters and scenarios
+
+Simulation-heavy commands accept ``--jobs N`` to run the independent
+simulations of a sweep on ``N`` worker processes (``0`` = one per CPU
+core) via :class:`repro.parallel.SweepEngine`; results are bit-identical
+to the serial default because per-run seeds depend only on the sweep
+definition, never on the schedule.
 """
 
 from __future__ import annotations
@@ -34,11 +41,35 @@ from .experiments.scenarios import (
     SCENARIOS,
     build_scenario_system,
 )
+from .parallel import SweepEngine, stderr_progress
 from .simulation.runner import validate_against_analysis
 from .simulation.simulator import SimulationConfig
 from .viz.tables import format_fixed_width_table, write_csv
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "jobs_count", "add_jobs_flag"]
+
+
+def jobs_count(text: str) -> int:
+    """argparse type for ``--jobs``: non-negative int (0 = one per core)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (or 0 for one worker per CPU core), got {value}"
+        )
+    return value
+
+
+def add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--jobs N`` option to ``parser``."""
+    parser.add_argument(
+        "--jobs", type=jobs_count, default=1, metavar="N",
+        help="worker processes for independent simulation runs "
+             "(1 = in-process serial, 0 = one per CPU core); "
+             "results are identical for every value",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,9 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the message-size sweep (bytes)")
     fig.add_argument("--csv", type=str, default=None, help="write the points to a CSV file")
     fig.add_argument("--chart", action="store_true", help="print an ASCII chart")
+    fig.add_argument("--replications", type=int, default=1,
+                     help="independent simulation replications per point")
+    add_jobs_flag(fig)
 
     ratio = sub.add_parser("ratio", help="blocking vs non-blocking latency ratio study")
     ratio.add_argument("--csv", type=str, default=None, help="write the points to a CSV file")
+    add_jobs_flag(ratio)
 
     val = sub.add_parser("validate", help="analysis vs simulation at one configuration")
     val.add_argument("--case", choices=sorted(SCENARIOS), default="case-1")
@@ -74,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--message-bytes", type=float, default=1024.0)
     val.add_argument("--messages", type=int, default=PAPER_PARAMETERS.simulation_messages)
     val.add_argument("--replications", type=int, default=1)
+    add_jobs_flag(val)
 
     abl = sub.add_parser("ablation", help="run one ablation study")
     abl.add_argument(
@@ -81,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["switch-ports", "switch-latency", "generation-rate", "message-size",
                  "fixed-point-vs-mva"],
     )
+    add_jobs_flag(abl)
 
     rep = sub.add_parser("report", help="generate the full paper-vs-measured report")
     rep.add_argument("--output", type=str, default=None,
@@ -91,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulated messages per point when --simulate is given")
     rep.add_argument("--clusters", type=int, nargs="*", default=None,
                      help="override the cluster-count sweep")
+    add_jobs_flag(rep)
 
     point = sub.add_parser("analyze", help="evaluate the analytical model at one point")
     point.add_argument("--case", choices=sorted(SCENARIOS), default="case-1")
@@ -105,12 +143,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    engine = None
+    if args.simulate:
+        # Per-task progress on stderr keeps long sweeps observable without
+        # polluting the table output on stdout.
+        engine = SweepEngine(jobs=args.jobs, progress=stderr_progress)
     result = run_figure(
         args.number,
         include_simulation=args.simulate,
         cluster_counts=args.clusters,
         message_sizes=args.sizes,
         simulation_messages=args.messages,
+        replications=args.replications,
+        jobs=args.jobs,
+        engine=engine,
     )
     print(result.spec.title)
     print()
@@ -129,7 +175,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_ratio(args: argparse.Namespace) -> int:
-    study = run_blocking_ratio_study()
+    study = run_blocking_ratio_study(jobs=args.jobs)
     print("Blocking vs non-blocking mean latency ratio (paper section 6 claim)")
     print()
     print(format_fixed_width_table(study.to_rows()))
@@ -159,7 +205,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         generation_rate=PAPER_PARAMETERS.generation_rate,
         num_messages=args.messages,
     )
-    point = validate_against_analysis(system, model_config, sim_config, args.replications)
+    point = validate_against_analysis(
+        system, model_config, sim_config, args.replications, jobs=args.jobs
+    )
     print(f"System: {system}")
     print(f"Architecture: {args.architecture}, M = {args.message_bytes:g} bytes")
     print(f"  analysis   : {point.analysis_latency_ms:.4f} ms")
@@ -177,7 +225,8 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         "message-size": sweep_message_size,
         "fixed-point-vs-mva": fixed_point_vs_exact_mva,
     }
-    study = studies[args.study]()
+    kwargs = {} if args.study == "fixed-point-vs-mva" else {"jobs": args.jobs}
+    study = studies[args.study](**kwargs)
     print(study.name)
     print()
     print(format_fixed_width_table(study.to_rows()))
@@ -191,6 +240,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         include_simulation=args.simulate,
         cluster_counts=args.clusters,
         simulation_messages=args.messages,
+        jobs=args.jobs,
     )
     if args.output:
         report.write(args.output)

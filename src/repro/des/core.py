@@ -23,7 +23,7 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Iterable, List, Optional, Tuple
 
@@ -98,7 +98,12 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` that fires ``delay`` time units from now."""
+        """Create a :class:`Timeout` that fires ``delay`` time units from now.
+
+        This is the hottest allocation site of the kernel (every arrival and
+        every service completion goes through it); :class:`Timeout` inlines
+        its own heap insertion rather than going through :meth:`schedule`.
+        """
         return Timeout(self, delay, value)
 
     def process(self, generator: ProcessGenerator) -> Process:
@@ -117,9 +122,14 @@ class Environment:
 
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Schedule ``event`` to be processed after ``delay`` time units."""
-        if delay < 0:
-            raise ValueError(f"Negative delay {delay!r}")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        if delay:
+            if delay < 0:
+                raise ValueError(f"Negative delay {delay!r}")
+            heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        else:
+            # Immediate scheduling (succeed/fail/process resumption) is the
+            # common case; skip the float add and the sign check.
+            heappush(self._queue, (self._now, priority, next(self._eid), event))
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -129,10 +139,10 @@ class Environment:
         EmptySchedule
             If no events are scheduled.
         """
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        queue = self._queue
+        if not queue:
+            raise EmptySchedule()
+        self._now, _, _, event = heappop(queue)
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive
@@ -165,14 +175,28 @@ class Environment:
         -------
         Any
             The value of the ``until`` event, if one was given.
+
+        Raises
+        ------
+        BaseException
+            If the ``until`` event failed (including when it had already
+            been processed before ``run`` was called), its stored exception
+            is re-raised rather than silently returning ``None``.
         """
         at_event: Optional[Event] = None
         if until is not None:
             if isinstance(until, Event):
                 at_event = until
                 if at_event.callbacks is None:
-                    # Already processed.
-                    return at_event.value if at_event.ok else None
+                    # Already processed: mirror StopSimulation.callback —
+                    # return the value on success, re-raise the stored
+                    # exception on failure instead of swallowing it.
+                    if at_event.ok:
+                        return at_event.value
+                    exc = at_event.value
+                    if not isinstance(exc, BaseException):  # pragma: no cover
+                        exc = SimulationError(repr(exc))
+                    raise exc
                 at_event.callbacks.append(StopSimulation.callback)
             else:
                 at = float(until)
@@ -188,9 +212,10 @@ class Environment:
                 self.schedule(at_event, priority=URGENT, delay=at - self._now)
                 at_event.callbacks.append(StopSimulation.callback)
 
+        step = self.step  # bind once: this loop is the simulation's hot path
         try:
             while True:
-                self.step()
+                step()
         except StopSimulation as stop:
             return stop.args[0]
         except EmptySchedule:
@@ -207,12 +232,14 @@ class Environment:
         generator process) by raising :class:`SimulationError` once exceeded.
         """
         processed = 0
-        while self._queue:
+        step = self.step
+        queue = self._queue
+        while queue:
             if max_events is not None and processed >= max_events:
                 raise SimulationError(
                     f"Simulation exceeded the budget of {max_events} events"
                 )
-            self.step()
+            step()
             processed += 1
         return processed
 

@@ -25,6 +25,7 @@ re-raised inside every waiting process).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 from ..errors import SimulationError
@@ -177,13 +178,19 @@ class Timeout(Event):
     __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        # Timeouts dominate event traffic (one per arrival and per service
+        # completion), so the generic Event/schedule path is inlined here:
+        # one validation, one heap push, no delegation.
+        delay = float(delay)
         if delay < 0:
             raise ValueError(f"Negative delay {delay!r} is not allowed")
-        super().__init__(env)
-        self._delay = float(delay)
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, priority=NORMAL, delay=self._delay)
+        self._defused = False
+        self._delay = delay
+        heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
 
     @property
     def delay(self) -> float:

@@ -15,6 +15,7 @@ __all__ = [
     "TopologyError",
     "SimulationError",
     "ExperimentError",
+    "WorkerError",
 ]
 
 
@@ -54,3 +55,25 @@ class SimulationError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment harness was asked for an unknown figure/scenario."""
+
+
+class WorkerError(ReproError, RuntimeError):
+    """The parallel sweep engine lost a worker before it delivered a result.
+
+    Raised when the process pool infrastructure itself breaks (a worker
+    died, e.g. from a crash or the OOM killer) — an *ordinary* exception
+    raised by a sweep task is re-raised with its original type instead.
+    The triggering pool exception is chained as ``__cause__`` and available
+    via :attr:`original`; :attr:`task_index` and :attr:`label` identify the
+    task whose result was lost.
+    """
+
+    def __init__(self, task_index: int, label: str, original: BaseException) -> None:
+        super().__init__(
+            f"sweep task #{task_index}"
+            + (f" ({label})" if label else "")
+            + f" failed: {original!r}"
+        )
+        self.task_index = task_index
+        self.label = label
+        self.original = original

@@ -25,6 +25,7 @@ from ..core.model import AnalyticalModel, ModelConfig
 from ..core.routing import outgoing_probability
 from ..core.service_centers import build_service_centers
 from ..network.switch import SwitchFabric
+from ..parallel import SweepEngine, SweepTask
 from ..queueing.mva import MVAStation, mean_value_analysis
 from ..simulation.simulator import MultiClusterSimulator, SimulationConfig
 from ..viz.tables import format_markdown_table
@@ -117,6 +118,22 @@ def _evaluate(
     return report.mean_latency_ms
 
 
+def _sweep(
+    name: str,
+    parameter: str,
+    tasks: Sequence[SweepTask],
+    values: Sequence[float],
+    jobs: Optional[int],
+) -> AblationStudy:
+    """Run the per-value evaluation tasks through the sweep engine."""
+    latencies = SweepEngine(jobs=jobs).run(tasks)
+    rows = [
+        AblationRow(parameter, float(value), latency, {})
+        for value, latency in zip(values, latencies)
+    ]
+    return AblationStudy(name, rows)
+
+
 def sweep_switch_ports(
     ports_values: Sequence[int] = (4, 8, 16, 24, 32, 64),
     scenario: NetworkScenario = CASE_1,
@@ -124,17 +141,20 @@ def sweep_switch_ports(
     architecture: str = "non-blocking",
     message_bytes: float = 1024.0,
     parameters: PaperParameters = PAPER_PARAMETERS,
+    jobs: Optional[int] = 1,
 ) -> AblationStudy:
     """Ablation 1: how the switch port count Pr shapes the latency."""
-    rows = []
-    for ports in ports_values:
-        switch = SwitchFabric(ports=ports, latency_s=parameters.switch.latency_s)
-        latency = _evaluate(
-            scenario, num_clusters, architecture, message_bytes,
-            parameters.generation_rate, parameters, switch=switch,
+    tasks = [
+        SweepTask(
+            fn=_evaluate,
+            args=(scenario, num_clusters, architecture, message_bytes,
+                  parameters.generation_rate, parameters),
+            kwargs={"switch": SwitchFabric(ports=ports, latency_s=parameters.switch.latency_s)},
+            label=f"switch_ports={ports}",
         )
-        rows.append(AblationRow("switch_ports", float(ports), latency, {}))
-    return AblationStudy("switch-port-count", rows)
+        for ports in ports_values
+    ]
+    return _sweep("switch-port-count", "switch_ports", tasks, list(ports_values), jobs)
 
 
 def sweep_switch_latency(
@@ -144,17 +164,50 @@ def sweep_switch_latency(
     architecture: str = "non-blocking",
     message_bytes: float = 1024.0,
     parameters: PaperParameters = PAPER_PARAMETERS,
+    jobs: Optional[int] = 1,
 ) -> AblationStudy:
     """Ablation 2: sensitivity to the per-switch latency α_sw."""
-    rows = []
-    for latency_us in latency_values_us:
-        switch = SwitchFabric(ports=parameters.switch.ports, latency_s=latency_us * 1e-6)
-        latency = _evaluate(
-            scenario, num_clusters, architecture, message_bytes,
-            parameters.generation_rate, parameters, switch=switch,
+    tasks = [
+        SweepTask(
+            fn=_evaluate,
+            args=(scenario, num_clusters, architecture, message_bytes,
+                  parameters.generation_rate, parameters),
+            kwargs={"switch": SwitchFabric(ports=parameters.switch.ports,
+                                           latency_s=latency_us * 1e-6)},
+            label=f"switch_latency_us={latency_us}",
         )
-        rows.append(AblationRow("switch_latency_us", float(latency_us), latency, {}))
-    return AblationStudy("switch-latency", rows)
+        for latency_us in latency_values_us
+    ]
+    return _sweep("switch-latency", "switch_latency_us", tasks, list(latency_values_us), jobs)
+
+
+def _generation_rate_row(
+    rate: float,
+    scenario: NetworkScenario,
+    num_clusters: int,
+    architecture: str,
+    message_bytes: float,
+    parameters: PaperParameters,
+) -> AblationRow:
+    """Evaluate one offered-load point (picklable sweep task)."""
+    system = build_scenario_system(scenario, num_clusters, parameters)
+    report = AnalyticalModel(
+        system,
+        ModelConfig(
+            architecture=architecture,
+            message_bytes=message_bytes,
+            generation_rate=rate,
+        ),
+    ).evaluate()
+    return AblationRow(
+        "generation_rate",
+        float(rate),
+        report.mean_latency_ms,
+        {
+            "icn2_utilization": report.utilizations["icn2"],
+            "throttling_factor": report.throttling_factor,
+        },
+    )
 
 
 def sweep_generation_rate(
@@ -164,30 +217,18 @@ def sweep_generation_rate(
     architecture: str = "non-blocking",
     message_bytes: float = 1024.0,
     parameters: PaperParameters = PAPER_PARAMETERS,
+    jobs: Optional[int] = 1,
 ) -> AblationStudy:
     """Ablation 3a: offered load sweep (the paper's λ = 0.25 is nearly idle)."""
-    rows = []
-    for rate in rate_values:
-        system = build_scenario_system(scenario, num_clusters, parameters)
-        report = AnalyticalModel(
-            system,
-            ModelConfig(
-                architecture=architecture,
-                message_bytes=message_bytes,
-                generation_rate=rate,
-            ),
-        ).evaluate()
-        rows.append(
-            AblationRow(
-                "generation_rate",
-                float(rate),
-                report.mean_latency_ms,
-                {
-                    "icn2_utilization": report.utilizations["icn2"],
-                    "throttling_factor": report.throttling_factor,
-                },
-            )
+    tasks = [
+        SweepTask(
+            fn=_generation_rate_row,
+            args=(float(rate), scenario, num_clusters, architecture, message_bytes, parameters),
+            label=f"generation_rate={rate}",
         )
+        for rate in rate_values
+    ]
+    rows = SweepEngine(jobs=jobs).run(tasks)
     return AblationStudy("generation-rate", rows)
 
 
@@ -197,16 +238,19 @@ def sweep_message_size(
     num_clusters: int = 16,
     architecture: str = "non-blocking",
     parameters: PaperParameters = PAPER_PARAMETERS,
+    jobs: Optional[int] = 1,
 ) -> AblationStudy:
     """Ablation 3b: message-size sweep beyond the paper's 512/1024 bytes."""
-    rows = []
-    for size in size_values:
-        latency = _evaluate(
-            scenario, num_clusters, architecture, float(size),
-            parameters.generation_rate, parameters,
+    tasks = [
+        SweepTask(
+            fn=_evaluate,
+            args=(scenario, num_clusters, architecture, float(size),
+                  parameters.generation_rate, parameters),
+            label=f"message_bytes={size}",
         )
-        rows.append(AblationRow("message_bytes", float(size), latency, {}))
-    return AblationStudy("message-size", rows)
+        for size in size_values
+    ]
+    return _sweep("message-size", "message_bytes", tasks, list(size_values), jobs)
 
 
 def fixed_point_vs_exact_mva(
@@ -272,6 +316,11 @@ def fixed_point_vs_exact_mva(
     return study
 
 
+def _simulate_service_distribution(system, config: SimulationConfig):
+    """Run one simulator configuration (picklable sweep task)."""
+    return MultiClusterSimulator(system, config).run()
+
+
 def service_distribution_ablation(
     scenario: NetworkScenario = CASE_1,
     num_clusters: int = 8,
@@ -280,26 +329,37 @@ def service_distribution_ablation(
     num_messages: int = 2_000,
     seed: int = 7,
     parameters: PaperParameters = PAPER_PARAMETERS,
+    jobs: Optional[int] = 1,
 ) -> AblationStudy:
     """Simulator ablation: exponential (paper assumption) vs deterministic service."""
     system = build_scenario_system(scenario, num_clusters, parameters)
-    rows = []
-    for exponential in (True, False):
-        config = SimulationConfig(
-            architecture=architecture,
-            message_bytes=message_bytes,
-            generation_rate=parameters.generation_rate,
-            num_messages=num_messages,
-            seed=seed,
-            exponential_service=exponential,
+    variants = (True, False)
+    tasks = [
+        SweepTask(
+            fn=_simulate_service_distribution,
+            args=(
+                system,
+                SimulationConfig(
+                    architecture=architecture,
+                    message_bytes=message_bytes,
+                    generation_rate=parameters.generation_rate,
+                    num_messages=num_messages,
+                    seed=seed,
+                    exponential_service=exponential,
+                ),
+            ),
+            label=f"exponential_service={exponential}",
         )
-        result = MultiClusterSimulator(system, config).run()
-        rows.append(
-            AblationRow(
-                "exponential_service",
-                1.0 if exponential else 0.0,
-                result.mean_latency_ms,
-                {"remote_fraction": result.remote_fraction},
-            )
+        for exponential in variants
+    ]
+    results = SweepEngine(jobs=jobs).run(tasks)
+    rows = [
+        AblationRow(
+            "exponential_service",
+            1.0 if exponential else 0.0,
+            result.mean_latency_ms,
+            {"remote_fraction": result.remote_fraction},
         )
+        for exponential, result in zip(variants, results)
+    ]
     return AblationStudy("service-distribution", rows)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.model import AnalyticalModel, ModelConfig
+from ..parallel import SweepEngine
 from ..viz.tables import format_markdown_table
 from .scenarios import (
     CASE_1,
@@ -102,45 +103,68 @@ class BlockingRatioStudy:
         return table + summary
 
 
+def _ratio_point(
+    scenario: NetworkScenario,
+    num_clusters: int,
+    message_bytes: int,
+    parameters: PaperParameters,
+) -> RatioPoint:
+    """Evaluate both architectures at one point (picklable sweep task)."""
+    system = build_scenario_system(scenario, num_clusters, parameters)
+    latencies = {}
+    for architecture in ("non-blocking", "blocking"):
+        latencies[architecture] = AnalyticalModel(
+            system,
+            ModelConfig(
+                architecture=architecture,
+                message_bytes=float(message_bytes),
+                generation_rate=parameters.generation_rate,
+            ),
+        ).evaluate().mean_latency_ms
+    return RatioPoint(
+        scenario=scenario.name,
+        num_clusters=num_clusters,
+        message_bytes=int(message_bytes),
+        nonblocking_latency_ms=latencies["non-blocking"],
+        blocking_latency_ms=latencies["blocking"],
+    )
+
+
 def run_blocking_ratio_study(
     scenarios: Optional[Sequence[NetworkScenario]] = None,
     cluster_counts: Optional[Sequence[int]] = None,
     message_sizes: Optional[Sequence[int]] = None,
     parameters: PaperParameters = PAPER_PARAMETERS,
+    jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
 ) -> BlockingRatioStudy:
-    """Compute the blocking/non-blocking ratio over the paper's sweep grid."""
+    """Compute the blocking/non-blocking ratio over the paper's sweep grid.
+
+    The study is closed-form (no simulation) so ``jobs=1`` is usually fine;
+    the grid still goes through :class:`~repro.parallel.SweepEngine` so
+    large custom sweeps can fan out with ``jobs>1``.
+    """
     cases = list(scenarios) if scenarios is not None else [CASE_1, CASE_2]
     counts = list(cluster_counts) if cluster_counts is not None else list(parameters.cluster_counts)
     sizes = list(message_sizes) if message_sizes is not None else list(parameters.message_sizes)
 
-    points: List[RatioPoint] = []
-    for scenario in cases:
-        for message_bytes in sizes:
-            for num_clusters in counts:
-                system = build_scenario_system(scenario, num_clusters, parameters)
-                nonblocking = AnalyticalModel(
-                    system,
-                    ModelConfig(
-                        architecture="non-blocking",
-                        message_bytes=float(message_bytes),
-                        generation_rate=parameters.generation_rate,
-                    ),
-                ).evaluate()
-                blocking = AnalyticalModel(
-                    system,
-                    ModelConfig(
-                        architecture="blocking",
-                        message_bytes=float(message_bytes),
-                        generation_rate=parameters.generation_rate,
-                    ),
-                ).evaluate()
-                points.append(
-                    RatioPoint(
-                        scenario=scenario.name,
-                        num_clusters=num_clusters,
-                        message_bytes=int(message_bytes),
-                        nonblocking_latency_ms=nonblocking.mean_latency_ms,
-                        blocking_latency_ms=blocking.mean_latency_ms,
-                    )
-                )
+    grid = [
+        (scenario, num_clusters, message_bytes, parameters)
+        for scenario in cases
+        for message_bytes in sizes
+        for num_clusters in counts
+    ]
+    if engine is None:
+        engine = SweepEngine(jobs=jobs)
+    points: List[RatioPoint] = engine.map(
+        _ratio_point_task,
+        grid,
+        label=lambda i, g: f"ratio {g[0].name} C={g[1]} M={g[2]}",
+    )
     return BlockingRatioStudy(points=points)
+
+
+def _ratio_point_task(task) -> RatioPoint:
+    """Unpack one grid tuple for :meth:`SweepEngine.map`."""
+    scenario, num_clusters, message_bytes, parameters = task
+    return _ratio_point(scenario, num_clusters, message_bytes, parameters)

@@ -21,7 +21,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.model import AnalyticalModel, ModelConfig
 from ..errors import ExperimentError
-from ..simulation.runner import run_replications
+from ..parallel import SweepEngine, SweepTask, spawn_seeds
+from ..simulation.runner import (
+    aggregate_replications,
+    replication_configs,
+    run_simulation_task,
+)
 from ..simulation.simulator import SimulationConfig
 from ..stats.compare import compare_series, ComparisonSummary
 from ..viz.ascii_chart import line_chart
@@ -186,6 +191,8 @@ def run_figure(
     simulation_messages: Optional[int] = None,
     replications: int = 1,
     seed: int = 0,
+    jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
 ) -> FigureResult:
     """Reproduce one of the paper's Figures 4–7.
 
@@ -204,7 +211,15 @@ def run_figure(
     replications:
         Independent simulation replications per point.
     seed:
-        Base random seed.
+        Base random seed.  Every (message size, cluster count) point gets
+        its own master seed spawned from this one, and every replication a
+        seed spawned from the point's — so no two runs of the sweep share a
+        random stream.
+    jobs, engine:
+        Fan the ``points x replications`` independent simulations out across
+        ``jobs`` worker processes (``None`` = all cores) or through a
+        pre-configured :class:`~repro.parallel.SweepEngine`.  Results are
+        bit-identical to the serial ``jobs=1`` default.
     """
     if number not in FIGURE_SPECS:
         raise ExperimentError(f"unknown figure {number}; the paper has figures 4-7")
@@ -215,39 +230,72 @@ def run_figure(
         simulation_messages if simulation_messages is not None else parameters.simulation_messages
     )
 
-    result = FigureResult(spec=spec, parameters=parameters)
-    for message_bytes in sizes:
-        for num_clusters in counts:
-            system = build_scenario_system(spec.scenario, num_clusters, parameters)
-            model_config = ModelConfig(
+    # The sweep grid, in the row order the figure tables use.  Systems only
+    # depend on the cluster count, so they are built (and pickled) once per
+    # count, not once per grid point.
+    grid: List[Tuple[int, int]] = [(mb, nc) for mb in sizes for nc in counts]
+    systems = {nc: build_scenario_system(spec.scenario, nc, parameters) for nc in counts}
+
+    # Analysis pass — closed-form and fast, always serial.
+    analyses = {}
+    for mb, nc in grid:
+        model_config = ModelConfig(
+            architecture=spec.architecture,
+            message_bytes=float(mb),
+            generation_rate=parameters.generation_rate,
+        )
+        analyses[(mb, nc)] = AnalyticalModel(systems[nc], model_config).evaluate()
+
+    # Simulation pass — one task per (point, replication), fanned out
+    # through the sweep engine.  Seeds are spawned per point so the task
+    # list (and therefore the results) is independent of the job count.
+    replicated = {}
+    if include_simulation:
+        if engine is None:
+            engine = SweepEngine(jobs=jobs)
+        point_seeds = spawn_seeds(seed, len(grid))
+        tasks: List[SweepTask] = []
+        task_point: List[int] = []
+        for point_idx, (point, point_seed) in enumerate(zip(grid, point_seeds)):
+            mb, nc = point
+            sim_config = SimulationConfig(
                 architecture=spec.architecture,
-                message_bytes=float(message_bytes),
+                message_bytes=float(mb),
                 generation_rate=parameters.generation_rate,
+                num_messages=sim_messages,
+                seed=point_seed,
             )
-            analysis = AnalyticalModel(system, model_config).evaluate()
-
-            sim_latency_ms: Optional[float] = None
-            sim_ci_ms: Optional[float] = None
-            if include_simulation:
-                sim_config = SimulationConfig(
-                    architecture=spec.architecture,
-                    message_bytes=float(message_bytes),
-                    generation_rate=parameters.generation_rate,
-                    num_messages=sim_messages,
-                    seed=seed,
+            for i, rep_config in enumerate(replication_configs(sim_config, replications)):
+                tasks.append(
+                    SweepTask(
+                        fn=run_simulation_task,
+                        args=(systems[nc], rep_config),
+                        label=f"fig{number} M={mb} C={nc} rep[{i}]",
+                    )
                 )
-                replicated = run_replications(system, sim_config, replications=replications)
-                sim_latency_ms = replicated.mean_latency_ms
-                if replicated.latency_interval is not None:
-                    sim_ci_ms = replicated.latency_interval.half_width * 1e3
+                task_point.append(point_idx)
+        results = engine.run(tasks)
+        for point_idx in range(len(grid)):
+            per_point = [r for p, r in zip(task_point, results) if p == point_idx]
+            replicated[point_idx] = aggregate_replications(per_point)
 
-            result.points.append(
-                FigurePoint(
-                    num_clusters=num_clusters,
-                    message_bytes=int(message_bytes),
-                    analysis_latency_ms=analysis.mean_latency_ms,
-                    simulation_latency_ms=sim_latency_ms,
-                    simulation_ci_half_width_ms=sim_ci_ms,
-                )
+    result = FigureResult(spec=spec, parameters=parameters)
+    for point_idx, point in enumerate(grid):
+        mb, nc = point
+        sim_latency_ms: Optional[float] = None
+        sim_ci_ms: Optional[float] = None
+        if point_idx in replicated:
+            agg = replicated[point_idx]
+            sim_latency_ms = agg.mean_latency_ms
+            if agg.latency_interval is not None:
+                sim_ci_ms = agg.latency_interval.half_width * 1e3
+        result.points.append(
+            FigurePoint(
+                num_clusters=nc,
+                message_bytes=int(mb),
+                analysis_latency_ms=analyses[point].mean_latency_ms,
+                simulation_latency_ms=sim_latency_ms,
+                simulation_ci_half_width_ms=sim_ci_ms,
             )
+        )
     return result

@@ -142,12 +142,14 @@ def generate_report(
     figures: Optional[Sequence[int]] = None,
     parameters: PaperParameters = PAPER_PARAMETERS,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> ReproductionReport:
     """Regenerate every figure (and the ratio study) and bundle them.
 
     ``include_simulation=False`` (the default) produces an analysis-only
     report in a few hundred milliseconds; with simulation enabled expect a
-    few minutes at the default message count.
+    few minutes at the default message count (``jobs>1`` fans each figure's
+    simulations out across worker processes without changing the numbers).
     """
     numbers = list(figures) if figures is not None else sorted(FIGURE_SPECS)
     results = {
@@ -158,6 +160,7 @@ def generate_report(
             simulation_messages=simulation_messages,
             parameters=parameters,
             seed=seed + number,
+            jobs=jobs,
         )
         for number in numbers
     }

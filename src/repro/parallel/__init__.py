@@ -1,0 +1,27 @@
+"""Parallel experiment execution: process-pool sweeps with deterministic seeding.
+
+This subpackage scales the paper's validation campaigns (dozens of
+independent simulations per figure) across CPU cores:
+
+``repro.parallel.engine``
+    :class:`SweepEngine`, the order-preserving process-pool executor used by
+    :func:`repro.simulation.runner.run_replications`,
+    :func:`repro.experiments.figures.run_figure`, the blocking-ratio study,
+    the ablations and the CLI's ``--jobs`` flag.
+``repro.parallel.seeding``
+    :func:`spawn_seeds`, the :class:`numpy.random.SeedSequence`-based
+    derivation of independent per-task seeds shared by the serial and
+    parallel paths (which is what keeps them bit-identical).
+"""
+
+from .engine import SweepEngine, SweepTask, resolve_jobs, stderr_progress
+from .seeding import spawn_seed_sequences, spawn_seeds
+
+__all__ = [
+    "SweepEngine",
+    "SweepTask",
+    "resolve_jobs",
+    "stderr_progress",
+    "spawn_seeds",
+    "spawn_seed_sequences",
+]

@@ -1,0 +1,52 @@
+"""Deterministic per-task seeding for parallel sweeps.
+
+Independent simulation runs in a sweep (replications, sweep points) each
+need their own random seed.  The naive ``seed + i`` scheme is statistically
+unsound twice over: adjacent master seeds yield *overlapping* replication
+seed sets (sweep point with seed 7 and sweep point with seed 8 share all but
+one replication seed), and additive seeds are exactly the pattern NumPy's
+documentation warns produces correlated streams for some bit generators.
+
+:func:`spawn_seeds` instead derives child seeds with
+:meth:`numpy.random.SeedSequence.spawn`, which hashes ``(entropy,
+spawn_key)`` so every child is decorrelated from every other child *and*
+from the children of any other master seed.  The derivation is a pure
+function of ``(master_seed, count index)``, so the serial and parallel
+execution paths of :class:`repro.parallel.SweepEngine` see bit-identical
+seeds regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["spawn_seeds", "spawn_seed_sequences"]
+
+
+def spawn_seed_sequences(master_seed: int, count: int) -> List[np.random.SeedSequence]:
+    """Spawn ``count`` independent child :class:`~numpy.random.SeedSequence`\\ s."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count!r}")
+    return list(np.random.SeedSequence(int(master_seed)).spawn(count))
+
+
+def spawn_seeds(master_seed: int, count: int) -> List[int]:
+    """Derive ``count`` independent integer seeds from ``master_seed``.
+
+    The result is deterministic: the same ``(master_seed, count)`` always
+    produces the same list, and element ``i`` does not depend on ``count``
+    (spawning is prefix-stable), so growing a sweep keeps existing seeds.
+
+    Example
+    -------
+    >>> spawn_seeds(0, 3) == spawn_seeds(0, 3)
+    True
+    >>> len(set(spawn_seeds(0, 100)))
+    100
+    """
+    return [
+        int(child.generate_state(1, np.uint64)[0])
+        for child in spawn_seed_sequences(master_seed, count)
+    ]

@@ -5,7 +5,10 @@ from .message import Message
 from .runner import (
     ReplicatedResult,
     ValidationPoint,
+    aggregate_replications,
+    replication_configs,
     run_replications,
+    run_simulation_task,
     validate_against_analysis,
 )
 from .simulator import MultiClusterSimulator, SimulationConfig, SimulationResult
@@ -24,6 +27,9 @@ __all__ = [
     "SimulationResult",
     "ReplicatedResult",
     "ValidationPoint",
+    "replication_configs",
+    "run_simulation_task",
+    "aggregate_replications",
     "run_replications",
     "validate_against_analysis",
     "TraceDrivenSimulator",

@@ -2,27 +2,45 @@
 
 The paper validates the analytical model by overlaying its predictions on
 simulation results (Figures 4–7).  :func:`run_replications` runs several
-independent simulation replications (different seeds) and aggregates them;
+independent simulation replications and aggregates them;
 :func:`validate_against_analysis` runs both the model and the simulator for
 the same configuration and reports the relative error.
+
+Replication seeds are derived from the master seed with
+:func:`repro.parallel.spawn_seeds` (``numpy.random.SeedSequence.spawn``),
+*not* ``seed + i``: additive seeds made adjacent sweep points share
+almost-identical replication seed sets, correlating what should be
+independent measurements.  Because the seed list is a pure function of the
+master seed, running the replications serially (``jobs=1``, the default) or
+across a process pool (``jobs>1`` via :class:`repro.parallel.SweepEngine`)
+produces bit-identical :class:`SimulationResult`\\ s.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..cluster.system import MultiClusterSystem
 from ..core.model import AnalyticalModel, ModelConfig, PerformanceReport
 from ..errors import ConfigurationError
+from ..parallel import SweepEngine, SweepTask, spawn_seeds
 from ..stats.compare import relative_error
 from ..stats.intervals import ConfidenceInterval, mean_confidence_interval
 from ..workload.destinations import DestinationPolicy
 from .simulator import MultiClusterSimulator, SimulationConfig, SimulationResult
 
-__all__ = ["ReplicatedResult", "ValidationPoint", "run_replications", "validate_against_analysis"]
+__all__ = [
+    "ReplicatedResult",
+    "ValidationPoint",
+    "replication_configs",
+    "run_simulation_task",
+    "aggregate_replications",
+    "run_replications",
+    "validate_against_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -73,29 +91,67 @@ class ValidationPoint:
         }
 
 
+def replication_configs(config: SimulationConfig, replications: int) -> List[SimulationConfig]:
+    """Per-replication configurations with seeds spawned from the master seed.
+
+    Seeds come from ``SeedSequence(config.seed).spawn(replications)`` so
+    every replication — and every replication of every *other* master seed —
+    gets a decorrelated random stream.
+    """
+    if replications < 1:
+        raise ConfigurationError(f"replications must be >= 1, got {replications!r}")
+    seeds = spawn_seeds(config.seed, replications)
+    return [replace(config, seed=seed) for seed in seeds]
+
+
+def run_simulation_task(
+    system: MultiClusterSystem,
+    config: SimulationConfig,
+    destination_policy: Optional[DestinationPolicy] = None,
+) -> SimulationResult:
+    """Run one simulation — the picklable unit of work shipped to pool workers."""
+    return MultiClusterSimulator(system, config, destination_policy).run()
+
+
+def aggregate_replications(results: Sequence[SimulationResult]) -> ReplicatedResult:
+    """Fold per-replication results into a :class:`ReplicatedResult`."""
+    results = list(results)
+    latencies = np.array([r.mean_latency_s for r in results])
+    interval = mean_confidence_interval(latencies) if len(results) >= 2 else None
+    return ReplicatedResult(
+        replications=len(results),
+        mean_latency_s=float(latencies.mean()),
+        latency_interval=interval,
+        per_replication=results,
+    )
+
+
 def run_replications(
     system: MultiClusterSystem,
     config: SimulationConfig,
     replications: int = 3,
     destination_policy: Optional[DestinationPolicy] = None,
+    jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
 ) -> ReplicatedResult:
-    """Run ``replications`` independent simulations (seeds ``seed + i``)."""
-    if replications < 1:
-        raise ConfigurationError(f"replications must be >= 1, got {replications!r}")
-    results: List[SimulationResult] = []
-    for i in range(replications):
-        rep_config = replace(config, seed=config.seed + i)
-        simulator = MultiClusterSimulator(system, rep_config, destination_policy)
-        results.append(simulator.run())
+    """Run ``replications`` independent simulations and aggregate them.
 
-    latencies = np.array([r.mean_latency_s for r in results])
-    interval = mean_confidence_interval(latencies) if replications >= 2 else None
-    return ReplicatedResult(
-        replications=replications,
-        mean_latency_s=float(latencies.mean()),
-        latency_interval=interval,
-        per_replication=results,
-    )
+    ``jobs`` (or a pre-configured ``engine``) fans the replications out
+    across worker processes; the results are bit-identical to ``jobs=1``
+    because the per-replication seeds depend only on ``config.seed``.
+    """
+    configs = replication_configs(config, replications)
+    if engine is None:
+        engine = SweepEngine(jobs=jobs)
+    tasks = [
+        SweepTask(
+            fn=run_simulation_task,
+            args=(system, rep_config, destination_policy),
+            label=f"replication[{i}] seed={rep_config.seed}",
+        )
+        for i, rep_config in enumerate(configs)
+    ]
+    return aggregate_replications(engine.run(tasks))
 
 
 def validate_against_analysis(
@@ -103,6 +159,7 @@ def validate_against_analysis(
     model_config: ModelConfig,
     sim_config: Optional[SimulationConfig] = None,
     replications: int = 1,
+    jobs: Optional[int] = 1,
 ) -> ValidationPoint:
     """Evaluate the analytical model and the simulator for the same setup.
 
@@ -129,5 +186,5 @@ def validate_against_analysis(
             )
 
     analysis = AnalyticalModel(system, model_config).evaluate()
-    simulation = run_replications(system, sim_config, replications)
+    simulation = run_replications(system, sim_config, replications, jobs=jobs)
     return ValidationPoint(analysis=analysis, simulation=simulation)

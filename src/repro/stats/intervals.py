@@ -146,6 +146,14 @@ def batch_means(
     ------
     ValueError
         If there are fewer observations than batches.
+
+    Notes
+    -----
+    When ``len(observations)`` is not a multiple of ``num_batches``, the
+    remainder is folded into the final batch (which is then up to
+    ``batch_size + num_batches - 1`` observations long) so that **no
+    observation is discarded** — dropping the tail would bias the estimate
+    towards older output whenever the run length is not batch-aligned.
     """
     data = np.asarray(list(observations), dtype=float)
     if num_batches < 2:
@@ -155,7 +163,8 @@ def batch_means(
             f"need at least {num_batches} observations for {num_batches} batches, got {data.size}"
         )
     batch_size = data.size // num_batches
-    usable = batch_size * num_batches
-    batches = data[:usable].reshape(num_batches, batch_size)
-    means = batches.mean(axis=1)
+    head = batch_size * (num_batches - 1)
+    means = np.empty(num_batches, dtype=float)
+    means[:-1] = data[:head].reshape(num_batches - 1, batch_size).mean(axis=1)
+    means[-1] = data[head:].mean()  # final batch absorbs the remainder
     return mean_confidence_interval(means, confidence)

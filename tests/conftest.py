@@ -1,8 +1,32 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The default profile is *fast*: tests marked ``@pytest.mark.slow``
+(multi-second simulation sweeps) are skipped unless ``--slow`` is given, so
+``pytest -x -q`` stays a sub-minute gate while the heavy parallel-sweep
+checks remain one flag away.
+"""
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked 'slow' (multi-second simulation sweeps)",
+    )
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items) -> None:
+    if config.getoption("--slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --slow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 from repro.cluster.presets import paper_evaluation_system
 from repro.cluster.system import MultiClusterSystem

@@ -64,6 +64,30 @@ class TestRun:
         process = env.process(proc(env))
         assert env.run(until=process) == "finished"
 
+    def test_run_until_already_processed_event_returns_value(self, env):
+        done = env.event()
+        done.succeed("val")
+        env.run()
+        assert done.processed
+        assert env.run(until=done) == "val"
+
+    def test_run_until_already_processed_failed_event_reraises(self, env):
+        """Regression: a stored failure must re-raise, not vanish as None."""
+        failed = env.event()
+
+        def catcher(env, event):
+            try:
+                yield event
+            except RuntimeError:
+                pass  # defuse so the simulation itself survives
+
+        env.process(catcher(env, failed))
+        failed.fail(RuntimeError("stored failure"))
+        env.run()
+        assert failed.processed and not failed.ok
+        with pytest.raises(RuntimeError, match="stored failure"):
+            env.run(until=failed)
+
     def test_run_drains_queue_without_until(self, env):
         def proc(env):
             yield env.timeout(1.0)

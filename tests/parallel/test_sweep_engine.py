@@ -1,0 +1,181 @@
+"""Tests for the process-pool sweep engine and its deterministic seeding."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import WorkerError
+from repro.parallel import SweepEngine, SweepTask, resolve_jobs, spawn_seeds
+from repro.simulation.runner import replication_configs, run_replications
+from repro.simulation.simulator import SimulationConfig
+
+
+# Module-level helpers so they pickle into pool workers.
+
+def _square(x):
+    return x * x
+
+
+def _sleepy_identity(pair):
+    index, delay = pair
+    time.sleep(delay)
+    return index
+
+
+def _explode(x):
+    raise ValueError(f"task payload {x} is cursed")
+
+
+def _kill_worker(_x):
+    # Simulate a worker crash (segfault/OOM): die without reporting back.
+    import os
+
+    os._exit(1)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(0, 5) == spawn_seeds(0, 5)
+
+    def test_distinct_within_and_across_masters(self):
+        a = spawn_seeds(7, 50)
+        b = spawn_seeds(8, 50)
+        assert len(set(a)) == 50
+        assert not set(a) & set(b), "adjacent master seeds must not share child seeds"
+
+    def test_prefix_stable(self):
+        assert spawn_seeds(3, 2) == spawn_seeds(3, 4)[:2]
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_all_cores(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestSweepEngineSerial:
+    def test_map_in_order(self):
+        assert SweepEngine(jobs=1).map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_jobs_1_runs_in_process(self):
+        # Lambdas cannot be pickled, so succeeding proves no pool was used.
+        assert SweepEngine(jobs=1).map(lambda x: x + 1, [1, 2]) == [2, 3]
+
+    def test_empty_tasks(self):
+        assert SweepEngine(jobs=1).run([]) == []
+        assert SweepEngine(jobs=4).run([]) == []
+
+    def test_single_task_stays_in_process_even_with_jobs(self):
+        assert SweepEngine(jobs=4).map(lambda x: -x, [5]) == [-5]
+
+    def test_failure_keeps_original_exception_type(self):
+        # The engine must not change the exception contract of the serial
+        # loops it replaced: callers still catch the original type.
+        with pytest.raises(ValueError, match="cursed") as excinfo:
+            SweepEngine(jobs=1).run(
+                [SweepTask(fn=_square, args=(2,)),
+                 SweepTask(fn=_explode, args=(9,), label="the-bad-one")]
+            )
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("task #1" in note and "the-bad-one" in note for note in notes)
+
+    def test_progress_callback(self):
+        seen = []
+        engine = SweepEngine(jobs=1, progress=lambda done, total, label: seen.append((done, total)))
+        engine.map(_square, [1, 2, 3])
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestSweepEnginePool:
+    def test_results_in_task_order_despite_completion_order(self):
+        # The first task sleeps longest, so completion order is reversed;
+        # results must still come back in submission order.
+        items = [(0, 0.3), (1, 0.15), (2, 0.0)]
+        assert SweepEngine(jobs=3).map(_sleepy_identity, items) == [0, 1, 2]
+
+    def test_pool_matches_serial(self):
+        items = list(range(20))
+        assert SweepEngine(jobs=4).map(_square, items) == SweepEngine(jobs=1).map(_square, items)
+
+    def test_worker_failure_propagates_original_type(self):
+        tasks = [SweepTask(fn=_square, args=(i,)) for i in range(4)]
+        tasks.append(SweepTask(fn=_explode, args=(4,), label="boom"))
+        with pytest.raises(ValueError, match="cursed") as excinfo:
+            SweepEngine(jobs=2).run(tasks)
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("task #4" in note and "boom" in note for note in notes)
+
+    def test_dead_worker_raises_worker_error(self):
+        # A worker that dies without reporting back is an infrastructure
+        # failure, not a task exception: that is what WorkerError marks.
+        with pytest.raises(WorkerError) as excinfo:
+            SweepEngine(jobs=2).run(
+                [SweepTask(fn=_kill_worker, args=(0,), label="crasher"),
+                 SweepTask(fn=_square, args=(3,))]
+            )
+        assert excinfo.value.original is excinfo.value.__cause__
+
+    def test_progress_reports_every_task(self):
+        seen = []
+        engine = SweepEngine(jobs=2, progress=lambda done, total, label: seen.append(done))
+        engine.map(_square, list(range(6)))
+        assert sorted(seen) == [1, 2, 3, 4, 5, 6]
+
+
+class TestReplicationParallelism:
+    @pytest.fixture
+    def config(self):
+        return SimulationConfig(num_messages=300, seed=11)
+
+    def test_replication_configs_use_spawned_seeds(self, config):
+        configs = replication_configs(config, 3)
+        assert [c.seed for c in configs] == spawn_seeds(11, 3)
+
+    def test_serial_and_parallel_bit_identical(self, small_case1_system, config):
+        serial = run_replications(small_case1_system, config, replications=3, jobs=1)
+        pooled = run_replications(small_case1_system, config, replications=3, jobs=3)
+        assert serial.per_replication == pooled.per_replication
+        assert serial.mean_latency_s == pooled.mean_latency_s
+        assert serial.latency_interval == pooled.latency_interval
+
+    def test_explicit_engine_override(self, small_case1_system, config):
+        engine = SweepEngine(jobs=1)
+        result = run_replications(small_case1_system, config, replications=2, engine=engine)
+        assert result.replications == 2
+
+
+@pytest.mark.slow
+class TestFigureSweepParallelism:
+    def test_figure_sweep_bit_identical_and_seed_decorrelated(self):
+        from repro.experiments.figures import run_figure
+
+        kwargs = dict(
+            include_simulation=True,
+            cluster_counts=[2, 4],
+            message_sizes=[512, 1024],
+            simulation_messages=400,
+            replications=2,
+        )
+        serial = run_figure(4, jobs=1, **kwargs)
+        pooled = run_figure(4, jobs=2, **kwargs)
+        assert serial.points == pooled.points
+        # Distinct sweep points must not reuse each other's latency stream:
+        # identical values would indicate shared seeds.
+        latencies = [p.simulation_latency_ms for p in serial.points]
+        assert len(set(latencies)) == len(latencies)

@@ -13,6 +13,7 @@ from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
 from repro.queueing.distributions import Deterministic, Exponential
 from repro.simulation.components import LatencySink, ServiceCenterSim
 from repro.simulation.message import Message
+from repro.parallel import spawn_seeds
 from repro.simulation.runner import run_replications, validate_against_analysis
 from repro.simulation.simulator import MultiClusterSimulator, SimulationConfig
 from repro.workload.destinations import LocalizedDestinations
@@ -209,8 +210,13 @@ class TestRunnerAndValidation:
         assert result.replications == 3
         assert len(result.per_replication) == 3
         assert result.latency_interval is not None
-        seeds = {r.seed for r in result.per_replication}
-        assert seeds == {21, 22, 23}
+        # Seeds are spawned from the master seed via SeedSequence (not the
+        # correlated ``seed + i`` scheme): distinct, deterministic, and
+        # decorrelated from adjacent master seeds.
+        seeds = [r.seed for r in result.per_replication]
+        assert seeds == spawn_seeds(21, 3)
+        assert len(set(seeds)) == 3
+        assert not set(seeds) & set(spawn_seeds(22, 3))
 
     def test_run_replications_validation(self, small_case1_system):
         with pytest.raises(ConfigurationError):

@@ -90,6 +90,34 @@ class TestConfidenceIntervals:
         assert ci.mean == pytest.approx(2.0, rel=0.1)
         assert ci.sample_size == 20
 
+    def test_batch_means_drops_no_observation(self):
+        """Regression: the tail remainder folds into the final batch."""
+        # 107 = 5 batches of 21 + remainder 2; the old code silently dropped
+        # the last 2 observations.  With equal-size head batches the grand
+        # batch-mean average weighted by batch length must equal the overall
+        # mean of *all* observations.
+        data = np.arange(107, dtype=float)
+        num_batches = 5
+        ci = batch_means(data, num_batches=num_batches)
+        batch_size = data.size // num_batches
+        head = batch_size * (num_batches - 1)
+        expected_means = [
+            data[i * batch_size:(i + 1) * batch_size].mean()
+            for i in range(num_batches - 1)
+        ] + [data[head:].mean()]
+        assert ci.mean == pytest.approx(np.mean(expected_means))
+        # The final batch's observations (including the tail) are all used:
+        # shifting only the tail values must change the interval.
+        shifted = data.copy()
+        shifted[-2:] += 1000.0
+        assert batch_means(shifted, num_batches=num_batches).mean != ci.mean
+
+    def test_batch_means_exact_multiple_unchanged(self):
+        data = np.arange(100, dtype=float)
+        ci = batch_means(data, num_batches=5)
+        assert ci.mean == pytest.approx(data.mean())
+        assert ci.sample_size == 5
+
 
 class TestWarmup:
     def test_mser5_detects_transient(self):
