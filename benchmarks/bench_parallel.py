@@ -1,18 +1,20 @@
-"""Serial-vs-pool speedup benchmark for the parallel sweep engine.
+"""Backend comparison benchmark for the parallel sweep engine.
 
-Runs the same figure-style replication sweep twice — once in-process
-(``jobs=1``) and once across a process pool (one worker per core) — asserts
-the results are bit-identical, and emits a JSON summary of wall-clock times
-and speedup (printed to stdout like the other ``bench_*`` summaries).
+Runs the same figure-style replication sweep once per execution backend —
+in-process (``serial``), across a local process pool (``pool``) and through
+the TCP work queue with locally spawned workers (``socket``) — asserts the
+results are bit-identical everywhere, and emits a JSON summary with one
+row per backend (wall-clock seconds and speedup vs serial).
 
-On a multi-core machine the pool run should approach ``min(jobs, tasks)``-x
-speedup because the simulations are fully independent; on a single-core CI
-box the speedup hovers around 1.0x (pool overhead only) — the bit-identity
-assertion is what must hold everywhere.
+On a multi-core machine the pool/socket runs should approach
+``min(jobs, tasks)``-x speedup because the simulations are fully
+independent; on a single-core CI box the speedup hovers around 1.0x
+(fan-out overhead only) — the bit-identity assertion is what must hold
+everywhere.
 
 Run as a script for the JSON report without pytest::
 
-    PYTHONPATH=src python benchmarks/bench_parallel.py [--jobs N]
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--jobs N] [--backends serial,pool,socket]
 """
 
 from __future__ import annotations
@@ -27,9 +29,17 @@ import pytest
 from _bench_utils import SIM_MESSAGES
 from repro.cluster.presets import paper_evaluation_system
 from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
-from repro.parallel import SweepEngine, SweepTask, resolve_jobs, spawn_seeds
+from repro.parallel import (
+    SocketBackend,
+    SweepEngine,
+    SweepTask,
+    resolve_jobs,
+    spawn_seeds,
+)
 from repro.simulation.runner import replication_configs, run_simulation_task
 from repro.simulation.simulator import SimulationConfig
+
+DEFAULT_BACKENDS = ("serial", "pool", "socket")
 
 
 def _sweep_tasks(num_messages: int, replications: int = 8):
@@ -53,53 +63,90 @@ def _sweep_tasks(num_messages: int, replications: int = 8):
     return tasks
 
 
-def run_comparison(jobs: int | None = None, num_messages: int | None = None) -> dict:
-    """Time the identical sweep serially and through the pool."""
+def _engine_for(backend: str, jobs: int) -> SweepEngine:
+    if backend == "serial":
+        return SweepEngine(jobs=1)
+    if backend == "pool":
+        return SweepEngine(jobs=jobs, backend="pool")
+    if backend == "socket":
+        return SweepEngine(backend=SocketBackend(spawn_workers=jobs))
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def run_comparison(
+    jobs: int | None = None,
+    num_messages: int | None = None,
+    backends: tuple = DEFAULT_BACKENDS,
+) -> dict:
+    """Time the identical sweep through every requested backend."""
     jobs = resolve_jobs(jobs)
     num_messages = num_messages if num_messages is not None else max(SIM_MESSAGES // 4, 500)
     tasks = _sweep_tasks(num_messages)
 
-    t0 = time.perf_counter()
-    serial_results = SweepEngine(jobs=1).run(tasks)
-    serial_s = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    pool_results = SweepEngine(jobs=jobs).run(tasks)
-    parallel_s = time.perf_counter() - t0
-
-    identical = serial_results == pool_results
+    rows = []
+    reference = None
+    serial_s = None
+    identical = True
+    for backend in backends:
+        engine = _engine_for(backend, jobs)
+        t0 = time.perf_counter()
+        results = engine.run(tasks)
+        elapsed = time.perf_counter() - t0
+        if reference is None:
+            reference = results
+        elif results != reference:
+            identical = False
+        if backend == "serial":
+            serial_s = elapsed
+        rows.append(
+            {
+                "backend": backend,
+                "workers": 1 if backend == "serial" else jobs,
+                "seconds": round(elapsed, 4),
+            }
+        )
+    for row in rows:
+        row["speedup_vs_serial"] = (
+            round(serial_s / row["seconds"], 3)
+            if serial_s is not None and row["seconds"] > 0
+            else None
+        )
     return {
         "benchmark": "bench_parallel",
         "tasks": len(tasks),
         "messages_per_task": num_messages,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
-        "serial_s": round(serial_s, 4),
-        "parallel_s": round(parallel_s, 4),
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "backends": rows,
         "bit_identical": identical,
     }
 
 
 @pytest.mark.benchmark(group="parallel")
 def test_parallel_sweep_speedup():
-    """Pool results must be bit-identical to serial; speedup is reported."""
+    """Every backend must be bit-identical to serial; timings are reported."""
     summary = run_comparison()
     print("\n" + json.dumps(summary, indent=2))
-    assert summary["bit_identical"], "pool sweep diverged from the serial sweep"
+    assert summary["bit_identical"], "a backend's sweep diverged from the serial sweep"
     # Speedup is hardware-dependent (~= core count on idle multi-core boxes,
-    # ~1.0 on single-core CI); only sanity-check that the pool finished.
-    assert summary["parallel_s"] > 0
+    # ~1.0 on single-core CI); only sanity-check that every backend finished.
+    assert all(row["seconds"] > 0 for row in summary["backends"])
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=0,
-                        help="pool workers (0 = one per CPU core)")
+                        help="pool/socket workers (0 = one per CPU core)")
     parser.add_argument("--messages", type=int, default=None,
                         help="simulated messages per task")
+    parser.add_argument("--backends", type=str, default=",".join(DEFAULT_BACKENDS),
+                        help="comma-separated backends to compare")
     args = parser.parse_args()
-    print(json.dumps(run_comparison(jobs=args.jobs, num_messages=args.messages), indent=2))
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    print(json.dumps(
+        run_comparison(jobs=args.jobs, num_messages=args.messages, backends=backends),
+        indent=2,
+    ))
 
 
 if __name__ == "__main__":

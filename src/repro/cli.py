@@ -10,11 +10,21 @@ Usage examples::
     python -m repro ablation switch-ports    # one of the ablation studies
     python -m repro info                     # paper parameters and scenarios
 
+    # explicit execution backend: serial, local process pool, or TCP work queue
+    python -m repro figure 6 --simulate --backend pool --jobs 4
+    python -m repro figure 6 --simulate --backend socket --workers 4
+    #   ... --workers N spawns N local socket workers; a HOST:PORT list
+    #   connects to worker daemons on other machines instead:
+    python -m repro figure 6 --simulate --backend socket \\
+        --workers hostA:7777,hostB:7777
+    # (start each daemon with: python -m repro.parallel.worker --listen 0.0.0.0:7777)
+
 Simulation-heavy commands accept ``--jobs N`` to run the independent
 simulations of a sweep on ``N`` worker processes (``0`` = one per CPU
-core) via :class:`repro.parallel.SweepEngine`; results are bit-identical
-to the serial default because per-run seeds depend only on the sweep
-definition, never on the schedule.
+core) via :class:`repro.parallel.SweepEngine`, plus ``--backend
+{serial,pool,socket}`` / ``--workers SPEC`` to pick the execution
+substrate; results are bit-identical for every backend because per-run
+seeds depend only on the sweep definition, never on the schedule.
 """
 
 from __future__ import annotations
@@ -41,12 +51,25 @@ from .experiments.scenarios import (
     SCENARIOS,
     build_scenario_system,
 )
-from .parallel import SweepEngine, stderr_progress
+from .parallel import (
+    BACKEND_NAMES,
+    SweepEngine,
+    resolve_jobs,
+    socket_backend_from_spec,
+    stderr_progress,
+)
 from .simulation.runner import validate_against_analysis
 from .simulation.simulator import SimulationConfig
 from .viz.tables import format_fixed_width_table, write_csv
 
-__all__ = ["main", "build_parser", "jobs_count", "add_jobs_flag"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_engine",
+    "jobs_count",
+    "add_jobs_flag",
+    "add_backend_flags",
+]
 
 
 def jobs_count(text: str) -> int:
@@ -72,6 +95,37 @@ def add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared execution-backend options (``--jobs`` included)."""
+    add_jobs_flag(parser)
+    parser.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="execution backend for sweep tasks (default: serial for "
+             "--jobs 1, a local process pool otherwise); 'socket' runs a "
+             "TCP work queue feeding repro.parallel.worker processes — "
+             "results are bit-identical for every backend",
+    )
+    parser.add_argument(
+        "--workers", type=str, default=None, metavar="SPEC",
+        help="socket-backend workers: an integer N spawns N local worker "
+             "processes (default: --jobs); a comma-separated HOST:PORT list "
+             "connects to daemons started with "
+             "'python -m repro.parallel.worker --listen HOST:PORT'",
+    )
+
+
+def build_engine(args: argparse.Namespace, progress=None) -> SweepEngine:
+    """Construct the :class:`SweepEngine` selected by the parsed CLI flags."""
+    backend = getattr(args, "backend", None)
+    workers = getattr(args, "workers", None)
+    if backend == "socket":
+        # resolve_jobs keeps --jobs 0 meaning "one per CPU core" here too.
+        backend = socket_backend_from_spec(workers, default_workers=resolve_jobs(args.jobs))
+    elif workers is not None:
+        raise SystemExit("--workers requires --backend socket")
+    return SweepEngine(jobs=args.jobs, progress=progress, backend=backend)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -95,11 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--chart", action="store_true", help="print an ASCII chart")
     fig.add_argument("--replications", type=int, default=1,
                      help="independent simulation replications per point")
-    add_jobs_flag(fig)
+    add_backend_flags(fig)
 
     ratio = sub.add_parser("ratio", help="blocking vs non-blocking latency ratio study")
     ratio.add_argument("--csv", type=str, default=None, help="write the points to a CSV file")
-    add_jobs_flag(ratio)
+    add_backend_flags(ratio)
 
     val = sub.add_parser("validate", help="analysis vs simulation at one configuration")
     val.add_argument("--case", choices=sorted(SCENARIOS), default="case-1")
@@ -109,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--message-bytes", type=float, default=1024.0)
     val.add_argument("--messages", type=int, default=PAPER_PARAMETERS.simulation_messages)
     val.add_argument("--replications", type=int, default=1)
-    add_jobs_flag(val)
+    add_backend_flags(val)
 
     abl = sub.add_parser("ablation", help="run one ablation study")
     abl.add_argument(
@@ -117,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["switch-ports", "switch-latency", "generation-rate", "message-size",
                  "fixed-point-vs-mva"],
     )
-    add_jobs_flag(abl)
+    add_backend_flags(abl)
 
     rep = sub.add_parser("report", help="generate the full paper-vs-measured report")
     rep.add_argument("--output", type=str, default=None,
@@ -128,7 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulated messages per point when --simulate is given")
     rep.add_argument("--clusters", type=int, nargs="*", default=None,
                      help="override the cluster-count sweep")
-    add_jobs_flag(rep)
+    add_backend_flags(rep)
 
     point = sub.add_parser("analyze", help="evaluate the analytical model at one point")
     point.add_argument("--case", choices=sorted(SCENARIOS), default="case-1")
@@ -143,11 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    engine = None
-    if args.simulate:
-        # Per-task progress on stderr keeps long sweeps observable without
-        # polluting the table output on stdout.
-        engine = SweepEngine(jobs=args.jobs, progress=stderr_progress)
+    # Built even for analysis-only runs so inconsistent backend flags fail
+    # fast; backends are lazy, so no pool/worker is started until a
+    # simulation sweep actually executes.  Per-task progress goes to stderr
+    # to keep the table output on stdout clean.
+    engine = build_engine(args, progress=stderr_progress if args.simulate else None)
     result = run_figure(
         args.number,
         include_simulation=args.simulate,
@@ -155,7 +209,6 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         message_sizes=args.sizes,
         simulation_messages=args.messages,
         replications=args.replications,
-        jobs=args.jobs,
         engine=engine,
     )
     print(result.spec.title)
@@ -175,7 +228,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_ratio(args: argparse.Namespace) -> int:
-    study = run_blocking_ratio_study(jobs=args.jobs)
+    study = run_blocking_ratio_study(engine=build_engine(args))
     print("Blocking vs non-blocking mean latency ratio (paper section 6 claim)")
     print()
     print(format_fixed_width_table(study.to_rows()))
@@ -206,7 +259,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         num_messages=args.messages,
     )
     point = validate_against_analysis(
-        system, model_config, sim_config, args.replications, jobs=args.jobs
+        system, model_config, sim_config, args.replications,
+        engine=build_engine(args),
     )
     print(f"System: {system}")
     print(f"Architecture: {args.architecture}, M = {args.message_bytes:g} bytes")
@@ -225,7 +279,18 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         "message-size": sweep_message_size,
         "fixed-point-vs-mva": fixed_point_vs_exact_mva,
     }
-    kwargs = {} if args.study == "fixed-point-vs-mva" else {"jobs": args.jobs}
+    if args.study == "fixed-point-vs-mva":
+        # This study is a single closed-form comparison, not a sweep:
+        # silently dropping the user's backend selection would make them
+        # believe the run happened on their chosen substrate.
+        if args.jobs != 1 or args.backend is not None or args.workers is not None:
+            raise SystemExit(
+                "ablation 'fixed-point-vs-mva' is a single closed-form "
+                "comparison; --jobs/--backend/--workers do not apply"
+            )
+        kwargs = {}
+    else:
+        kwargs = {"engine": build_engine(args)}
     study = studies[args.study](**kwargs)
     print(study.name)
     print()
@@ -240,7 +305,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         include_simulation=args.simulate,
         cluster_counts=args.clusters,
         simulation_messages=args.messages,
-        jobs=args.jobs,
+        engine=build_engine(args, progress=stderr_progress if args.simulate else None),
     )
     if args.output:
         report.write(args.output)

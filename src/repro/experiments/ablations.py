@@ -19,13 +19,13 @@ additionally runs the simulator with deterministic service times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.model import AnalyticalModel, ModelConfig
 from ..core.routing import outgoing_probability
 from ..core.service_centers import build_service_centers
 from ..network.switch import SwitchFabric
-from ..parallel import SweepEngine, SweepTask
+from ..parallel import Backend, SweepEngine, SweepTask, resolve_engine
 from ..queueing.mva import MVAStation, mean_value_analysis
 from ..simulation.simulator import MultiClusterSimulator, SimulationConfig
 from ..viz.tables import format_markdown_table
@@ -124,9 +124,11 @@ def _sweep(
     tasks: Sequence[SweepTask],
     values: Sequence[float],
     jobs: Optional[int],
+    engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> AblationStudy:
     """Run the per-value evaluation tasks through the sweep engine."""
-    latencies = SweepEngine(jobs=jobs).run(tasks)
+    latencies = resolve_engine(jobs, engine, backend).run(tasks)
     rows = [
         AblationRow(parameter, float(value), latency, {})
         for value, latency in zip(values, latencies)
@@ -142,6 +144,8 @@ def sweep_switch_ports(
     message_bytes: float = 1024.0,
     parameters: PaperParameters = PAPER_PARAMETERS,
     jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> AblationStudy:
     """Ablation 1: how the switch port count Pr shapes the latency."""
     tasks = [
@@ -154,7 +158,8 @@ def sweep_switch_ports(
         )
         for ports in ports_values
     ]
-    return _sweep("switch-port-count", "switch_ports", tasks, list(ports_values), jobs)
+    return _sweep("switch-port-count", "switch_ports", tasks, list(ports_values), jobs,
+                  engine=engine, backend=backend)
 
 
 def sweep_switch_latency(
@@ -165,6 +170,8 @@ def sweep_switch_latency(
     message_bytes: float = 1024.0,
     parameters: PaperParameters = PAPER_PARAMETERS,
     jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> AblationStudy:
     """Ablation 2: sensitivity to the per-switch latency α_sw."""
     tasks = [
@@ -178,7 +185,8 @@ def sweep_switch_latency(
         )
         for latency_us in latency_values_us
     ]
-    return _sweep("switch-latency", "switch_latency_us", tasks, list(latency_values_us), jobs)
+    return _sweep("switch-latency", "switch_latency_us", tasks, list(latency_values_us), jobs,
+                  engine=engine, backend=backend)
 
 
 def _generation_rate_row(
@@ -218,6 +226,8 @@ def sweep_generation_rate(
     message_bytes: float = 1024.0,
     parameters: PaperParameters = PAPER_PARAMETERS,
     jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> AblationStudy:
     """Ablation 3a: offered load sweep (the paper's λ = 0.25 is nearly idle)."""
     tasks = [
@@ -228,7 +238,7 @@ def sweep_generation_rate(
         )
         for rate in rate_values
     ]
-    rows = SweepEngine(jobs=jobs).run(tasks)
+    rows = resolve_engine(jobs, engine, backend).run(tasks)
     return AblationStudy("generation-rate", rows)
 
 
@@ -239,6 +249,8 @@ def sweep_message_size(
     architecture: str = "non-blocking",
     parameters: PaperParameters = PAPER_PARAMETERS,
     jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> AblationStudy:
     """Ablation 3b: message-size sweep beyond the paper's 512/1024 bytes."""
     tasks = [
@@ -250,7 +262,8 @@ def sweep_message_size(
         )
         for size in size_values
     ]
-    return _sweep("message-size", "message_bytes", tasks, list(size_values), jobs)
+    return _sweep("message-size", "message_bytes", tasks, list(size_values), jobs,
+                  engine=engine, backend=backend)
 
 
 def fixed_point_vs_exact_mva(
@@ -330,6 +343,8 @@ def service_distribution_ablation(
     seed: int = 7,
     parameters: PaperParameters = PAPER_PARAMETERS,
     jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> AblationStudy:
     """Simulator ablation: exponential (paper assumption) vs deterministic service."""
     system = build_scenario_system(scenario, num_clusters, parameters)
@@ -352,7 +367,7 @@ def service_distribution_ablation(
         )
         for exponential in variants
     ]
-    results = SweepEngine(jobs=jobs).run(tasks)
+    results = resolve_engine(jobs, engine, backend).run(tasks)
     rows = [
         AblationRow(
             "exponential_service",

@@ -11,10 +11,10 @@ checked quantitatively; the observed band is recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.model import AnalyticalModel, ModelConfig
-from ..parallel import SweepEngine
+from ..parallel import Backend, SweepEngine, resolve_engine
 from ..viz.tables import format_markdown_table
 from .scenarios import (
     CASE_1,
@@ -137,12 +137,15 @@ def run_blocking_ratio_study(
     parameters: PaperParameters = PAPER_PARAMETERS,
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> BlockingRatioStudy:
     """Compute the blocking/non-blocking ratio over the paper's sweep grid.
 
     The study is closed-form (no simulation) so ``jobs=1`` is usually fine;
     the grid still goes through :class:`~repro.parallel.SweepEngine` so
-    large custom sweeps can fan out with ``jobs>1``.
+    large custom sweeps can fan out with ``jobs>1`` or an explicit
+    ``backend`` (``"serial"``, ``"pool"``, ``"socket"`` or a
+    :class:`~repro.parallel.Backend` instance).
     """
     cases = list(scenarios) if scenarios is not None else [CASE_1, CASE_2]
     counts = list(cluster_counts) if cluster_counts is not None else list(parameters.cluster_counts)
@@ -154,8 +157,7 @@ def run_blocking_ratio_study(
         for message_bytes in sizes
         for num_clusters in counts
     ]
-    if engine is None:
-        engine = SweepEngine(jobs=jobs)
+    engine = resolve_engine(jobs, engine, backend)
     points: List[RatioPoint] = engine.map(
         _ratio_point_task,
         grid,

@@ -17,11 +17,11 @@ benchmarks and the CLI print the same rows/series the paper plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.model import AnalyticalModel, ModelConfig
 from ..errors import ExperimentError
-from ..parallel import SweepEngine, SweepTask, spawn_seeds
+from ..parallel import Backend, SweepEngine, SweepTask, resolve_engine, spawn_seeds
 from ..simulation.runner import (
     aggregate_replications,
     replication_configs,
@@ -193,6 +193,7 @@ def run_figure(
     seed: int = 0,
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> FigureResult:
     """Reproduce one of the paper's Figures 4–7.
 
@@ -215,11 +216,14 @@ def run_figure(
         its own master seed spawned from this one, and every replication a
         seed spawned from the point's — so no two runs of the sweep share a
         random stream.
-    jobs, engine:
+    jobs, engine, backend:
         Fan the ``points x replications`` independent simulations out across
-        ``jobs`` worker processes (``None`` = all cores) or through a
-        pre-configured :class:`~repro.parallel.SweepEngine`.  Results are
-        bit-identical to the serial ``jobs=1`` default.
+        ``jobs`` worker processes (``None`` = all cores), through a
+        pre-configured :class:`~repro.parallel.SweepEngine`, or over an
+        explicit execution backend (``"serial"``, ``"pool"``, ``"socket"``
+        or a :class:`~repro.parallel.Backend` instance — e.g. a socket work
+        queue whose workers live on other machines).  Results are
+        bit-identical to the serial ``jobs=1`` default for every choice.
     """
     if number not in FIGURE_SPECS:
         raise ExperimentError(f"unknown figure {number}; the paper has figures 4-7")
@@ -251,8 +255,7 @@ def run_figure(
     # list (and therefore the results) is independent of the job count.
     replicated = {}
     if include_simulation:
-        if engine is None:
-            engine = SweepEngine(jobs=jobs)
+        engine = resolve_engine(jobs, engine, backend)
         point_seeds = spawn_seeds(seed, len(grid))
         tasks: List[SweepTask] = []
         task_point: List[int] = []

@@ -15,8 +15,9 @@ ordering), plus the blocking-ratio study.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
+from ..parallel import Backend, SweepEngine, resolve_engine
 from ..viz.tables import format_markdown_table
 from .blocking_ratio import BlockingRatioStudy, run_blocking_ratio_study
 from .figures import FIGURE_SPECS, FigureResult, run_figure
@@ -143,14 +144,18 @@ def generate_report(
     parameters: PaperParameters = PAPER_PARAMETERS,
     seed: int = 0,
     jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> ReproductionReport:
     """Regenerate every figure (and the ratio study) and bundle them.
 
     ``include_simulation=False`` (the default) produces an analysis-only
     report in a few hundred milliseconds; with simulation enabled expect a
-    few minutes at the default message count (``jobs>1`` fans each figure's
-    simulations out across worker processes without changing the numbers).
+    few minutes at the default message count (``jobs>1`` — or an explicit
+    ``engine``/``backend`` such as the socket work queue — fans each
+    figure's simulations out across workers without changing the numbers).
     """
+    engine = resolve_engine(jobs, engine, backend)
     numbers = list(figures) if figures is not None else sorted(FIGURE_SPECS)
     results = {
         number: run_figure(
@@ -160,11 +165,11 @@ def generate_report(
             simulation_messages=simulation_messages,
             parameters=parameters,
             seed=seed + number,
-            jobs=jobs,
+            engine=engine,
         )
         for number in numbers
     }
     ratio = run_blocking_ratio_study(
-        cluster_counts=cluster_counts, parameters=parameters
+        cluster_counts=cluster_counts, parameters=parameters, engine=engine
     )
     return ReproductionReport(figures=results, ratio_study=ratio, parameters=parameters)

@@ -30,6 +30,11 @@ class HeterogeneousLinkMatrix:
         ``(n, n)`` matrix of pairwise latencies in seconds.
     beta:
         ``(n, n)`` matrix of pairwise per-byte times in seconds/byte.
+
+    Off-diagonal β values must be positive (a real link always needs time
+    per byte); the diagonal describes a node talking to itself, costs
+    nothing in the model, and therefore only has to be non-negative —
+    the built-in constructors zero both diagonals so ``T_ii = 0``.
     """
 
     def __init__(self, alpha: np.ndarray, beta: np.ndarray) -> None:
@@ -43,8 +48,11 @@ class HeterogeneousLinkMatrix:
             )
         if np.any(alpha < 0):
             raise ConfigurationError("latencies must be non-negative")
-        if np.any(beta <= 0):
-            raise ConfigurationError("per-byte times must be positive")
+        if np.any(beta < 0):
+            raise ConfigurationError("per-byte times must be non-negative")
+        off_diagonal = ~np.eye(beta.shape[0], dtype=bool)
+        if np.any(beta[off_diagonal] <= 0):
+            raise ConfigurationError("off-diagonal per-byte times must be positive")
         self._alpha = alpha
         self._beta = beta
 
@@ -57,7 +65,10 @@ class HeterogeneousLinkMatrix:
             raise ConfigurationError(f"size must be >= 1, got {size!r}")
         alpha = np.full((size, size), technology.alpha, dtype=float)
         beta = np.full((size, size), technology.beta, dtype=float)
+        # A self-addressed message costs nothing: zero both diagonals so
+        # T_ii = 0 instead of the leftover M*beta.
         np.fill_diagonal(alpha, 0.0)
+        np.fill_diagonal(beta, 0.0)
         return cls(alpha, beta)
 
     @classmethod
@@ -71,7 +82,9 @@ class HeterogeneousLinkMatrix:
         betas = np.array([t.beta for t in technologies], dtype=float)
         alpha = np.maximum.outer(alphas, alphas)
         beta = np.maximum.outer(betas, betas)
+        # Same diagonal convention as ``homogeneous``: T_ii = 0.
         np.fill_diagonal(alpha, 0.0)
+        np.fill_diagonal(beta, 0.0)
         return cls(alpha, beta)
 
     # -- access ------------------------------------------------------------------

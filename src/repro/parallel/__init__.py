@@ -1,27 +1,62 @@
-"""Parallel experiment execution: process-pool sweeps with deterministic seeding.
+"""Parallel experiment execution: pluggable backends with deterministic seeding.
 
 This subpackage scales the paper's validation campaigns (dozens of
-independent simulations per figure) across CPU cores:
+independent simulations per figure) across CPU cores — and, with the socket
+backend, across machines:
 
 ``repro.parallel.engine``
-    :class:`SweepEngine`, the order-preserving process-pool executor used by
+    :class:`SweepEngine`, the order-preserving sweep executor used by
     :func:`repro.simulation.runner.run_replications`,
     :func:`repro.experiments.figures.run_figure`, the blocking-ratio study,
-    the ablations and the CLI's ``--jobs`` flag.
+    the ablations and the CLI's ``--jobs``/``--backend`` flags.
+``repro.parallel.backends``
+    The :class:`Backend` interface and its implementations —
+    :class:`SerialBackend` (in-process), :class:`ProcessPoolBackend`
+    (local process pool) and :class:`SocketBackend` (TCP work queue
+    feeding ``python -m repro.parallel.worker`` processes, locally or on
+    other hosts).
+``repro.parallel.worker``
+    The socket worker daemon (``--connect`` to dial a coordinator,
+    ``--listen`` to serve as a multi-host daemon).
+``repro.parallel.protocol``
+    The length-prefixed pickle frame protocol both halves speak.
 ``repro.parallel.seeding``
     :func:`spawn_seeds`, the :class:`numpy.random.SeedSequence`-based
-    derivation of independent per-task seeds shared by the serial and
-    parallel paths (which is what keeps them bit-identical).
+    derivation of independent per-task seeds shared by all execution
+    backends (which is what keeps them bit-identical).
 """
 
-from .engine import SweepEngine, SweepTask, resolve_jobs, stderr_progress
+from .backends import (
+    Backend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SocketBackend,
+    TaskOutcome,
+    socket_backend_from_spec,
+)
+from .engine import (
+    BACKEND_NAMES,
+    SweepEngine,
+    SweepTask,
+    resolve_engine,
+    resolve_jobs,
+    stderr_progress,
+)
 from .seeding import spawn_seed_sequences, spawn_seeds
 
 __all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SocketBackend",
     "SweepEngine",
     "SweepTask",
+    "TaskOutcome",
+    "resolve_engine",
     "resolve_jobs",
-    "stderr_progress",
+    "socket_backend_from_spec",
     "spawn_seeds",
     "spawn_seed_sequences",
+    "stderr_progress",
 ]

@@ -1,0 +1,704 @@
+"""Execution backends for :class:`repro.parallel.SweepEngine`.
+
+A *backend* owns the mechanics of getting independent
+:class:`~repro.parallel.engine.SweepTask`\\ s executed — in-process, across a
+local process pool, or over a TCP work queue spanning machines — while the
+engine owns the policy: result ordering, progress reporting and error
+attribution.  The contract is a single generator method::
+
+    Backend.execute(tasks) -> Iterator[TaskOutcome]
+
+yielding exactly one :class:`TaskOutcome` per task (until the first error
+outcome, after which the backend may stop early).  Outcomes may arrive in
+any order; the engine reassembles them into task order.  Because per-task
+seeds are a pure function of the sweep definition
+(:mod:`repro.parallel.seeding`), every backend produces bit-identical
+results for the same task list — which backend to use is purely a question
+of where the CPU time should be spent.
+
+Three implementations:
+
+:class:`SerialBackend`
+    Runs tasks in-process, in order — zero overhead, no pickling.
+:class:`ProcessPoolBackend`
+    Fans tasks out across a :class:`concurrent.futures.ProcessPoolExecutor`
+    with deterministic error attribution (completed futures are inspected in
+    task order within each ``wait`` batch).
+:class:`SocketBackend`
+    A TCP work-queue coordinator.  Workers are ``python -m
+    repro.parallel.worker`` processes — spawned locally, dialled out to
+    (``--listen`` daemons on other machines), or accepted as inbound
+    ``--connect`` clients — that pull pickled tasks and stream results
+    back.  A lost worker's in-flight task is requeued onto the remaining
+    workers; repeated loss (or losing every worker) surfaces as
+    :class:`~repro.errors.WorkerError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import socket
+import subprocess
+import sys
+import threading
+import time
+from abc import ABC, abstractmethod
+from collections import deque
+from concurrent.futures import BrokenExecutor, FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import WorkerError
+from .protocol import ProtocolError, parse_address, recv_message, send_message
+
+__all__ = [
+    "Backend",
+    "TaskOutcome",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SocketBackend",
+    "socket_backend_from_spec",
+]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What happened to one task.
+
+    ``error is None`` means success (``value`` holds the result).
+    ``infrastructure=True`` marks failures of the execution substrate itself
+    (dead worker, broken pool) rather than of the task's own code — the
+    engine turns those into :class:`~repro.errors.WorkerError` instead of
+    re-raising the original exception type.
+    """
+
+    index: int
+    value: Any = None
+    error: Optional[BaseException] = None
+    infrastructure: bool = False
+
+
+def invoke_task(task) -> Any:
+    """Run one task — the unit of work every backend ultimately executes."""
+    return task.fn(*task.args, **task.kwargs)
+
+
+class Backend(ABC):
+    """Interface every sweep-execution backend implements."""
+
+    #: Human-readable backend name (used in benchmarks and reprs).
+    name = "abstract"
+
+    @abstractmethod
+    def execute(self, tasks: Sequence) -> Iterator[TaskOutcome]:
+        """Yield one :class:`TaskOutcome` per task, in any order.
+
+        After yielding an outcome with ``error`` set, the backend may stop;
+        the engine raises and closes the generator (its ``finally`` blocks
+        must release pools/sockets/processes).
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class SerialBackend(Backend):
+    """Run every task in the calling process, in task order."""
+
+    name = "serial"
+
+    def execute(self, tasks: Sequence) -> Iterator[TaskOutcome]:
+        for index, task in enumerate(tasks):
+            try:
+                value = invoke_task(task)
+            except Exception as exc:
+                yield TaskOutcome(index, error=exc)
+                return
+            yield TaskOutcome(index, value=value)
+
+
+class ProcessPoolBackend(Backend):
+    """Fan tasks out across a local :class:`ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes (capped at the task count per run).
+    mp_context:
+        Name of the multiprocessing start method (``"fork"``, ``"spawn"``,
+        ...); ``None`` uses the platform default.
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int, mp_context: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        self.jobs = int(jobs)
+        self.mp_context = mp_context
+
+    def execute(self, tasks: Sequence) -> Iterator[TaskOutcome]:
+        context = multiprocessing.get_context(self.mp_context) if self.mp_context else None
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)), mp_context=context)
+        finished = False
+        try:
+            future_index = {pool.submit(invoke_task, task): i for i, task in enumerate(tasks)}
+            pending = set(future_index)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                # Deterministic error attribution: inspect completed futures
+                # in task order within the batch.
+                for future in sorted(done, key=future_index.__getitem__):
+                    index = future_index[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        # BrokenExecutor means the pool itself broke (a
+                        # worker died before reporting back).
+                        yield TaskOutcome(
+                            index, error=exc, infrastructure=isinstance(exc, BrokenExecutor)
+                        )
+                        return
+                    yield TaskOutcome(index, value=future.result())
+            finished = True
+        finally:
+            if finished:
+                pool.shutdown(wait=True)
+            else:
+                # Drop queued tasks and surface the failure immediately
+                # rather than draining the in-flight simulations first.
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:
+        return f"<ProcessPoolBackend jobs={self.jobs} context={self.mp_context or 'default'}>"
+
+
+class SocketBackend(Backend):
+    """TCP work-queue coordinator distributing tasks to socket workers.
+
+    Workers run ``python -m repro.parallel.worker`` and can join a run in
+    three ways, combinable within one backend:
+
+    * ``spawn_workers=N`` — the coordinator spawns ``N`` local worker
+      processes that dial back into its listening socket (the zero-setup
+      path, also what ``--backend socket --workers N`` uses);
+    * ``worker_addresses=[(host, port), ...]`` — the coordinator dials out
+      to worker daemons already listening there (``worker --listen``), the
+      multi-host path behind ``--workers HOST:PORT,...``;
+    * ``expected_workers=N`` — the coordinator waits for ``N`` inbound
+      connections from externally started ``worker --connect HOST:PORT``
+      processes (requires a routable ``bind`` address).
+
+    The listening socket stays open for the whole run, so replacement
+    workers may join (reconnect) at any time.  A worker lost mid-task gets
+    its task requeued onto the remaining workers, up to
+    ``max_task_attempts`` executions per task; exhausting the budget — or
+    running out of live workers with no way to gain new ones — surfaces as
+    :class:`~repro.errors.WorkerError`.  Results are bit-identical to the
+    serial and pool backends because tasks carry their own seeds.
+
+    Every :meth:`execute` call establishes its own fleet, so a campaign
+    that issues many separate runs (e.g. ``report --simulate``: one per
+    figure plus the ratio study) pays worker start-up per run in
+    ``spawn_workers`` mode.  ``worker_addresses`` daemons amortise that
+    cost: they stay alive between runs and serve sessions back to back.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        spawn_workers: Optional[int] = None,
+        worker_addresses: Optional[Sequence[Union[str, Tuple[str, int]]]] = None,
+        bind: Union[str, Tuple[str, int]] = ("127.0.0.1", 0),
+        expected_workers: int = 0,
+        accept_timeout: float = 30.0,
+        max_task_attempts: int = 3,
+    ) -> None:
+        if spawn_workers is not None and spawn_workers < 1:
+            raise ValueError(f"spawn_workers must be >= 1, got {spawn_workers!r}")
+        if expected_workers < 0:
+            raise ValueError(f"expected_workers must be >= 0, got {expected_workers!r}")
+        if max_task_attempts < 1:
+            raise ValueError(f"max_task_attempts must be >= 1, got {max_task_attempts!r}")
+        addresses = [
+            parse_address(a) if isinstance(a, str) else (str(a[0]), int(a[1]))
+            for a in (worker_addresses or [])
+        ]
+        if spawn_workers is None and not addresses and expected_workers == 0:
+            spawn_workers = 1
+        self.spawn_workers = spawn_workers or 0
+        self.worker_addresses = addresses
+        self.bind = parse_address(bind) if isinstance(bind, str) else (str(bind[0]), int(bind[1]))
+        self.expected_workers = int(expected_workers)
+        self.accept_timeout = float(accept_timeout)
+        self.max_task_attempts = int(max_task_attempts)
+
+    def execute(self, tasks: Sequence) -> Iterator[TaskOutcome]:
+        return _SocketRun(self, tasks).outcomes()
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.spawn_workers:
+            parts.append(f"spawn={self.spawn_workers}")
+        if self.worker_addresses:
+            parts.append(f"addresses={self.worker_addresses!r}")
+        if self.expected_workers:
+            parts.append(f"expected={self.expected_workers}")
+        return f"<SocketBackend {' '.join(parts) or 'idle'}>"
+
+
+class _SocketRun:
+    """State of one :meth:`SocketBackend.execute` call.
+
+    One thread per connected worker drives the send-task/receive-result
+    conversation; a shared condition variable guards the pending queue and
+    the finished/attempt bookkeeping; completed outcomes flow to the
+    coordinating generator through a thread-safe queue.
+    """
+
+    def __init__(self, backend: SocketBackend, tasks: Sequence) -> None:
+        self._backend = backend
+        self._tasks = list(tasks)
+        self._cond = threading.Condition()
+        self._pending: deque = deque(range(len(self._tasks)))
+        self._attempts = [0] * len(self._tasks)
+        self._finished = [False] * len(self._tasks)
+        self._unfinished = len(self._tasks)
+        self._live_workers = 0
+        self._workers_joined = 0
+        self._no_worker_since: Optional[float] = None
+        self._closing = False
+        self._outcomes: "queue.Queue[TaskOutcome]" = queue.Queue()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._serve_threads: List[threading.Thread] = []
+        self._connections: List[socket.socket] = []
+        self._processes: List[subprocess.Popen] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def outcomes(self) -> Iterator[TaskOutcome]:
+        """The generator handed to the engine: yield outcomes, clean up."""
+        try:
+            self._start()
+            delivered = 0
+            while delivered < len(self._tasks):
+                try:
+                    outcome = self._outcomes.get(timeout=0.2)
+                except queue.Empty:
+                    if self._stalled():
+                        index = self._first_unfinished()
+                        yield TaskOutcome(
+                            index,
+                            error=ConnectionError(
+                                "all socket workers were lost and no replacement can join"
+                            ),
+                            infrastructure=True,
+                        )
+                        return
+                    continue
+                delivered += 1
+                yield outcome
+                if outcome.error is not None:
+                    return
+        finally:
+            self._shutdown()
+
+    def _start(self) -> None:
+        backend = self._backend
+        if backend.spawn_workers or backend.expected_workers:
+            self._listener = socket.create_server(backend.bind, backlog=16)
+            self._listener.settimeout(0.2)
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="sweep-socket-accept", daemon=True
+            )
+            self._accept_thread.start()
+        for _ in range(backend.spawn_workers):
+            self._spawn_local_worker()
+        for address in backend.worker_addresses:
+            self._add_worker(self._dial(address), address=address)
+        self._await_initial_workers()
+
+    def _spawn_local_worker(self) -> None:
+        assert self._listener is not None
+        host, port = self._listener.getsockname()[:2]
+        if host in ("0.0.0.0", "::"):
+            host = "127.0.0.1"
+        env = dict(os.environ)
+        # Make sure the child can import this package even when the parent
+        # relies on a cwd-relative PYTHONPATH or an installed checkout.
+        package_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (package_root, env.get("PYTHONPATH")) if p
+        )
+        self._processes.append(
+            subprocess.Popen(
+                [sys.executable, "-m", "repro.parallel.worker", "--connect", f"{host}:{port}"],
+                env=env,
+                stdout=subprocess.DEVNULL,
+            )
+        )
+
+    def _dial(self, address: Tuple[str, int]) -> socket.socket:
+        try:
+            conn = socket.create_connection(address, timeout=self._backend.accept_timeout)
+        except OSError as exc:
+            raise WorkerError(
+                self._first_unfinished(),
+                self._label(self._first_unfinished()),
+                ConnectionError(f"could not reach socket worker at {address[0]}:{address[1]}: {exc}"),
+            ) from exc
+        return conn
+
+    def _accept_loop(self) -> None:
+        """Accept inbound workers for the whole run (late joins welcome)."""
+        assert self._listener is not None
+        while not self._closing:
+            try:
+                conn, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            # Handshake on a separate thread: a stray connection that never
+            # sends its hello (port scanner, health probe) must not block
+            # legitimate workers from joining for accept_timeout seconds.
+            threading.Thread(
+                target=self._add_worker,
+                args=(conn,),
+                name="sweep-socket-handshake",
+                daemon=True,
+            ).start()
+
+    def _handshake(self, conn: socket.socket) -> bool:
+        """Consume the worker's hello frame; close the socket on failure."""
+        try:
+            conn.settimeout(self._backend.accept_timeout)
+            hello = recv_message(conn)
+            if not (isinstance(hello, tuple) and hello and hello[0] == "hello"):
+                raise ProtocolError(f"expected a hello frame, got {hello!r}")
+            conn.settimeout(None)
+            return True
+        except (OSError, ConnectionError):
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return False
+
+    def _add_worker(self, conn: socket.socket, address: Optional[Tuple[str, int]] = None) -> None:
+        if not self._handshake(conn):
+            return
+        with self._cond:
+            if self._closing:
+                conn.close()
+                return
+            self._live_workers += 1
+            self._workers_joined += 1
+            self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._serve,
+                args=(conn, address),
+                name="sweep-socket-worker",
+                daemon=True,
+            )
+            self._serve_threads.append(thread)
+            # Start before releasing the lock: _shutdown acquires it to set
+            # _closing, so every thread it finds in _serve_threads has been
+            # started and is safe to join.
+            thread.start()
+            self._cond.notify_all()
+
+    def _await_initial_workers(self) -> None:
+        """Block until the initially requested workers joined (or time out).
+
+        Workers that join start pulling tasks immediately, and a fast sweep
+        may even finish — its serve threads exiting and ``_live_workers``
+        dropping back to zero — while this method still waits, so the exit
+        conditions are phrased in terms of workers *ever joined* and work
+        left, never just the instantaneous live count.
+        """
+        backend = self._backend
+        wanted = backend.spawn_workers + backend.expected_workers + len(backend.worker_addresses)
+        deadline = time.monotonic() + backend.accept_timeout
+        spawn_only = (
+            backend.spawn_workers > 0
+            and backend.expected_workers == 0
+            and not backend.worker_addresses
+        )
+        with self._cond:
+            while time.monotonic() < deadline:
+                if self._unfinished == 0 or self._workers_joined >= wanted:
+                    return
+                if (
+                    spawn_only
+                    and self._workers_joined == 0
+                    and all(process.poll() is not None for process in self._processes)
+                ):
+                    # Every spawned worker died before connecting (e.g. its
+                    # interpreter crashed on startup): fail now instead of
+                    # sitting out the whole accept timeout.
+                    break
+                self._cond.wait(timeout=0.1)
+            if self._workers_joined == 0:
+                raise WorkerError(
+                    self._first_unfinished(),
+                    self._label(self._first_unfinished()),
+                    ConnectionError(
+                        f"no socket worker connected within {backend.accept_timeout:.1f}s"
+                    ),
+                )
+
+    def _shutdown(self) -> None:
+        with self._cond:
+            self._closing = True
+            self._pending.clear()
+            self._unfinished = 0
+            self._cond.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        # Closing the connections first unblocks serve threads stuck in a
+        # recv for an in-flight task (abort path); on the success path the
+        # threads have already sent their shutdown frames and exited.
+        for conn in self._connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._serve_threads:
+            thread.join(timeout=2.0)
+        for process in self._processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in self._processes:
+            try:
+                process.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=2.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    # -- worker conversation ----------------------------------------------
+
+    def _serve(self, conn: socket.socket, address: Optional[Tuple[str, int]]) -> None:
+        redials = 1 if address is not None else 0
+        try:
+            while True:
+                index = self._next_index()
+                if index is None:
+                    try:
+                        send_message(conn, ("shutdown",))
+                    except OSError:
+                        pass
+                    return
+                try:
+                    try:
+                        send_message(conn, ("task", index, self._tasks[index]))
+                    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                        # The task itself cannot be serialised (e.g. a
+                        # lambda).  Frames are pickled before any byte hits
+                        # the wire, so the worker is still healthy: report
+                        # a task error — matching the pool backend — and
+                        # keep serving.
+                        self._complete(TaskOutcome(index, error=exc))
+                        continue
+                    except (OSError, ConnectionError) as exc:
+                        conn = self._handle_loss(conn, index, exc, address, redials)
+                        if conn is None:
+                            return
+                        redials -= 1
+                        continue
+                    try:
+                        reply = recv_message(conn)
+                    except ProtocolError as exc:
+                        # The reply arrived but would not deserialise (e.g.
+                        # version skew between hosts): re-running the task
+                        # elsewhere fails identically, so report a task
+                        # error instead of burning the requeue budget.  The
+                        # stream may be out of frame-alignment, so drop the
+                        # connection too.
+                        self._complete(TaskOutcome(index, error=exc))
+                        try:
+                            conn.close()
+                        except OSError:
+                            pass
+                        return
+                    except (OSError, ConnectionError) as exc:
+                        conn = self._handle_loss(conn, index, exc, address, redials)
+                        if conn is None:
+                            return
+                        redials -= 1
+                        continue
+                except BaseException as exc:
+                    # Last resort: whatever happens, a claimed index must
+                    # never be orphaned — an unreported task would hang the
+                    # coordinating generator forever.
+                    self._complete(TaskOutcome(index, error=exc))
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    return
+                if (
+                    isinstance(reply, tuple)
+                    and len(reply) == 3
+                    and reply[0] in ("result", "error")
+                    and reply[1] == index
+                ):
+                    kind, _idx, payload = reply
+                    if kind == "result":
+                        self._complete(TaskOutcome(index, value=payload))
+                    else:
+                        self._complete(TaskOutcome(index, error=payload))
+                else:
+                    self._requeue(
+                        index, ProtocolError(f"worker sent an invalid reply: {reply!r}")
+                    )
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    return
+        finally:
+            with self._cond:
+                self._live_workers -= 1
+                self._cond.notify_all()
+
+    def _handle_loss(
+        self,
+        conn: socket.socket,
+        index: int,
+        cause: BaseException,
+        address: Optional[Tuple[str, int]],
+        redials: int,
+    ) -> Optional[socket.socket]:
+        """Requeue a lost task; for dialled daemons try one reconnect.
+
+        Returns the replacement connection, or ``None`` when this serve
+        thread should give the worker up.
+        """
+        self._requeue(index, cause)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        # Dialled daemons survive a dropped session (e.g. the network
+        # blipped or the daemon restarted); spawned/inbound workers whose
+        # process died cannot be redialled.
+        if address is None or redials <= 0 or self._closing:
+            return None
+        try:
+            replacement = socket.create_connection(address, timeout=5.0)
+        except OSError:
+            return None
+        if not self._handshake(replacement):
+            return None
+        with self._cond:
+            if self._closing:
+                try:
+                    replacement.close()
+                except OSError:
+                    pass
+                return None
+            self._connections.append(replacement)
+        return replacement
+
+    def _next_index(self) -> Optional[int]:
+        """Claim the next pending task; block while requeues may still come."""
+        with self._cond:
+            while not self._closing:
+                if self._pending:
+                    return self._pending.popleft()
+                if self._unfinished == 0:
+                    return None
+                # Tasks are in flight on other workers; wait in case one
+                # is requeued after a worker loss.
+                self._cond.wait(timeout=0.2)
+            return None
+
+    def _complete(self, outcome: TaskOutcome) -> None:
+        with self._cond:
+            if self._finished[outcome.index]:
+                return
+            self._finished[outcome.index] = True
+            self._unfinished -= 1
+            self._cond.notify_all()
+        self._outcomes.put(outcome)
+
+    def _requeue(self, index: int, cause: BaseException) -> None:
+        with self._cond:
+            if self._finished[index] or self._closing:
+                return
+            self._attempts[index] += 1
+            if self._attempts[index] >= self._backend.max_task_attempts:
+                self._finished[index] = True
+                self._unfinished -= 1
+                self._cond.notify_all()
+                self._outcomes.put(TaskOutcome(index, error=cause, infrastructure=True))
+            else:
+                self._pending.appendleft(index)
+                self._cond.notify_all()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _stalled(self) -> bool:
+        """True when unfinished work remains but no worker can ever run it."""
+        with self._cond:
+            if self._unfinished == 0 or self._live_workers > 0:
+                self._no_worker_since = None
+                return False
+            now = time.monotonic()
+            if self._no_worker_since is None:
+                self._no_worker_since = now
+            # A spawned worker process that is still running may simply be
+            # between connect attempts.
+            if any(process.poll() is None for process in self._processes):
+                return False
+            # Externally managed workers (--connect clients) may reconnect
+            # through the open listener — but only within a bounded grace
+            # period, otherwise a fully dead fleet hangs the run forever.
+            if self._backend.expected_workers > 0:
+                return now - self._no_worker_since >= self._backend.accept_timeout
+            return True
+
+    def _first_unfinished(self) -> int:
+        with self._cond:
+            for index, done in enumerate(self._finished):
+                if not done:
+                    return index
+            return 0
+
+    def _label(self, index: int) -> str:
+        task = self._tasks[index]
+        return getattr(task, "label", "")
+
+
+def socket_backend_from_spec(
+    spec: Optional[str], default_workers: int = 1, **kwargs
+) -> SocketBackend:
+    """Build a :class:`SocketBackend` from a CLI ``--workers`` value.
+
+    ``spec`` is either an integer (``"4"`` — spawn that many local worker
+    processes), a comma-separated ``HOST:PORT`` list (connect to worker
+    daemons started with ``python -m repro.parallel.worker --listen ...``),
+    or ``None`` (spawn ``default_workers`` local workers).
+    """
+    if spec is None or not spec.strip():
+        return SocketBackend(spawn_workers=max(int(default_workers), 1), **kwargs)
+    spec = spec.strip()
+    if spec.lstrip("+-").isdigit():
+        count = int(spec)
+        if count < 1:
+            raise ValueError(f"--workers needs a positive worker count, got {spec!r}")
+        return SocketBackend(spawn_workers=count, **kwargs)
+    addresses = [parse_address(part) for part in spec.split(",") if part.strip()]
+    if not addresses:
+        raise ValueError(f"--workers got no usable addresses in {spec!r}")
+    return SocketBackend(worker_addresses=addresses, **kwargs)

@@ -1,32 +1,40 @@
-"""Process-pool sweep executor for embarrassingly parallel experiments.
+"""Pluggable sweep executor for embarrassingly parallel experiments.
 
 The paper's validation sweeps (Figures 4-7) are dozens of *independent*
 (scenario x message size x cluster count x replication) simulations; nothing
 couples one run to another except the aggregation at the end.  That makes
-them the textbook case for process-level parallelism: fan the runs out over
-CPU cores, collect the results in submission order, and keep every run's
-random seed a pure function of the sweep definition so serial and parallel
-execution are bit-identical.
+them the textbook case for fan-out execution: ship the runs to workers,
+collect the results in submission order, and keep every run's random seed a
+pure function of the sweep definition so every execution backend is
+bit-identical to every other.
 
-:class:`SweepEngine` is that executor:
+:class:`SweepEngine` is the policy layer over the execution backends of
+:mod:`repro.parallel.backends`:
 
 * ``jobs=1`` (the default) runs every task in-process with zero overhead —
   behaviourally identical to the pre-engine serial loops;
-* ``jobs>1`` fans tasks out across a :class:`concurrent.futures.\
-ProcessPoolExecutor`; results are still returned in task order;
-* ``jobs=None`` uses one worker per available CPU core;
+* ``jobs>1`` fans tasks out across a local process pool; results are still
+  returned in task order;
+* ``jobs=None`` (or ``0``) uses one pool worker per available CPU core;
+* ``backend=`` overrides the jobs-based choice: ``"serial"``, ``"pool"``,
+  ``"socket"`` or any :class:`~repro.parallel.backends.Backend` instance —
+  e.g. a :class:`~repro.parallel.backends.SocketBackend` whose workers live
+  on other machines;
 * a task exception aborts the sweep and is re-raised *unchanged* (so
   ``except SimulationError`` and friends keep working exactly as with the
   pre-engine serial loops), annotated with the failing task's index and
-  label; :class:`~repro.errors.WorkerError` is raised only when the pool
-  infrastructure itself breaks (e.g. a worker process dies);
+  label; :class:`~repro.errors.WorkerError` is raised only when the
+  execution infrastructure itself breaks (a pool worker process died, a
+  socket worker was lost and the task could not be requeued);
 * an optional ``progress`` callback is invoked as ``progress(done, total,
   label)`` after every completed task (from the submitting process, so it is
   safe to print from it).
 
 Because tasks are shipped to workers with :mod:`pickle`, task functions must
 be module-level callables and their arguments picklable — which every
-configuration dataclass in this package is.
+configuration dataclass in this package is.  Socket workers are separate
+Python processes (not forks), so task functions must also be *importable*
+in the worker's environment.
 
 Example
 -------
@@ -38,16 +46,18 @@ Example
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import sys
-from concurrent.futures import BrokenExecutor, FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import WorkerError
+from .backends import Backend, ProcessPoolBackend, SerialBackend, SocketBackend
 
-__all__ = ["SweepTask", "SweepEngine", "resolve_jobs", "stderr_progress"]
+__all__ = ["SweepTask", "SweepEngine", "resolve_engine", "resolve_jobs", "stderr_progress"]
+
+#: Names accepted by ``SweepEngine(backend=...)`` and the CLI ``--backend``.
+BACKEND_NAMES = ("serial", "pool", "socket")
 
 
 @dataclass(frozen=True)
@@ -55,19 +65,14 @@ class SweepTask:
     """One independent unit of sweep work: ``fn(*args, **kwargs)``.
 
     ``fn`` must be picklable (a module-level callable) when the engine runs
-    with ``jobs > 1``; ``label`` is used for progress reporting and error
-    messages.
+    with ``jobs > 1`` or a distributed backend; ``label`` is used for
+    progress reporting and error messages.
     """
 
     fn: Callable[..., Any]
     args: Tuple[Any, ...] = ()
     kwargs: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
-
-
-def _invoke(task: SweepTask) -> Any:
-    """Run one task (executed inside the worker process)."""
-    return task.fn(*task.args, **task.kwargs)
 
 
 def _annotate(exc: BaseException, index: int, label: str) -> BaseException:
@@ -84,7 +89,9 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is None or jobs == 0:
         return os.cpu_count() or 1
     if jobs < 0:
-        raise ValueError(f"jobs must be >= 1 (or None for all cores), got {jobs!r}")
+        raise ValueError(
+            f"jobs must be >= 0 (0 or None = one worker per CPU core), got {jobs!r}"
+        )
     return int(jobs)
 
 
@@ -97,23 +104,35 @@ def stderr_progress(done: int, total: int, label: str) -> None:
 
 
 class SweepEngine:
-    """Executor that fans independent sweep tasks out across processes.
+    """Executor that fans independent sweep tasks out across a backend.
 
     Parameters
     ----------
     jobs:
         Number of worker processes; ``1`` executes in-process (no pool,
-        no pickling), ``None`` or ``0`` uses all CPU cores.
+        no pickling), ``None`` or ``0`` uses all CPU cores.  Also the
+        default worker count for ``backend="socket"``.
     progress:
         Optional ``progress(done, total, label)`` callback invoked after
-        every completed task, in completion order.
+        every completed task.  Tasks are reported in the order the engine
+        collects them: strictly task order for the serial backend, task
+        order within each batch of completed futures for the pool backend,
+        and arrival order for the socket backend.
     mp_context:
         Name of the multiprocessing start method (``"fork"``,
-        ``"spawn"``, ...).  Defaults to ``fork`` on Linux (cheap start-up,
-        modules already imported) and the platform default elsewhere —
-        notably *not* fork on macOS, where forked children crash in system
-        libraries (the reason CPython switched that platform to spawn).
-        Results do not depend on the start method.
+        ``"spawn"``, ...) for the pool backend.  Defaults to ``fork`` on
+        Linux (cheap start-up, modules already imported) and the platform
+        default elsewhere — notably *not* fork on macOS, where forked
+        children crash in system libraries (the reason CPython switched
+        that platform to spawn).  Results do not depend on the start
+        method.
+    backend:
+        ``None`` (default) picks ``serial`` or ``pool`` from ``jobs``
+        exactly like the pre-backend engine; a name from
+        :data:`BACKEND_NAMES` forces that backend; a
+        :class:`~repro.parallel.backends.Backend` instance is used as-is
+        (the way to configure a multi-host
+        :class:`~repro.parallel.backends.SocketBackend`).
     """
 
     def __init__(
@@ -121,12 +140,19 @@ class SweepEngine:
         jobs: Optional[int] = 1,
         progress: Optional[Callable[[int, int, str], None]] = None,
         mp_context: Optional[str] = None,
+        backend: Optional[Union[str, Backend]] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.progress = progress
         if mp_context is None and sys.platform == "linux":
             mp_context = "fork"
         self._mp_context = mp_context
+        if isinstance(backend, str) and backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKEND_NAMES} "
+                "or a Backend instance"
+            )
+        self.backend = backend
 
     # -- execution ---------------------------------------------------------
 
@@ -136,20 +162,55 @@ class SweepEngine:
         Raises
         ------
         BaseException
-            The first task failure (in task order among completed futures)
-            is re-raised with its original type — identical to running the
-            tasks in a plain loop — annotated with the task index/label;
-            queued tasks are cancelled.
+            The first task failure the backend reports is re-raised with
+            its original type — identical to running the tasks in a plain
+            loop — annotated with the task index/label; queued tasks are
+            cancelled.
         WorkerError
-            If the pool infrastructure itself fails (a worker process
-            died before delivering a result).
+            If the execution infrastructure itself fails (a pool worker
+            process died before delivering a result, or every socket
+            worker was lost).
         """
         tasks = list(tasks)
         if not tasks:
             return []
-        if self.jobs <= 1 or len(tasks) == 1:
-            return self._run_serial(tasks)
-        return self._run_pool(tasks)
+        backend = self._resolve_backend(len(tasks))
+        total = len(tasks)
+        results: List[Any] = [None] * total
+        seen = [False] * total
+        done = 0
+        outcomes = backend.execute(tasks)
+        try:
+            for outcome in outcomes:
+                index = outcome.index
+                if outcome.error is not None:
+                    if outcome.infrastructure:
+                        raise WorkerError(
+                            index, tasks[index].label, outcome.error
+                        ) from outcome.error
+                    raise _annotate(outcome.error, index, tasks[index].label)
+                if seen[index]:
+                    # A duplicate outcome from a misbehaving backend must
+                    # not count toward the delivered-everything check.
+                    continue
+                results[index] = outcome.value
+                seen[index] = True
+                done += 1
+                self._report(done, total, tasks[index].label)
+        finally:
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+        if done != total:
+            missing = seen.index(False)
+            raise WorkerError(
+                missing,
+                tasks[missing].label,
+                RuntimeError(
+                    f"backend {backend.name!r} delivered {done} of {total} outcomes"
+                ),
+            )
+        return results
 
     def map(
         self,
@@ -173,52 +234,42 @@ class SweepEngine:
         if self.progress is not None:
             self.progress(done, total, label)
 
-    def _run_serial(self, tasks: Sequence[SweepTask]) -> List[Any]:
-        results: List[Any] = []
-        total = len(tasks)
-        for index, task in enumerate(tasks):
-            try:
-                results.append(_invoke(task))
-            except Exception as exc:
-                raise _annotate(exc, index, task.label)
-            self._report(index + 1, total, task.label)
-        return results
-
-    def _run_pool(self, tasks: Sequence[SweepTask]) -> List[Any]:
-        context = (
-            multiprocessing.get_context(self._mp_context) if self._mp_context else None
-        )
-        total = len(tasks)
-        workers = min(self.jobs, total)
-        results: List[Any] = [None] * total
-        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-        try:
-            future_index = {pool.submit(_invoke, task): i for i, task in enumerate(tasks)}
-            pending = set(future_index)
-            done_count = 0
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
-                # Deterministic error attribution: inspect completed
-                # futures in task order.
-                for future in sorted(done, key=future_index.__getitem__):
-                    index = future_index[future]
-                    exc = future.exception()
-                    if exc is not None:
-                        if isinstance(exc, BrokenExecutor):
-                            # The pool itself broke (worker died): the
-                            # task never reported back, so wrap.
-                            raise WorkerError(index, tasks[index].label, exc) from exc
-                        raise _annotate(exc, index, tasks[index].label)
-                    results[index] = future.result()
-                    done_count += 1
-                    self._report(done_count, total, tasks[index].label)
-        except BaseException:
-            # Drop queued tasks and surface the failure immediately rather
-            # than draining the in-flight simulations first.
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        pool.shutdown(wait=True)
-        return results
+    def _resolve_backend(self, task_count: int) -> Backend:
+        """Materialise the backend for one ``run`` call."""
+        spec = self.backend
+        if isinstance(spec, Backend):
+            return spec
+        if spec is None:
+            # Legacy auto mode: single tasks and jobs<=1 stay in-process.
+            spec = "serial" if self.jobs <= 1 or task_count == 1 else "pool"
+        if spec == "serial":
+            return SerialBackend()
+        if spec == "pool":
+            return ProcessPoolBackend(jobs=self.jobs, mp_context=self._mp_context)
+        if spec == "socket":
+            return SocketBackend(spawn_workers=max(self.jobs, 1))
+        raise ValueError(f"unknown backend {spec!r}")
 
     def __repr__(self) -> str:
-        return f"<SweepEngine jobs={self.jobs} context={self._mp_context or 'default'}>"
+        backend = self.backend if self.backend is not None else "auto"
+        return (
+            f"<SweepEngine jobs={self.jobs} backend={backend!r} "
+            f"context={self._mp_context or 'default'}>"
+        )
+
+
+def resolve_engine(
+    jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
+    progress: Optional[Callable[[int, int, str], None]] = None,
+) -> SweepEngine:
+    """The shared ``jobs``/``engine``/``backend`` policy of every sweep driver.
+
+    A caller-supplied ``engine`` wins; otherwise one is built from ``jobs``
+    and ``backend``.  Experiment entry points accept the whole triple and
+    funnel it through here so the precedence stays in one place.
+    """
+    if engine is not None:
+        return engine
+    return SweepEngine(jobs=jobs, progress=progress, backend=backend)

@@ -1,0 +1,107 @@
+"""Wire protocol of the socket work-queue backend.
+
+The coordinator (:class:`repro.parallel.backends.SocketBackend`) and the
+worker daemon (:mod:`repro.parallel.worker`) exchange length-prefixed pickle
+frames over a TCP stream.  Every frame is a tuple whose first element names
+the message kind:
+
+``("hello", info)``
+    Sent by a worker immediately after the connection is established (in
+    both connection directions); ``info`` is a small dict with ``pid`` and
+    ``host`` keys used for logging and to reject stray connections.
+``("task", index, task)``
+    Coordinator -> worker: execute ``task`` (a pickled
+    :class:`~repro.parallel.engine.SweepTask`); ``index`` is the task's
+    position in the sweep and is echoed back in the reply.
+``("result", index, value)``
+    Worker -> coordinator: the task succeeded with ``value``.
+``("error", index, exception)``
+    Worker -> coordinator: the task raised; the exception object itself is
+    pickled so the coordinator re-raises the *original* type.
+``("shutdown",)``
+    Coordinator -> worker: no more work; close the session.
+
+Frames are serialised *before* any byte hits the socket, so an unpicklable
+payload can be replaced with a picklable substitute without corrupting the
+stream.
+
+.. warning::
+   Frames are :mod:`pickle` — deserialising them executes arbitrary code.
+   Only run workers and coordinators on hosts/networks you trust (the same
+   trust model as ``multiprocessing``'s own socket-based primitives).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Tuple
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "parse_address",
+    "recv_message",
+    "send_message",
+]
+
+#: Refuse frames larger than this (a corrupt length prefix would otherwise
+#: make the receiver try to allocate gigabytes).
+MAX_FRAME_BYTES = 1 << 30
+
+_HEADER = struct.Struct("!Q")
+
+
+class ProtocolError(ConnectionError):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+def parse_address(text: str, default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    """Parse ``"host:port"`` (or ``":port"``) into a ``(host, port)`` pair."""
+    host, sep, port_text = text.strip().rpartition(":")
+    if not sep:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port in {text!r}")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port must lie in [0, 65535], got {port}")
+    return (host or default_host, port)
+
+
+def send_message(sock: socket.socket, message: Any) -> None:
+    """Serialise ``message`` and write it as one length-prefixed frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    buffer = bytearray()
+    while len(buffer) < count:
+        chunk = sock.recv(count - len(buffer))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        buffer.extend(chunk)
+    return bytes(buffer)
+
+
+def recv_message(sock: socket.socket) -> Any:
+    """Read one frame and deserialise it.
+
+    Raises
+    ------
+    ConnectionError
+        If the peer closed the connection (also mid-frame).
+    ProtocolError
+        If the frame is oversized or deserialisation fails.
+    """
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} byte limit")
+    payload = _recv_exact(sock, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # unpicklable payload == corrupt stream
+        raise ProtocolError(f"could not deserialise frame: {exc!r}") from exc

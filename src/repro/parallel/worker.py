@@ -1,0 +1,155 @@
+"""Socket sweep worker: executes pickled tasks for a remote coordinator.
+
+This is the worker half of :class:`repro.parallel.backends.SocketBackend`.
+It speaks the frame protocol of :mod:`repro.parallel.protocol` and supports
+both connection directions:
+
+``--connect HOST:PORT``
+    Dial a coordinator that is already listening (this is also the command
+    line the coordinator itself uses for locally spawned workers).  The
+    worker serves one session and exits when the coordinator sends
+    ``shutdown`` or closes the connection.
+
+``--listen HOST:PORT``
+    Run as a daemon: bind the address, print ``listening on HOST:PORT``
+    (so wrappers and tests can discover an ephemeral port), and serve
+    coordinator sessions one after another — the multi-host deployment
+    mode behind the CLI's ``--workers HOST:PORT,...`` flag::
+
+        # on each worker machine
+        PYTHONPATH=src python -m repro.parallel.worker --listen 0.0.0.0:7777
+        # on the coordinating machine
+        python -m repro figure 6 --simulate --backend socket \\
+            --workers hostA:7777,hostB:7777
+
+Tasks arrive as pickled :class:`~repro.parallel.engine.SweepTask`\\ s, so the
+worker's Python environment must be able to import the task functions (for
+this package: a checkout with ``PYTHONPATH=src`` or an installed ``repro``).
+Results — or the task's exception, pickled with its original type — are
+streamed back one frame per task.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import sys
+import time
+from typing import Optional, Sequence
+
+from .protocol import ProtocolError, parse_address, recv_message, send_message
+
+__all__ = ["serve_session", "main"]
+
+
+def _hello() -> tuple:
+    return ("hello", {"pid": os.getpid(), "host": socket.gethostname()})
+
+
+def _send_reply(conn: socket.socket, kind: str, index: int, payload: object) -> None:
+    """Send a reply frame, degrading unpicklable payloads to a description."""
+    try:
+        send_message(conn, (kind, index, payload))
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        send_message(
+            conn,
+            ("error", index, RuntimeError(f"task produced an unpicklable {kind}: {exc!r}")),
+        )
+
+
+def serve_session(conn: socket.socket) -> int:
+    """Serve one coordinator session; returns the number of tasks executed."""
+    executed = 0
+    send_message(conn, _hello())
+    while True:
+        try:
+            message = recv_message(conn)
+        except (ConnectionError, OSError):
+            return executed
+        if not isinstance(message, tuple) or not message:
+            raise ProtocolError(f"coordinator sent an invalid frame: {message!r}")
+        kind = message[0]
+        if kind == "shutdown":
+            return executed
+        if kind != "task" or len(message) != 3:
+            raise ProtocolError(f"coordinator sent an unexpected frame: {message!r}")
+        _kind, index, task = message
+        try:
+            value = task.fn(*task.args, **task.kwargs)
+        except Exception as exc:
+            _send_reply(conn, "error", index, exc)
+        else:
+            _send_reply(conn, "result", index, value)
+        executed += 1
+
+
+def _run_connect(address: str, retries: int, retry_delay: float) -> int:
+    host, port = parse_address(address)
+    last_error: Optional[OSError] = None
+    for attempt in range(max(retries, 1)):
+        try:
+            conn = socket.create_connection((host, port), timeout=10.0)
+        except OSError as exc:
+            last_error = exc
+            if attempt + 1 < max(retries, 1):
+                time.sleep(retry_delay)
+            continue
+        with conn:
+            try:
+                serve_session(conn)
+            except (ProtocolError, ConnectionError, OSError) as exc:
+                # Same one-line diagnostic as the --listen path instead of
+                # an unhandled traceback.
+                print(f"worker: dropped session from {host}:{port}: {exc}", file=sys.stderr)
+                return 1
+        return 0
+    print(f"worker: could not reach coordinator at {host}:{port}: {last_error}", file=sys.stderr)
+    return 1
+
+
+def _run_listen(address: str, max_sessions: Optional[int]) -> int:
+    host, port = parse_address(address, default_host="0.0.0.0")
+    with socket.create_server((host, port), backlog=4) as server:
+        actual_host, actual_port = server.getsockname()[:2]
+        print(f"listening on {actual_host}:{actual_port}", flush=True)
+        sessions = 0
+        while max_sessions is None or sessions < max_sessions:
+            conn, peer = server.accept()
+            with conn:
+                try:
+                    executed = serve_session(conn)
+                except (ProtocolError, ConnectionError, OSError) as exc:
+                    print(f"worker: dropped session from {peer}: {exc}", file=sys.stderr)
+                else:
+                    print(f"worker: session from {peer}: {executed} task(s)", flush=True)
+            sessions += 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.parallel.worker``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.parallel.worker",
+        description="Sweep worker for the socket execution backend.",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--connect", metavar="HOST:PORT",
+                      help="dial a listening coordinator, serve one session, exit")
+    mode.add_argument("--listen", metavar="HOST:PORT",
+                      help="serve coordinator sessions as a daemon (port 0 = ephemeral)")
+    parser.add_argument("--retries", type=int, default=5,
+                        help="connection attempts in --connect mode (default: 5)")
+    parser.add_argument("--retry-delay", type=float, default=0.5,
+                        help="seconds between connection attempts (default: 0.5)")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="exit after serving this many sessions in --listen mode")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.connect:
+        return _run_connect(args.connect, args.retries, args.retry_delay)
+    return _run_listen(args.listen, args.max_sessions)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -11,22 +11,23 @@ Replication seeds are derived from the master seed with
 *not* ``seed + i``: additive seeds made adjacent sweep points share
 almost-identical replication seed sets, correlating what should be
 independent measurements.  Because the seed list is a pure function of the
-master seed, running the replications serially (``jobs=1``, the default) or
-across a process pool (``jobs>1`` via :class:`repro.parallel.SweepEngine`)
-produces bit-identical :class:`SimulationResult`\\ s.
+master seed, running the replications serially (``jobs=1``, the default),
+across a process pool (``jobs>1``) or through any other execution backend of
+:class:`repro.parallel.SweepEngine` (``backend="socket"`` for the TCP work
+queue) produces bit-identical :class:`SimulationResult`\\ s.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..cluster.system import MultiClusterSystem
 from ..core.model import AnalyticalModel, ModelConfig, PerformanceReport
 from ..errors import ConfigurationError
-from ..parallel import SweepEngine, SweepTask, spawn_seeds
+from ..parallel import Backend, SweepEngine, SweepTask, resolve_engine, spawn_seeds
 from ..stats.compare import relative_error
 from ..stats.intervals import ConfidenceInterval, mean_confidence_interval
 from ..workload.destinations import DestinationPolicy
@@ -133,16 +134,19 @@ def run_replications(
     destination_policy: Optional[DestinationPolicy] = None,
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> ReplicatedResult:
     """Run ``replications`` independent simulations and aggregate them.
 
     ``jobs`` (or a pre-configured ``engine``) fans the replications out
-    across worker processes; the results are bit-identical to ``jobs=1``
-    because the per-replication seeds depend only on ``config.seed``.
+    across worker processes; ``backend`` selects the execution substrate
+    (``"serial"``, ``"pool"``, ``"socket"`` or a
+    :class:`~repro.parallel.Backend` instance).  The results are
+    bit-identical for every choice because the per-replication seeds
+    depend only on ``config.seed``.
     """
     configs = replication_configs(config, replications)
-    if engine is None:
-        engine = SweepEngine(jobs=jobs)
+    engine = resolve_engine(jobs, engine, backend)
     tasks = [
         SweepTask(
             fn=run_simulation_task,
@@ -160,6 +164,8 @@ def validate_against_analysis(
     sim_config: Optional[SimulationConfig] = None,
     replications: int = 1,
     jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> ValidationPoint:
     """Evaluate the analytical model and the simulator for the same setup.
 
@@ -186,5 +192,7 @@ def validate_against_analysis(
             )
 
     analysis = AnalyticalModel(system, model_config).evaluate()
-    simulation = run_replications(system, sim_config, replications, jobs=jobs)
+    simulation = run_replications(
+        system, sim_config, replications, jobs=jobs, engine=engine, backend=backend
+    )
     return ValidationPoint(analysis=analysis, simulation=simulation)

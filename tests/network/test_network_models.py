@@ -229,6 +229,31 @@ class TestHeterogeneousMatrix:
             FAST_ETHERNET.transmission_time(512)
         )
 
+    def test_self_messages_cost_nothing(self):
+        # Regression: the constructors zeroed diagonal alpha but left the
+        # technology beta, so a self-addressed message still cost M*beta.
+        for matrix in (
+            HeterogeneousLinkMatrix.homogeneous(3, FAST_ETHERNET),
+            HeterogeneousLinkMatrix.from_node_technologies(
+                [GIGABIT_ETHERNET, FAST_ETHERNET, FAST_ETHERNET]
+            ),
+        ):
+            for node in range(matrix.size):
+                assert matrix.transmission_time(node, node, 4096) == 0.0
+
+    def test_diagonal_beta_tolerated_off_diagonal_still_validated(self):
+        import numpy as np
+
+        # Zero on the diagonal is the constructors' own convention ...
+        beta = np.full((2, 2), FAST_ETHERNET.beta)
+        np.fill_diagonal(beta, 0.0)
+        HeterogeneousLinkMatrix(np.zeros((2, 2)), beta)
+        # ... but a zero off-diagonal beta is still a configuration error.
+        bad = np.full((2, 2), FAST_ETHERNET.beta)
+        bad[0, 1] = 0.0
+        with pytest.raises(ConfigurationError):
+            HeterogeneousLinkMatrix(np.zeros((2, 2)), bad)
+
     def test_index_validation(self):
         matrix = HeterogeneousLinkMatrix.homogeneous(2, FAST_ETHERNET)
         with pytest.raises(ConfigurationError):

@@ -198,6 +198,34 @@ class TestHistogram:
         with pytest.raises(ValueError):
             hist.quantile(1.5)
 
+    def test_quantile_zero_without_underflow_hits_first_occupied_bin(self):
+        # Regression: with an empty underflow bucket, running >= target is
+        # 0 >= 0 and q=0 wrongly returned ``low`` instead of the centre of
+        # the first occupied bin.
+        hist = Histogram(0.0, 10.0, bins=10)
+        hist.add_many([3.5, 4.5, 7.5])
+        assert hist.quantile(0.0) == pytest.approx(3.5)
+        assert hist.quantile(1.0) == pytest.approx(7.5)
+
+    def test_quantile_zero_with_underflow_returns_low(self):
+        hist = Histogram(0.0, 10.0, bins=10)
+        hist.add(-1.0)
+        hist.add(5.5)
+        assert hist.quantile(0.0) == 0.0
+
+    def test_quantile_empty_histogram_is_nan(self):
+        assert np.isnan(Histogram(0.0, 10.0, bins=10).quantile(0.5))
+
+    def test_nan_observations_rejected_consistently(self):
+        # add() and add_many() must agree: NaN is an error, never silently
+        # dropped (add_many) or binned into the top bin (LogHistogram.add).
+        for hist in (Histogram(0.0, 10.0, bins=10), LogHistogram(1e-6, 1.0)):
+            with pytest.raises(ValueError):
+                hist.add(float("nan"))
+            with pytest.raises(ValueError):
+                hist.add_many([1e-3, float("nan")])
+            assert hist.total == 0
+
     def test_merge(self):
         a = Histogram(0.0, 10.0, bins=5)
         b = Histogram(0.0, 10.0, bins=5)
@@ -235,6 +263,34 @@ class TestHistogram:
             LogHistogram(0.0, 1.0)
         with pytest.raises(ValueError):
             LogHistogram(1.0, 0.5)
+
+    def test_log_histogram_add_many_matches_add(self):
+        values = np.random.default_rng(9).uniform(1e-6, 2.0, size=500)
+        a = LogHistogram(1e-5, 1.0, bins_per_decade=7)
+        b = LogHistogram(1e-5, 1.0, bins_per_decade=7)
+        for v in values:
+            a.add(v)
+        b.add_many(values)
+        assert np.array_equal(a.counts, b.counts)
+        assert a.underflow == b.underflow
+        assert a.overflow == b.overflow
+
+    def test_log_histogram_merge(self):
+        a = LogHistogram(1e-6, 1.0, bins_per_decade=5)
+        b = LogHistogram(1e-6, 1.0, bins_per_decade=5)
+        a.add(1e-5)
+        a.add(2.0)
+        b.add(1e-5)
+        b.add(1e-7)
+        merged = a.merge(b)
+        assert merged.total == 4
+        assert merged.underflow == 1
+        assert merged.overflow == 1
+        assert merged.counts.sum() == 2
+        with pytest.raises(ValueError):
+            a.merge(LogHistogram(1e-5, 1.0, bins_per_decade=5))
+        with pytest.raises(ValueError):
+            a.merge(LogHistogram(1e-6, 1.0, bins_per_decade=9))
 
 
 class TestComparisonMetrics:

@@ -1,0 +1,97 @@
+"""Tests for the warm-up (initial-transient) detection module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.warmup import moving_average_crossing, mser5_truncation, truncate_warmup
+
+
+class TestMser5:
+    def test_constant_series_needs_no_truncation(self):
+        assert mser5_truncation([7.0] * 100) == 0
+
+    def test_series_shorter_than_two_batches_returns_zero(self):
+        assert mser5_truncation([1.0, 2.0, 3.0], batch_size=5) == 0
+        assert mser5_truncation([1.0] * 9, batch_size=5) == 0
+
+    def test_empty_series_returns_zero(self):
+        assert mser5_truncation([]) == 0
+
+    def test_detects_initial_transient(self):
+        # Two inflated batches followed by a flat steady state: MSER-5
+        # should delete exactly the transient batches.
+        data = [50.0] * 10 + [1.0] * 90
+        assert mser5_truncation(data, batch_size=5) == 10
+
+    def test_result_counts_observations_not_batches(self):
+        data = [50.0] * 10 + [1.0] * 90
+        assert mser5_truncation(data, batch_size=10) == 10
+
+    def test_truncation_capped_at_half_the_run(self):
+        # Even a strictly decreasing (never stabilising) series may lose at
+        # most half of its batches.
+        data = list(range(100, 0, -1))
+        cutoff = mser5_truncation(data, batch_size=5)
+        assert cutoff <= 50
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            mser5_truncation([1.0, 2.0], batch_size=0)
+
+
+class TestMovingAverageCrossing:
+    def test_constant_series_returns_zero(self):
+        assert moving_average_crossing([3.0] * 400, window=50) == 0
+
+    def test_short_series_returns_zero(self):
+        assert moving_average_crossing([1.0, 5.0, 2.0], window=50) == 0
+        assert moving_average_crossing(list(range(199)), window=50) == 0
+
+    def test_zero_initial_gap_returns_zero(self):
+        # The smoothed series starts exactly on the steady-state mean
+        # (alternating values whose window average equals the global mean):
+        # there is no transient side to cross from.
+        data = [0.0, 10.0] * 200
+        assert moving_average_crossing(data, window=2) == 0
+
+    def test_detects_transient_crossing(self):
+        data = [10.0] * 60 + [0.0] * 140
+        cutoff = moving_average_crossing(data, window=50)
+        assert cutoff == 60
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            moving_average_crossing([1.0] * 100, window=0)
+
+
+class TestTruncateWarmup:
+    def test_method_none_keeps_everything(self):
+        steady, cutoff = truncate_warmup([5.0, 6.0, 7.0], method="none")
+        assert cutoff == 0
+        assert list(steady) == [5.0, 6.0, 7.0]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            truncate_warmup([1.0] * 20, method="astrology")
+
+    def test_mser5_delegation(self):
+        data = [50.0] * 10 + [1.0] * 90
+        steady, cutoff = truncate_warmup(data, method="mser5")
+        assert cutoff == 10
+        assert np.all(steady == 1.0)
+
+    def test_welch_delegation(self):
+        data = [10.0] * 60 + [0.0] * 140
+        steady, cutoff = truncate_warmup(data, method="welch", window=50)
+        assert cutoff == 60
+        assert steady.size == 140
+
+    def test_never_deletes_below_ten_survivors(self):
+        # A transient occupying nearly the whole run must be clamped so at
+        # least 10 observations remain.
+        data = [50.0] * 10 + [1.0] * 5
+        steady, cutoff = truncate_warmup(data, method="mser5")
+        assert steady.size >= 10
+        assert cutoff <= len(data) - 10
