@@ -3,11 +3,27 @@
 Not paper artefacts — these measure the cost of the analytical evaluation
 and of the discrete-event simulator so that regressions in the substrate are
 visible (per the HPC guide: measure before optimising).
+
+Two entry points:
+
+* under pytest (with ``pytest-benchmark``) the ``test_*`` functions below
+  give calibrated statistics for local optimisation work;
+* as a script — ``PYTHONPATH=src python benchmarks/bench_engine.py
+  [--quick] [--output BENCH_engine.json]`` — a dependency-free timing pass
+  emits one JSON summary with ``events_per_sec`` per kernel, which is what
+  the CI ``bench`` job records and feeds to
+  ``benchmarks/check_regression.py``.
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import time
+
+from _bench_utils import pytest_or_stub
+
+pytest = pytest_or_stub()
 
 from repro.cluster.presets import paper_evaluation_system
 from repro.core.model import AnalyticalModel, ModelConfig
@@ -40,22 +56,8 @@ def test_des_event_throughput(benchmark):
     """
     EVENTS_PER_RUN = 10_000  # 2000 processes x (request + timeout + ...) events
 
-    def run_kernel():
-        env = Environment()
-        resource = Resource(env, capacity=1)
-
-        def user(env, resource):
-            with resource.request() as req:
-                yield req
-                yield env.timeout(1.0)
-
-        for _ in range(2_000):
-            env.process(user(env, resource))
-        env.run()
-        return env.now
-
-    final_time = benchmark(run_kernel)
-    assert final_time == pytest.approx(2_000.0)
+    events = benchmark(lambda: _resource_kernel(2_000))
+    assert events == EVENTS_PER_RUN
     benchmark.extra_info["events_per_sec"] = EVENTS_PER_RUN / benchmark.stats.stats.min
 
 
@@ -68,17 +70,7 @@ def test_des_timeout_chain_event_rate(benchmark):
     """
     CHAIN = 50_000
 
-    def run_chain():
-        env = Environment()
-
-        def chain(env):
-            for _ in range(CHAIN):
-                yield env.timeout(1.0)
-
-        env.process(chain(env))
-        return env.run_until_empty()
-
-    processed = benchmark(run_chain)
+    processed = benchmark(lambda: _timeout_chain(CHAIN))
     assert processed == CHAIN + 2  # + Initialize + process-termination events
     benchmark.extra_info["events_per_sec"] = processed / benchmark.stats.stats.min
 
@@ -94,3 +86,118 @@ def test_simulator_throughput_small_system(benchmark):
 
     measured = benchmark(run_sim)
     assert measured > 0
+
+
+def _resource_kernel(processes: int) -> int:
+    """The resource-chain kernel at a configurable size; returns event count."""
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def user(env, resource):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    for _ in range(processes):
+        env.process(user(env, resource))
+    env.run()
+    assert env.now == processes
+    return 5 * processes  # request + grant + timeout + release + termination
+
+
+def _timeout_chain(chain: int) -> int:
+    """The pure event-loop kernel; returns the number of processed events."""
+    env = Environment()
+
+    def chain_proc(env):
+        for _ in range(chain):
+            yield env.timeout(1.0)
+
+    env.process(chain_proc(env))
+    return env.run_until_empty()
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds of ``repeats`` runs of ``fn()``."""
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_standalone(quick: bool = False, repeats: int = 3) -> dict:
+    """Time every kernel without pytest-benchmark; one JSON-able summary.
+
+    ``quick`` shrinks the problem sizes to keep the whole pass in a few
+    seconds on a 1-CPU CI box; events/sec is size-independent enough for
+    the >2x regression gate of ``check_regression.py``.
+    """
+    chain = 10_000 if quick else 50_000
+    processes = 500 if quick else 2_000
+    messages = 300 if quick else 1_000
+
+    system = paper_evaluation_system(4, GIGABIT_ETHERNET, FAST_ETHERNET, total_processors=32)
+    sim_config = SimulationConfig(num_messages=messages, seed=1)
+    model_system = paper_evaluation_system(16, GIGABIT_ETHERNET, FAST_ETHERNET)
+    model_config = ModelConfig(architecture="non-blocking", message_bytes=1024)
+
+    results = []
+    chain_events = _timeout_chain(chain)  # warm-up + event count
+    seconds = _best_of(lambda: _timeout_chain(chain), repeats)
+    results.append({
+        "name": "des_timeout_chain",
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(chain_events / seconds, 1),
+    })
+    kernel_events = _resource_kernel(processes)
+    seconds = _best_of(lambda: _resource_kernel(processes), repeats)
+    results.append({
+        "name": "des_resource_kernel",
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(kernel_events / seconds, 1),
+    })
+    seconds = _best_of(
+        lambda: MultiClusterSimulator(system, sim_config).run().measured_messages, repeats
+    )
+    results.append({
+        "name": "simulator_small_system",
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(messages / seconds, 1),  # messages/sec, same gate
+    })
+    seconds = _best_of(
+        lambda: AnalyticalModel(model_system, model_config).evaluate().mean_latency_s, repeats
+    )
+    results.append({
+        "name": "analytical_evaluation",
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(1.0 / seconds, 1),  # evaluations/sec
+    })
+    return {
+        "benchmark": "bench_engine",
+        "quick": quick,
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description="Standalone engine benchmark (JSON output).")
+    parser.add_argument("--quick", action="store_true",
+                        help="small problem sizes for CI (a few seconds total)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions; the minimum is reported (default: 3)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the JSON summary to this path")
+    args = parser.parse_args()
+    summary = run_standalone(quick=args.quick, repeats=args.repeats)
+    text = json.dumps(summary, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+if __name__ == "__main__":
+    main()

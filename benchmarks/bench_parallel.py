@@ -24,9 +24,9 @@ import json
 import os
 import time
 
-import pytest
+from _bench_utils import SIM_MESSAGES, pytest_or_stub
 
-from _bench_utils import SIM_MESSAGES
+pytest = pytest_or_stub()
 from repro.cluster.presets import paper_evaluation_system
 from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
 from repro.parallel import (
@@ -77,11 +77,12 @@ def run_comparison(
     jobs: int | None = None,
     num_messages: int | None = None,
     backends: tuple = DEFAULT_BACKENDS,
+    replications: int = 8,
 ) -> dict:
     """Time the identical sweep through every requested backend."""
     jobs = resolve_jobs(jobs)
     num_messages = num_messages if num_messages is not None else max(SIM_MESSAGES // 4, 500)
-    tasks = _sweep_tasks(num_messages)
+    tasks = _sweep_tasks(num_messages, replications=replications)
 
     rows = []
     reference = None
@@ -103,6 +104,7 @@ def run_comparison(
                 "backend": backend,
                 "workers": 1 if backend == "serial" else jobs,
                 "seconds": round(elapsed, 4),
+                "tasks_per_sec": round(len(tasks) / elapsed, 3) if elapsed > 0 else None,
             }
         )
     for row in rows:
@@ -141,12 +143,25 @@ def main() -> None:
                         help="simulated messages per task")
     parser.add_argument("--backends", type=str, default=",".join(DEFAULT_BACKENDS),
                         help="comma-separated backends to compare")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI: 200 messages/task, 2 replications")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the JSON summary to this path")
     args = parser.parse_args()
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
-    print(json.dumps(
-        run_comparison(jobs=args.jobs, num_messages=args.messages, backends=backends),
-        indent=2,
-    ))
+    messages = 200 if args.quick and args.messages is None else args.messages
+    summary = run_comparison(
+        jobs=args.jobs,
+        num_messages=messages,
+        backends=backends,
+        replications=2 if args.quick else 8,
+    )
+    summary["quick"] = args.quick
+    text = json.dumps(summary, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
 
 
 if __name__ == "__main__":

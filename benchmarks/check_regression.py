@@ -1,0 +1,122 @@
+"""Throughput-regression gate for the benchmark JSON summaries.
+
+Compares a freshly measured benchmark summary (``BENCH_engine.json`` /
+``BENCH_parallel.json``, written by ``bench_engine.py --output`` and
+``bench_parallel.py --output``) against a committed baseline and fails when
+any throughput metric (``events_per_sec`` / ``tasks_per_sec``) dropped by
+more than the allowed factor — the CI default is 2x, generous enough to
+absorb runner-hardware jitter while still catching real hot-path
+regressions.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_engine.json \\
+        --baseline benchmarks/BASELINE_engine.json [--max-slowdown 2.0]
+
+A missing baseline file passes with a notice (first run seeds the
+trajectory); ``--write-baseline`` copies the current summary over the
+baseline, which is how the committed baselines were produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from typing import Dict
+
+#: Metric keys treated as throughputs (bigger is better).
+THROUGHPUT_KEYS = ("events_per_sec", "tasks_per_sec")
+
+
+def collect_metrics(summary: object, prefix: str = "") -> Dict[str, float]:
+    """Flatten every throughput metric of a summary into ``{label: value}``.
+
+    Rows are labelled by their ``name``/``backend`` field so the comparison
+    survives row reordering between runs.
+    """
+    metrics: Dict[str, float] = {}
+    if isinstance(summary, dict):
+        label = summary.get("name") or summary.get("backend") or ""
+        scope = f"{prefix}{label}." if label else prefix
+        for key, value in summary.items():
+            if key in THROUGHPUT_KEYS and isinstance(value, (int, float)):
+                metrics[f"{scope}{key}"] = float(value)
+            elif isinstance(value, (dict, list)):
+                metrics.update(collect_metrics(value, scope))
+    elif isinstance(summary, list):
+        for item in summary:
+            metrics.update(collect_metrics(item, prefix))
+    return metrics
+
+
+def compare(current: Dict[str, float], baseline: Dict[str, float],
+            max_slowdown: float) -> int:
+    """Print a verdict per metric; return the number of regressions."""
+    regressions = 0
+    for label in sorted(baseline):
+        base = baseline[label]
+        now = current.get(label)
+        if now is None:
+            print(f"  MISSING  {label}: baseline {base:.1f}, absent from current run")
+            regressions += 1
+            continue
+        if base <= 0:
+            continue
+        ratio = now / base
+        if now * max_slowdown < base:
+            print(f"  REGRESSED {label}: {now:.1f} vs baseline {base:.1f} "
+                  f"({ratio:.2f}x, allowed >= {1.0 / max_slowdown:.2f}x)")
+            regressions += 1
+        else:
+            print(f"  ok        {label}: {now:.1f} vs baseline {base:.1f} ({ratio:.2f}x)")
+    for label in sorted(set(current) - set(baseline)):
+        print(f"  new       {label}: {current[label]:.1f} (no baseline yet)")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly measured benchmark JSON summary")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON to compare against")
+    parser.add_argument("--max-slowdown", type=float, default=2.0,
+                        help="fail when a throughput drops by more than this "
+                             "factor (default: 2.0)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="copy the current summary over the baseline and exit")
+    args = parser.parse_args()
+    if args.max_slowdown < 1.0:
+        parser.error(f"--max-slowdown must be >= 1.0, got {args.max_slowdown}")
+
+    with open(args.current, "r", encoding="utf-8") as handle:
+        current = collect_metrics(json.load(handle))
+    if not current:
+        print(f"{args.current}: no throughput metrics found", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"seeded baseline {args.baseline} from {args.current}")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = collect_metrics(json.load(handle))
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; passing (run with "
+              "--write-baseline to seed the trajectory)")
+        return 0
+
+    print(f"{args.current} vs {args.baseline} (max slowdown {args.max_slowdown}x):")
+    regressions = compare(current, baseline, args.max_slowdown)
+    if regressions:
+        print(f"{regressions} metric(s) regressed beyond {args.max_slowdown}x")
+        return 1
+    print("all throughput metrics within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,23 +18,39 @@ Usage examples::
     python -m repro figure 6 --simulate --backend socket \\
         --workers hostA:7777,hostB:7777
     # (start each daemon with: python -m repro.parallel.worker --listen 0.0.0.0:7777)
+    # ... or let the coordinator launch (and tear down) the daemons itself
+    # over SSH — one worker per listed host, no manual daemon management:
+    python -m repro figure 6 --simulate --backend ssh --workers user@hostA,user@hostB
+
+    # fault tolerance: journal completed tasks, resume after a crash/kill
+    python -m repro figure 6 --simulate --jobs 4 --checkpoint fig6.journal
+    python -m repro figure 6 --simulate --jobs 4 --resume fig6.journal
 
 Simulation-heavy commands accept ``--jobs N`` to run the independent
 simulations of a sweep on ``N`` worker processes (``0`` = one per CPU
 core) via :class:`repro.parallel.SweepEngine`, plus ``--backend
-{serial,pool,socket}`` / ``--workers SPEC`` to pick the execution
+{serial,pool,socket,ssh}`` / ``--workers SPEC`` to pick the execution
 substrate; results are bit-identical for every backend because per-run
 seeds depend only on the sweep definition, never on the schedule.
+``--checkpoint PATH`` journals every completed task to an append-only
+file; ``--resume PATH`` restores it, re-executing only unfinished tasks
+(bit-identical to an uninterrupted run).  The SSH backend honours the
+``REPRO_SSH_COMMAND``, ``REPRO_SSH_PYTHON`` and ``REPRO_SSH_PYTHONPATH``
+environment variables (ssh argv prefix, remote interpreter, remote
+``PYTHONPATH``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import shlex
 import sys
 from typing import List, Optional, Sequence
 
 from . import __version__
 from .core.model import AnalyticalModel, ModelConfig
+from .errors import CheckpointError
 from .experiments.ablations import (
     fixed_point_vs_exact_mva,
     sweep_generation_rate,
@@ -54,8 +70,10 @@ from .experiments.scenarios import (
 from .parallel import (
     BACKEND_NAMES,
     SweepEngine,
+    SweepJournal,
     resolve_jobs,
     socket_backend_from_spec,
+    ssh_backend_from_spec,
     stderr_progress,
 )
 from .simulation.runner import validate_against_analysis
@@ -66,6 +84,7 @@ __all__ = [
     "main",
     "build_parser",
     "build_engine",
+    "build_journal",
     "jobs_count",
     "add_jobs_flag",
     "add_backend_flags",
@@ -102,7 +121,8 @@ def add_backend_flags(parser: argparse.ArgumentParser) -> None:
         "--backend", choices=list(BACKEND_NAMES), default=None,
         help="execution backend for sweep tasks (default: serial for "
              "--jobs 1, a local process pool otherwise); 'socket' runs a "
-             "TCP work queue feeding repro.parallel.worker processes — "
+             "TCP work queue feeding repro.parallel.worker processes, "
+             "'ssh' additionally launches those workers itself over ssh — "
              "results are bit-identical for every backend",
     )
     parser.add_argument(
@@ -110,20 +130,66 @@ def add_backend_flags(parser: argparse.ArgumentParser) -> None:
         help="socket-backend workers: an integer N spawns N local worker "
              "processes (default: --jobs); a comma-separated HOST:PORT list "
              "connects to daemons started with "
-             "'python -m repro.parallel.worker --listen HOST:PORT'",
+             "'python -m repro.parallel.worker --listen HOST:PORT'; with "
+             "--backend ssh, a comma-separated [user@]HOST list of machines "
+             "to launch one worker on each",
     )
+    journal = parser.add_mutually_exclusive_group()
+    journal.add_argument(
+        "--checkpoint", type=str, default=None, metavar="PATH",
+        help="journal every completed task to this append-only file so an "
+             "interrupted run can be resumed (the file is created if "
+             "missing and continued if present)",
+    )
+    journal.add_argument(
+        "--resume", type=str, default=None, metavar="PATH",
+        help="resume the campaign journaled at PATH (which must exist): "
+             "restore completed tasks, re-execute only unfinished ones — "
+             "bit-identical to an uninterrupted run — and keep journaling",
+    )
+
+
+def build_journal(args: argparse.Namespace) -> Optional[SweepJournal]:
+    """Open the journal requested by ``--checkpoint``/``--resume`` (if any)."""
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", None)
+    path = resume or checkpoint
+    if path is None:
+        return None
+    if resume is not None and not os.path.exists(resume):
+        raise SystemExit(
+            f"--resume {resume}: no such journal (use --checkpoint to start one)"
+        )
+    try:
+        return SweepJournal(path)
+    except OSError as exc:
+        raise SystemExit(f"could not open sweep journal {path!r}: {exc}")
 
 
 def build_engine(args: argparse.Namespace, progress=None) -> SweepEngine:
     """Construct the :class:`SweepEngine` selected by the parsed CLI flags."""
     backend = getattr(args, "backend", None)
     workers = getattr(args, "workers", None)
-    if backend == "socket":
-        # resolve_jobs keeps --jobs 0 meaning "one per CPU core" here too.
-        backend = socket_backend_from_spec(workers, default_workers=resolve_jobs(args.jobs))
-    elif workers is not None:
-        raise SystemExit("--workers requires --backend socket")
-    return SweepEngine(jobs=args.jobs, progress=progress, backend=backend)
+    try:
+        if backend == "socket":
+            # resolve_jobs keeps --jobs 0 meaning "one per CPU core" here too.
+            backend = socket_backend_from_spec(workers, default_workers=resolve_jobs(args.jobs))
+        elif backend == "ssh":
+            ssh_kwargs = {}
+            if os.environ.get("REPRO_SSH_COMMAND"):
+                ssh_kwargs["ssh_command"] = shlex.split(os.environ["REPRO_SSH_COMMAND"])
+            if os.environ.get("REPRO_SSH_PYTHON"):
+                ssh_kwargs["remote_python"] = os.environ["REPRO_SSH_PYTHON"]
+            if os.environ.get("REPRO_SSH_PYTHONPATH"):
+                ssh_kwargs["remote_pythonpath"] = os.environ["REPRO_SSH_PYTHONPATH"]
+            backend = ssh_backend_from_spec(workers, **ssh_kwargs)
+        elif workers is not None:
+            raise SystemExit("--workers requires --backend socket or --backend ssh")
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return SweepEngine(
+        jobs=args.jobs, progress=progress, backend=backend, journal=build_journal(args)
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -283,10 +349,17 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         # This study is a single closed-form comparison, not a sweep:
         # silently dropping the user's backend selection would make them
         # believe the run happened on their chosen substrate.
-        if args.jobs != 1 or args.backend is not None or args.workers is not None:
+        if (
+            args.jobs != 1
+            or args.backend is not None
+            or args.workers is not None
+            or args.checkpoint is not None
+            or args.resume is not None
+        ):
             raise SystemExit(
                 "ablation 'fixed-point-vs-mva' is a single closed-form "
-                "comparison; --jobs/--backend/--workers do not apply"
+                "comparison; --jobs/--backend/--workers/--checkpoint/--resume "
+                "do not apply"
             )
         kwargs = {}
     else:
@@ -376,7 +449,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "info": _cmd_info,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CheckpointError as exc:
+        # The designed user error of --resume (journal belongs to a
+        # different campaign) deserves its one-line message, not a
+        # traceback.
+        raise SystemExit(f"checkpoint error: {exc}")
 
 
 if __name__ == "__main__":  # pragma: no cover

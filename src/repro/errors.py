@@ -16,6 +16,7 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "WorkerError",
+    "CheckpointError",
 ]
 
 
@@ -55,6 +56,17 @@ class SimulationError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment harness was asked for an unknown figure/scenario."""
+
+
+class CheckpointError(ReproError, ValueError):
+    """A sweep journal cannot be resumed by the current campaign.
+
+    Raised when the journal's recorded run headers (task count and
+    fingerprint) disagree with the sweep being resumed — continuing would
+    silently mix results from two different campaign definitions.  Corrupt
+    or truncated journal *records* do not raise: they are discarded and the
+    affected tasks re-execute.
+    """
 
 
 class WorkerError(ReproError, RuntimeError):

@@ -25,7 +25,7 @@ from ..core.model import AnalyticalModel, ModelConfig
 from ..core.routing import outgoing_probability
 from ..core.service_centers import build_service_centers
 from ..network.switch import SwitchFabric
-from ..parallel import Backend, SweepEngine, SweepTask, resolve_engine
+from ..parallel import Backend, SweepEngine, SweepJournal, SweepTask, resolve_engine
 from ..queueing.mva import MVAStation, mean_value_analysis
 from ..simulation.simulator import MultiClusterSimulator, SimulationConfig
 from ..viz.tables import format_markdown_table
@@ -126,9 +126,10 @@ def _sweep(
     jobs: Optional[int],
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> AblationStudy:
     """Run the per-value evaluation tasks through the sweep engine."""
-    latencies = resolve_engine(jobs, engine, backend).run(tasks)
+    latencies = resolve_engine(jobs, engine, backend, checkpoint=checkpoint).run(tasks)
     rows = [
         AblationRow(parameter, float(value), latency, {})
         for value, latency in zip(values, latencies)
@@ -146,6 +147,7 @@ def sweep_switch_ports(
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> AblationStudy:
     """Ablation 1: how the switch port count Pr shapes the latency."""
     tasks = [
@@ -159,7 +161,7 @@ def sweep_switch_ports(
         for ports in ports_values
     ]
     return _sweep("switch-port-count", "switch_ports", tasks, list(ports_values), jobs,
-                  engine=engine, backend=backend)
+                  engine=engine, backend=backend, checkpoint=checkpoint)
 
 
 def sweep_switch_latency(
@@ -172,6 +174,7 @@ def sweep_switch_latency(
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> AblationStudy:
     """Ablation 2: sensitivity to the per-switch latency α_sw."""
     tasks = [
@@ -186,7 +189,7 @@ def sweep_switch_latency(
         for latency_us in latency_values_us
     ]
     return _sweep("switch-latency", "switch_latency_us", tasks, list(latency_values_us), jobs,
-                  engine=engine, backend=backend)
+                  engine=engine, backend=backend, checkpoint=checkpoint)
 
 
 def _generation_rate_row(
@@ -228,6 +231,7 @@ def sweep_generation_rate(
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> AblationStudy:
     """Ablation 3a: offered load sweep (the paper's λ = 0.25 is nearly idle)."""
     tasks = [
@@ -238,7 +242,7 @@ def sweep_generation_rate(
         )
         for rate in rate_values
     ]
-    rows = resolve_engine(jobs, engine, backend).run(tasks)
+    rows = resolve_engine(jobs, engine, backend, checkpoint=checkpoint).run(tasks)
     return AblationStudy("generation-rate", rows)
 
 
@@ -251,6 +255,7 @@ def sweep_message_size(
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> AblationStudy:
     """Ablation 3b: message-size sweep beyond the paper's 512/1024 bytes."""
     tasks = [
@@ -263,7 +268,7 @@ def sweep_message_size(
         for size in size_values
     ]
     return _sweep("message-size", "message_bytes", tasks, list(size_values), jobs,
-                  engine=engine, backend=backend)
+                  engine=engine, backend=backend, checkpoint=checkpoint)
 
 
 def fixed_point_vs_exact_mva(
@@ -345,6 +350,7 @@ def service_distribution_ablation(
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> AblationStudy:
     """Simulator ablation: exponential (paper assumption) vs deterministic service."""
     system = build_scenario_system(scenario, num_clusters, parameters)
@@ -367,7 +373,7 @@ def service_distribution_ablation(
         )
         for exponential in variants
     ]
-    results = resolve_engine(jobs, engine, backend).run(tasks)
+    results = resolve_engine(jobs, engine, backend, checkpoint=checkpoint).run(tasks)
     rows = [
         AblationRow(
             "exponential_service",

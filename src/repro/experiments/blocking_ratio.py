@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.model import AnalyticalModel, ModelConfig
-from ..parallel import Backend, SweepEngine, resolve_engine
+from ..parallel import Backend, SweepEngine, SweepJournal, resolve_engine
 from ..viz.tables import format_markdown_table
 from .scenarios import (
     CASE_1,
@@ -138,14 +138,16 @@ def run_blocking_ratio_study(
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> BlockingRatioStudy:
     """Compute the blocking/non-blocking ratio over the paper's sweep grid.
 
     The study is closed-form (no simulation) so ``jobs=1`` is usually fine;
     the grid still goes through :class:`~repro.parallel.SweepEngine` so
     large custom sweeps can fan out with ``jobs>1`` or an explicit
-    ``backend`` (``"serial"``, ``"pool"``, ``"socket"`` or a
-    :class:`~repro.parallel.Backend` instance).
+    ``backend`` (``"serial"``, ``"pool"``, ``"socket"``, an ``ssh``
+    backend instance, or any :class:`~repro.parallel.Backend`), and
+    ``checkpoint`` journals completed points for crash-resume.
     """
     cases = list(scenarios) if scenarios is not None else [CASE_1, CASE_2]
     counts = list(cluster_counts) if cluster_counts is not None else list(parameters.cluster_counts)
@@ -157,7 +159,7 @@ def run_blocking_ratio_study(
         for message_bytes in sizes
         for num_clusters in counts
     ]
-    engine = resolve_engine(jobs, engine, backend)
+    engine = resolve_engine(jobs, engine, backend, checkpoint=checkpoint)
     points: List[RatioPoint] = engine.map(
         _ratio_point_task,
         grid,

@@ -21,7 +21,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.model import AnalyticalModel, ModelConfig
 from ..errors import ExperimentError
-from ..parallel import Backend, SweepEngine, SweepTask, resolve_engine, spawn_seeds
+from ..parallel import (
+    Backend,
+    SweepEngine,
+    SweepJournal,
+    SweepTask,
+    resolve_engine,
+    spawn_seeds,
+)
 from ..simulation.runner import (
     aggregate_replications,
     replication_configs,
@@ -194,6 +201,7 @@ def run_figure(
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> FigureResult:
     """Reproduce one of the paper's Figures 4–7.
 
@@ -222,8 +230,15 @@ def run_figure(
         pre-configured :class:`~repro.parallel.SweepEngine`, or over an
         explicit execution backend (``"serial"``, ``"pool"``, ``"socket"``
         or a :class:`~repro.parallel.Backend` instance — e.g. a socket work
-        queue whose workers live on other machines).  Results are
-        bit-identical to the serial ``jobs=1`` default for every choice.
+        queue whose workers live on other machines, or an
+        :class:`~repro.parallel.SSHBackend` that launches them itself).
+        Results are bit-identical to the serial ``jobs=1`` default for
+        every choice.
+    checkpoint:
+        Optional :class:`~repro.parallel.SweepJournal` (or journal path):
+        completed simulations are journaled as they finish, and a killed
+        sweep re-run with the same journal resumes bit-identically,
+        re-executing only the unfinished tasks.
     """
     if number not in FIGURE_SPECS:
         raise ExperimentError(f"unknown figure {number}; the paper has figures 4-7")
@@ -255,7 +270,7 @@ def run_figure(
     # list (and therefore the results) is independent of the job count.
     replicated = {}
     if include_simulation:
-        engine = resolve_engine(jobs, engine, backend)
+        engine = resolve_engine(jobs, engine, backend, checkpoint=checkpoint)
         point_seeds = spawn_seeds(seed, len(grid))
         tasks: List[SweepTask] = []
         task_point: List[int] = []

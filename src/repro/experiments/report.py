@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..parallel import Backend, SweepEngine, resolve_engine
+from ..parallel import Backend, SweepEngine, SweepJournal, resolve_engine
 from ..viz.tables import format_markdown_table
 from .blocking_ratio import BlockingRatioStudy, run_blocking_ratio_study
 from .figures import FIGURE_SPECS, FigureResult, run_figure
@@ -146,16 +146,20 @@ def generate_report(
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> ReproductionReport:
     """Regenerate every figure (and the ratio study) and bundle them.
 
     ``include_simulation=False`` (the default) produces an analysis-only
     report in a few hundred milliseconds; with simulation enabled expect a
     few minutes at the default message count (``jobs>1`` — or an explicit
-    ``engine``/``backend`` such as the socket work queue — fans each
+    ``engine``/``backend`` such as the socket or SSH work queue — fans each
     figure's simulations out across workers without changing the numbers).
+    ``checkpoint`` journals every figure's completed simulations (the
+    campaign's runs are matched by order on resume), so an interrupted
+    report picks up where it was killed.
     """
-    engine = resolve_engine(jobs, engine, backend)
+    engine = resolve_engine(jobs, engine, backend, checkpoint=checkpoint)
     numbers = list(figures) if figures is not None else sorted(FIGURE_SPECS)
     results = {
         number: run_figure(

@@ -12,9 +12,14 @@ backend, across machines:
 ``repro.parallel.backends``
     The :class:`Backend` interface and its implementations —
     :class:`SerialBackend` (in-process), :class:`ProcessPoolBackend`
-    (local process pool) and :class:`SocketBackend` (TCP work queue
+    (local process pool), :class:`SocketBackend` (TCP work queue
     feeding ``python -m repro.parallel.worker`` processes, locally or on
-    other hosts).
+    other hosts) and :class:`SSHBackend` (the socket work queue with
+    workers the coordinator itself launches over ``ssh`` and tears down).
+``repro.parallel.checkpoint``
+    :class:`SweepJournal`, the append-only completion journal behind the
+    CLI's ``--checkpoint``/``--resume`` flags: a killed campaign resumes
+    bit-identically, re-executing only its unfinished tasks.
 ``repro.parallel.worker``
     The socket worker daemon (``--connect`` to dial a coordinator,
     ``--listen`` to serve as a multi-host daemon).
@@ -31,9 +36,12 @@ from .backends import (
     ProcessPoolBackend,
     SerialBackend,
     SocketBackend,
+    SSHBackend,
     TaskOutcome,
     socket_backend_from_spec,
+    ssh_backend_from_spec,
 )
+from .checkpoint import RunJournal, SweepJournal
 from .engine import (
     BACKEND_NAMES,
     SweepEngine,
@@ -48,9 +56,12 @@ __all__ = [
     "BACKEND_NAMES",
     "Backend",
     "ProcessPoolBackend",
+    "RunJournal",
+    "SSHBackend",
     "SerialBackend",
     "SocketBackend",
     "SweepEngine",
+    "SweepJournal",
     "SweepTask",
     "TaskOutcome",
     "resolve_engine",
@@ -58,5 +69,6 @@ __all__ = [
     "socket_backend_from_spec",
     "spawn_seeds",
     "spawn_seed_sequences",
+    "ssh_backend_from_spec",
     "stderr_progress",
 ]

@@ -16,7 +16,7 @@ seeds are a pure function of the sweep definition
 results for the same task list — which backend to use is purely a question
 of where the CPU time should be spent.
 
-Three implementations:
+Four implementations:
 
 :class:`SerialBackend`
     Runs tasks in-process, in order — zero overhead, no pickling.
@@ -32,6 +32,14 @@ Three implementations:
     back.  A lost worker's in-flight task is requeued onto the remaining
     workers; repeated loss (or losing every worker) surfaces as
     :class:`~repro.errors.WorkerError`.
+:class:`SSHBackend`
+    The self-provisioning multi-host variant of :class:`SocketBackend`:
+    instead of requiring worker daemons to be started by hand on every
+    machine, the coordinator launches one ``python -m
+    repro.parallel.worker --connect`` per host through an ``ssh HOST``
+    subprocess, waits for the workers to dial back in, and tears the whole
+    fleet down when the run ends.  Coordinator, requeue-on-loss and
+    bit-identity semantics are inherited unchanged.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ import multiprocessing
 import os
 import pickle
 import queue
+import shlex
 import socket
 import subprocess
 import sys
@@ -60,7 +69,9 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "SocketBackend",
+    "SSHBackend",
     "socket_backend_from_spec",
+    "ssh_backend_from_spec",
 ]
 
 
@@ -141,6 +152,22 @@ class ProcessPoolBackend(Backend):
         self.mp_context = mp_context
 
     def execute(self, tasks: Sequence) -> Iterator[TaskOutcome]:
+        # An unpicklable task must never reach the executor: its pickling
+        # error would fire on the executor's queue-feeder thread, and on
+        # CPython 3.11 that thread's error handler races the manager
+        # thread's pending-work rebuild when the sweep is abandoned below
+        # (shutdown(wait=False, cancel_futures=True)) — the lost update
+        # strands an already-resolved future in pending_work_items, the
+        # manager never sends its workers the shutdown sentinel, and
+        # interpreter exit hangs in _python_exit joining the manager
+        # thread.  Rejecting the task up front surfaces the same
+        # original-type error while keeping that code path unreachable.
+        for index, task in enumerate(tasks):
+            try:
+                pickle.dumps(task)
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                yield TaskOutcome(index, error=exc)
+                return
         context = multiprocessing.get_context(self.mp_context) if self.mp_context else None
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)), mp_context=context)
         finished = False
@@ -239,6 +266,34 @@ class SocketBackend(Backend):
     def execute(self, tasks: Sequence) -> Iterator[TaskOutcome]:
         return _SocketRun(self, tasks).outcomes()
 
+    def worker_launch_commands(
+        self, connect_host: str, connect_port: int
+    ) -> List[Tuple[List[str], Optional[dict]]]:
+        """``(argv, env)`` pairs for the worker processes this run launches.
+
+        The base class spawns ``spawn_workers`` local interpreters that dial
+        back into the coordinator's listener; :class:`SSHBackend` overrides
+        this to launch one worker per remote host through ``ssh``.
+        """
+        env = dict(os.environ)
+        # Make sure the child can import this package even when the parent
+        # relies on a cwd-relative PYTHONPATH or an installed checkout.
+        package_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (package_root, env.get("PYTHONPATH")) if p
+        )
+        argv = [
+            sys.executable, "-m", "repro.parallel.worker",
+            "--connect", f"{connect_host}:{connect_port}",
+        ]
+        return [(list(argv), env) for _ in range(self.spawn_workers)]
+
+    def advertised_host(self, bound_host: str) -> str:
+        """The address launched workers should dial back to."""
+        if bound_host in ("0.0.0.0", "::"):
+            return "127.0.0.1"
+        return bound_host
+
     def __repr__(self) -> str:
         parts = []
         if self.spawn_workers:
@@ -248,6 +303,132 @@ class SocketBackend(Backend):
         if self.expected_workers:
             parts.append(f"expected={self.expected_workers}")
         return f"<SocketBackend {' '.join(parts) or 'idle'}>"
+
+
+class SSHBackend(SocketBackend):
+    """Self-provisioning multi-host work queue: workers launched over SSH.
+
+    Where a plain :class:`SocketBackend` in ``worker_addresses`` mode needs
+    an operator to start (and later stop) a ``worker --listen`` daemon on
+    every machine, this backend launches its own fleet: for each entry of
+    ``hosts`` it runs::
+
+        ssh HOST '<remote_python> -m repro.parallel.worker --connect COORD:PORT'
+
+    as a local subprocess, and the remote workers dial back into the
+    coordinator's listening socket.  Everything else — the work queue,
+    requeue of a lost worker's in-flight task (capped by
+    ``max_task_attempts``), mid-run joins through the open listener,
+    bit-identical results — is inherited from :class:`SocketBackend`.
+    Teardown is automatic: at the end of the run every worker receives a
+    ``shutdown`` frame (or loses its socket), exits, and the ssh client
+    processes are terminated.
+
+    Parameters
+    ----------
+    hosts:
+        SSH destinations (``host`` or ``user@host``), one worker each.  A
+        host may appear several times for several workers.
+    ssh_command:
+        The argv prefix used to reach a host; replace it to add options
+        (``("ssh", "-i", keyfile)``) or to substitute a stub in tests.
+        ``BatchMode=yes`` keeps a misconfigured host from hanging the
+        sweep on an interactive password prompt.
+    remote_python:
+        Python interpreter to run on the remote host (default
+        ``"python3"``; it must be able to ``import repro``, see
+        ``remote_pythonpath``).
+    remote_pythonpath:
+        Optional ``PYTHONPATH`` to prepend on the remote host — e.g. the
+        checkout's ``src`` directory when ``repro`` is not installed there.
+    advertise_host:
+        Address the *remote* workers dial back to.  Defaults to this
+        machine's hostname, or ``127.0.0.1`` when every host is local
+        (``localhost`` / ``127.0.0.1`` / ``::1`` — the CI smoke-test
+        configuration).
+    bind, accept_timeout, max_task_attempts:
+        As for :class:`SocketBackend`; ``bind`` defaults to all interfaces
+        on an ephemeral port so remote workers can reach the listener —
+        narrowed automatically to loopback when every host is local.  The
+        listener speaks the pickle frame protocol, so in genuinely remote
+        mode the usual trust model applies (see
+        :mod:`repro.parallel.protocol`): run sweeps only on networks where
+        every host that can reach the port is trusted.
+    """
+
+    name = "ssh"
+
+    #: Hosts (after stripping a ``user@`` prefix) considered local for the
+    #: default ``advertise_host``.
+    _LOCAL_HOSTS = frozenset({"localhost", "127.0.0.1", "::1"})
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        ssh_command: Sequence[str] = ("ssh", "-o", "BatchMode=yes"),
+        remote_python: str = "python3",
+        remote_pythonpath: Optional[str] = None,
+        advertise_host: Optional[str] = None,
+        bind: Union[str, Tuple[str, int]] = ("0.0.0.0", 0),
+        accept_timeout: float = 30.0,
+        max_task_attempts: int = 3,
+    ) -> None:
+        hosts = [str(h) for h in hosts]
+        if not hosts:
+            raise ValueError("SSHBackend needs at least one host")
+        for host in hosts:
+            if not host.strip() or any(ch.isspace() for ch in host.strip()):
+                raise ValueError(f"invalid SSH host {host!r}")
+            if host.split("@")[-1].count(":") == 1:
+                # Exactly one colon cannot be an IPv6 literal (those need
+                # two or more), so it is socket-backend HOST:PORT syntax.
+                raise ValueError(
+                    f"invalid SSH host {host!r}: HOST:PORT is socket-backend "
+                    "syntax — SSH workers are addressed by host name only"
+                )
+        if not ssh_command:
+            raise ValueError("ssh_command must not be empty")
+        stripped = [h.strip() for h in hosts]
+        all_local = all(host.split("@")[-1] in self._LOCAL_HOSTS for host in stripped)
+        if bind == ("0.0.0.0", 0) and all_local:
+            # Workers on this machine dial back over loopback, so do not
+            # expose the (pickle-speaking, trust-the-network) listener on
+            # every interface when nothing remote needs to reach it.
+            bind = ("127.0.0.1", 0)
+        super().__init__(
+            spawn_workers=len(hosts),
+            bind=bind,
+            accept_timeout=accept_timeout,
+            max_task_attempts=max_task_attempts,
+        )
+        self.hosts = stripped
+        self.ssh_command = [str(part) for part in ssh_command]
+        self.remote_python = str(remote_python)
+        self.remote_pythonpath = remote_pythonpath
+        self.advertise_host = advertise_host
+
+    def advertised_host(self, bound_host: str) -> str:
+        if self.advertise_host:
+            return self.advertise_host
+        if all(host.split("@")[-1] in self._LOCAL_HOSTS for host in self.hosts):
+            return "127.0.0.1"
+        return socket.gethostname()
+
+    def worker_launch_commands(
+        self, connect_host: str, connect_port: int
+    ) -> List[Tuple[List[str], Optional[dict]]]:
+        # The remote side is one shell line (ssh hands it to the login
+        # shell), so the interpreter/path go through shlex.quote.
+        remote = (
+            f"{shlex.quote(self.remote_python)} -m repro.parallel.worker "
+            f"--connect {shlex.quote(f'{connect_host}:{connect_port}')}"
+        )
+        if self.remote_pythonpath:
+            remote = f"PYTHONPATH={shlex.quote(self.remote_pythonpath)} {remote}"
+        return [(self.ssh_command + [host, remote], None) for host in self.hosts]
+
+    def __repr__(self) -> str:
+        return f"<SSHBackend hosts={self.hosts!r}>"
 
 
 class _SocketRun:
@@ -316,31 +497,17 @@ class _SocketRun:
                 target=self._accept_loop, name="sweep-socket-accept", daemon=True
             )
             self._accept_thread.start()
-        for _ in range(backend.spawn_workers):
-            self._spawn_local_worker()
+        if backend.spawn_workers:
+            assert self._listener is not None
+            bound_host, port = self._listener.getsockname()[:2]
+            host = backend.advertised_host(bound_host)
+            for argv, env in backend.worker_launch_commands(host, port):
+                self._processes.append(
+                    subprocess.Popen(argv, env=env, stdout=subprocess.DEVNULL)
+                )
         for address in backend.worker_addresses:
             self._add_worker(self._dial(address), address=address)
         self._await_initial_workers()
-
-    def _spawn_local_worker(self) -> None:
-        assert self._listener is not None
-        host, port = self._listener.getsockname()[:2]
-        if host in ("0.0.0.0", "::"):
-            host = "127.0.0.1"
-        env = dict(os.environ)
-        # Make sure the child can import this package even when the parent
-        # relies on a cwd-relative PYTHONPATH or an installed checkout.
-        package_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-        env["PYTHONPATH"] = os.pathsep.join(
-            p for p in (package_root, env.get("PYTHONPATH")) if p
-        )
-        self._processes.append(
-            subprocess.Popen(
-                [sys.executable, "-m", "repro.parallel.worker", "--connect", f"{host}:{port}"],
-                env=env,
-                stdout=subprocess.DEVNULL,
-            )
-        )
 
     def _dial(self, address: Tuple[str, int]) -> socket.socket:
         try:
@@ -680,6 +847,22 @@ class _SocketRun:
         return getattr(task, "label", "")
 
 
+def _split_spec(spec: str) -> List[str]:
+    """Split a comma-separated ``--workers`` value, rejecting empty entries.
+
+    An empty entry (``"a:1,,b:2"``, a trailing comma, or a blank spec) is
+    almost always a typo that used to be dropped silently — or, worse,
+    surface much later as a connection error deep inside the dial path.
+    """
+    parts = [part.strip() for part in spec.split(",")]
+    if not parts or any(not part for part in parts):
+        raise ValueError(
+            f"--workers got an empty entry in {spec!r}; expected a "
+            "comma-separated list without blanks"
+        )
+    return parts
+
+
 def socket_backend_from_spec(
     spec: Optional[str], default_workers: int = 1, **kwargs
 ) -> SocketBackend:
@@ -688,7 +871,9 @@ def socket_backend_from_spec(
     ``spec`` is either an integer (``"4"`` — spawn that many local worker
     processes), a comma-separated ``HOST:PORT`` list (connect to worker
     daemons started with ``python -m repro.parallel.worker --listen ...``),
-    or ``None`` (spawn ``default_workers`` local workers).
+    or ``None`` (spawn ``default_workers`` local workers).  Malformed or
+    empty entries raise :class:`ValueError` here, with the offending entry
+    named, instead of surfacing as a connection failure mid-run.
     """
     if spec is None or not spec.strip():
         return SocketBackend(spawn_workers=max(int(default_workers), 1), **kwargs)
@@ -698,7 +883,43 @@ def socket_backend_from_spec(
         if count < 1:
             raise ValueError(f"--workers needs a positive worker count, got {spec!r}")
         return SocketBackend(spawn_workers=count, **kwargs)
-    addresses = [parse_address(part) for part in spec.split(",") if part.strip()]
-    if not addresses:
-        raise ValueError(f"--workers got no usable addresses in {spec!r}")
+    addresses = []
+    for part in _split_spec(spec):
+        try:
+            host, port = parse_address(part)
+        except ValueError as exc:
+            raise ValueError(f"--workers entry {part!r} is not a valid HOST:PORT: {exc}") from exc
+        if port == 0:
+            raise ValueError(
+                f"--workers entry {part!r} has port 0; a dialled worker daemon "
+                "needs its concrete listening port"
+            )
+        addresses.append((host, port))
     return SocketBackend(worker_addresses=addresses, **kwargs)
+
+
+def ssh_backend_from_spec(spec: Optional[str], **kwargs) -> SSHBackend:
+    """Build an :class:`SSHBackend` from a CLI ``--workers`` host list.
+
+    ``spec`` is a comma-separated list of SSH destinations (``host`` or
+    ``user@host``; repeat a host for several workers on it).  Empty or
+    malformed entries — including ``HOST:PORT``, which is socket-backend
+    syntax — raise :class:`ValueError` naming the offending entry.
+    """
+    if spec is None or not spec.strip():
+        raise ValueError("--backend ssh needs --workers HOST[,HOST...]")
+    hosts = _split_spec(spec)
+    for host in hosts:
+        if host.lstrip("+-").isdigit():
+            # '--workers 4' is the *socket* backend's spawn-count syntax; as
+            # an SSH destination it would only fail much later, as a
+            # confusing hostname-resolution WorkerError.
+            raise ValueError(
+                f"--workers entry {host!r} looks like a worker count, which is "
+                "socket-backend syntax; the ssh backend takes [user@]HOST names "
+                "(repeat a host to run several workers on it)"
+            )
+    try:
+        return SSHBackend(hosts=hosts, **kwargs)
+    except ValueError as exc:
+        raise ValueError(f"--workers: {exc}") from exc

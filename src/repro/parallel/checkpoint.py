@@ -1,0 +1,294 @@
+"""Crash-tolerant sweep journals: kill a campaign, resume it bit-identically.
+
+The paper's figure-scale campaigns are hours of embarrassingly parallel
+simulation; before this module an interrupted run lost every completed
+task.  A :class:`SweepJournal` is an append-only file of per-task completion
+records that any :class:`~repro.parallel.SweepEngine` — serial, pool,
+socket or SSH — writes as results arrive.  Re-running the same campaign
+with the same journal skips every recorded task and re-executes only the
+unfinished ones; because per-task seeds are a pure function of the sweep
+definition (:mod:`repro.parallel.seeding`), the resumed results are
+bit-identical to an uninterrupted run.
+
+File format
+-----------
+One JSON object per line (so a partially written final line — the normal
+state after a hard kill — is trivially detectable and discarded):
+
+``{"kind": "run", "run": k, "tasks": n, "fingerprint": "..."}``
+    Starts run ``k`` of the campaign.  A campaign may issue several engine
+    runs (``report --simulate`` runs one sweep per figure plus the ratio
+    study); runs are matched to journal sections by ordinal, and the
+    fingerprint (task count, labels, function identities and pickled
+    arguments) guards against resuming a journal with a *different*
+    campaign definition — including parameter changes the labels do not
+    encode, such as the simulated message count or the base seed.
+``{"kind": "done", "run": k, "index": i, "value": "<base64 pickle>"}``
+    Task ``i`` of run ``k`` completed with the decoded value.
+
+Only *successes* are journaled: a task error aborts the sweep (exactly as
+without a journal), and resuming re-executes the failed task.  Records are
+flushed line-by-line, so a process killed mid-run loses at most the record
+being written.  On load, the first unparsable line — truncated, corrupt, or
+schema-invalid — and everything after it is discarded rather than treated
+as fatal: the affected tasks simply re-execute, and the file is truncated
+back to its last valid record so subsequent appends stay readable.
+
+.. warning::
+   Recorded values are :mod:`pickle` frames — the same trust model as the
+   socket worker protocol.  Only resume journals you wrote yourself.
+
+Testing hook
+------------
+``REPRO_CHECKPOINT_ABORT_AFTER=N`` makes the process hard-exit (status
+:data:`ABORT_EXIT_CODE`, via ``os._exit``) immediately after the ``N``-th
+record is written.  The CI smoke test and the crash-resume tests use it to
+kill a sweep at a deterministic point mid-run.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import json
+import os
+import pickle
+import warnings
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..errors import CheckpointError
+
+__all__ = ["ABORT_EXIT_CODE", "RunJournal", "SweepJournal"]
+
+#: Exit status of the ``REPRO_CHECKPOINT_ABORT_AFTER`` testing hook.
+ABORT_EXIT_CODE = 17
+
+#: Environment variable of the deterministic-kill testing hook.
+ABORT_ENV = "REPRO_CHECKPOINT_ABORT_AFTER"
+
+_records_written = 0  # process-wide counter driving the abort hook
+
+
+def _fingerprint(tasks: Sequence) -> str:
+    """A stable digest of the sweep definition.
+
+    Covers the task count, every task's label, its function identity
+    (module + qualname) and its pickled arguments — so resuming with a
+    changed parameter that the labels do not encode (``--messages``, a
+    different base seed, a different system) is caught instead of silently
+    mixing results from two different campaigns.  Unpicklable arguments
+    (possible with the serial backend, e.g. closures) degrade to a
+    constant marker: the label/function part of the digest still guards
+    those sweeps.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(len(tasks)).encode("utf-8"))
+    for task in tasks:
+        digest.update(b"\x00")
+        digest.update(getattr(task, "label", "").encode("utf-8"))
+        fn = getattr(task, "fn", None)
+        digest.update(b"\x00")
+        digest.update(
+            f"{getattr(fn, '__module__', '')}.{getattr(fn, '__qualname__', '')}".encode("utf-8")
+        )
+        try:
+            payload = pickle.dumps(
+                (getattr(task, "args", ()), getattr(task, "kwargs", {})), protocol=4
+            )
+        except Exception:
+            payload = b"<unpicklable arguments>"
+        digest.update(b"\x00")
+        digest.update(payload)
+    return digest.hexdigest()[:16]
+
+
+def _load_records(
+    path: str,
+) -> Tuple[Dict[int, Tuple[int, str]], Dict[int, Dict[int, Any]], Optional[int]]:
+    """Parse an existing journal into per-run headers and completed values.
+
+    Returns ``(headers, completed, valid_bytes)`` where ``headers[k] =
+    (tasks, fingerprint)``, ``completed[k][index] = value`` and
+    ``valid_bytes`` is the length of the trusted file prefix — ``None``
+    when the whole file parsed.  Parsing stops at the first unparsable or
+    schema-invalid line (everything from there on is discarded): after a
+    hard kill the final line may be half-written, and after real
+    corruption nothing downstream can be trusted — either way the affected
+    tasks are simply re-executed, never silently trusted.  The caller
+    truncates the file back to ``valid_bytes`` before appending, so later
+    resumes see the records this incarnation writes (the journal heals
+    instead of re-discarding everything past the bad line forever).
+    """
+    headers: Dict[int, Tuple[int, str]] = {}
+    completed: Dict[int, Dict[int, Any]] = {}
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return headers, completed, None
+    valid_bytes = 0
+    for line_number, raw_line in enumerate(data.splitlines(keepends=True), start=1):
+        try:
+            if not raw_line.endswith(b"\n"):
+                # The writer terminates every record, so an unterminated
+                # final line is a partially flushed record — even when its
+                # prefix happens to parse as JSON.
+                raise ValueError("unterminated final record")
+            record = json.loads(raw_line.decode("utf-8"))
+            kind = record["kind"]
+            run = int(record["run"])
+            if kind == "run":
+                header = (int(record["tasks"]), str(record["fingerprint"]))
+                previous = headers.get(run)
+                if previous is not None and previous != header:
+                    raise ValueError("run header re-declared with different content")
+                headers[run] = header
+            elif kind == "done":
+                if run not in headers:
+                    raise ValueError(f"done record for undeclared run {run}")
+                index = int(record["index"])
+                if not 0 <= index < headers[run][0]:
+                    raise ValueError(f"task index {index} out of range")
+                value = pickle.loads(base64.b64decode(record["value"]))
+                completed.setdefault(run, {})[index] = value
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        except Exception as exc:
+            warnings.warn(
+                f"sweep journal {path}: discarding line {line_number} and the "
+                f"rest of the file ({exc}); the affected tasks will re-execute",
+                stacklevel=3,
+            )
+            return headers, completed, valid_bytes
+        valid_bytes += len(raw_line)
+    return headers, completed, None
+
+
+class RunJournal:
+    """The journal view of one engine run: restored results + a recorder."""
+
+    def __init__(self, journal: "SweepJournal", run: int, completed: Dict[int, Any]) -> None:
+        self._journal = journal
+        self.run = run
+        #: Results restored from a previous incarnation, keyed by task index.
+        self.completed = completed
+
+    def record(self, index: int, value: Any) -> None:
+        """Append one completed-task record (flushed immediately)."""
+        self._journal._append_done(self.run, index, value)
+
+
+class SweepJournal:
+    """Append-only completion journal shared by every run of one campaign.
+
+    Parameters
+    ----------
+    path:
+        Journal file, created on first write.  If it already exists its
+        records are restored, and subsequent runs append to it — so
+        "checkpoint" and "resume" are the same operation on the same file.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._headers, self._restored, valid_bytes = _load_records(self.path)
+        if valid_bytes is not None:
+            # Heal the journal: drop the corrupt tail now, so the records
+            # this incarnation appends are parseable by the *next* resume
+            # (appending after the bad line would hide them forever).
+            try:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+            except OSError as exc:
+                warnings.warn(
+                    f"sweep journal {self.path}: could not truncate the corrupt "
+                    f"tail ({exc}); resumes will keep re-executing its tasks",
+                    stacklevel=2,
+                )
+        self._handle: Optional[io.TextIOWrapper] = None
+        self._runs_started = 0
+
+    def __repr__(self) -> str:
+        restored = sum(len(v) for v in self._restored.values())
+        return f"<SweepJournal {self.path!r} restored={restored}>"
+
+    @property
+    def restored_count(self) -> int:
+        """Total completed-task records restored from disk."""
+        return sum(len(v) for v in self._restored.values())
+
+    def begin_run(self, tasks: Sequence) -> RunJournal:
+        """Open journal section for the next engine run of this campaign.
+
+        Runs are matched by ordinal: the ``k``-th ``begin_run`` of the
+        resumed campaign continues the ``k``-th run recorded in the file.
+        A fingerprint mismatch means the campaign definition changed since
+        the journal was written, which would silently mix results from two
+        different sweeps — that raises :class:`~repro.errors.CheckpointError`.
+        """
+        run = self._runs_started
+        self._runs_started += 1
+        fingerprint = _fingerprint(tasks)
+        header = self._headers.get(run)
+        if header is not None:
+            recorded_tasks, recorded_fingerprint = header
+            if recorded_tasks != len(tasks) or recorded_fingerprint != fingerprint:
+                raise CheckpointError(
+                    f"journal {self.path!r} was written by a different campaign: "
+                    f"run {run} recorded {recorded_tasks} task(s) with fingerprint "
+                    f"{recorded_fingerprint}, but the resumed sweep has {len(tasks)} "
+                    f"task(s) with fingerprint {fingerprint}; delete the journal "
+                    "(or pick another path) to start a fresh campaign"
+                )
+        else:
+            self._headers[run] = (len(tasks), fingerprint)
+            self._append({"kind": "run", "run": run, "tasks": len(tasks),
+                          "fingerprint": fingerprint})
+        return RunJournal(self, run, dict(self._restored.get(run, {})))
+
+    # -- writing -----------------------------------------------------------
+
+    def _append_done(self, run: int, index: int, value: Any) -> None:
+        global _records_written
+        try:
+            encoded = base64.b64encode(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            ).decode("ascii")
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            # An unpicklable result cannot be restored later; the sweep
+            # itself still works (serial backends never pickle results), so
+            # degrade to "this task re-executes on resume" with a warning.
+            warnings.warn(
+                f"sweep journal {self.path}: result of task #{index} is not "
+                f"picklable ({exc!r}); it will re-execute on resume",
+                stacklevel=3,
+            )
+            return
+        self._append({"kind": "done", "run": run, "index": index, "value": encoded})
+        _records_written += 1
+        limit = os.environ.get(ABORT_ENV)
+        if limit and _records_written >= int(limit):
+            # Deterministic mid-sweep kill for crash-resume tests: exit
+            # without any cleanup, exactly like SIGKILL.
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            os._exit(ABORT_EXIT_CODE)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        # One buffered write for record + newline: a hard kill must never
+        # leave a complete record without its line terminator, or the next
+        # incarnation's append would merge two records onto one line.
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        # One task == one simulation run (milliseconds to minutes), so a
+        # flush per record is noise — and it bounds the loss after a hard
+        # kill to the record being written.
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle (records are already flushed)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

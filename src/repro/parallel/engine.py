@@ -53,11 +53,15 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ..errors import WorkerError
 from .backends import Backend, ProcessPoolBackend, SerialBackend, SocketBackend
+from .checkpoint import SweepJournal
 
 __all__ = ["SweepTask", "SweepEngine", "resolve_engine", "resolve_jobs", "stderr_progress"]
 
 #: Names accepted by ``SweepEngine(backend=...)`` and the CLI ``--backend``.
-BACKEND_NAMES = ("serial", "pool", "socket")
+#: ``"ssh"`` is CLI-only sugar: it needs a host list, so the engine accepts
+#: the name but ``run`` demands a pre-built
+#: :class:`~repro.parallel.backends.SSHBackend` instance instead.
+BACKEND_NAMES = ("serial", "pool", "socket", "ssh")
 
 
 @dataclass(frozen=True)
@@ -82,6 +86,15 @@ def _annotate(exc: BaseException, index: int, label: str) -> BaseException:
     if add_note is not None:  # Python >= 3.11
         add_note(note)
     return exc
+
+
+def _coerce_journal(
+    journal: Optional[Union[str, "os.PathLike", SweepJournal]],
+) -> Optional[SweepJournal]:
+    """Accept a ready journal, a path to open one, or ``None``."""
+    if isinstance(journal, (str, os.PathLike)):
+        return SweepJournal(journal)
+    return journal
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -132,7 +145,15 @@ class SweepEngine:
         :data:`BACKEND_NAMES` forces that backend; a
         :class:`~repro.parallel.backends.Backend` instance is used as-is
         (the way to configure a multi-host
-        :class:`~repro.parallel.backends.SocketBackend`).
+        :class:`~repro.parallel.backends.SocketBackend` or an
+        :class:`~repro.parallel.backends.SSHBackend`).
+    journal:
+        Optional :class:`~repro.parallel.checkpoint.SweepJournal` (or a
+        path, coerced to one).  Every completed task is journaled as it
+        arrives; tasks already recorded by a previous incarnation of the
+        same campaign are restored instead of re-executed, so a killed
+        sweep resumes bit-identically to an uninterrupted run on every
+        backend.
     """
 
     def __init__(
@@ -141,6 +162,7 @@ class SweepEngine:
         progress: Optional[Callable[[int, int, str], None]] = None,
         mp_context: Optional[str] = None,
         backend: Optional[Union[str, Backend]] = None,
+        journal: Optional[Union[str, SweepJournal]] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.progress = progress
@@ -153,6 +175,7 @@ class SweepEngine:
                 "or a Backend instance"
             )
         self.backend = backend
+        self.journal = _coerce_journal(journal)
 
     # -- execution ---------------------------------------------------------
 
@@ -174,15 +197,31 @@ class SweepEngine:
         tasks = list(tasks)
         if not tasks:
             return []
-        backend = self._resolve_backend(len(tasks))
         total = len(tasks)
         results: List[Any] = [None] * total
         seen = [False] * total
         done = 0
-        outcomes = backend.execute(tasks)
+        recorder = None
+        remaining = list(range(total))
+        if self.journal is not None:
+            run_journal = self.journal.begin_run(tasks)
+            recorder = run_journal.record
+            for index in sorted(run_journal.completed):
+                results[index] = run_journal.completed[index]
+                seen[index] = True
+                done += 1
+                self._report(done, total, tasks[index].label)
+            remaining = [index for index in range(total) if not seen[index]]
+            if not remaining:
+                return results
+        # The backend only sees the unfinished tasks; its outcome indices
+        # are positions in that sub-list and are mapped back to sweep
+        # indices here, so journaled resumes work on every backend.
+        backend = self._resolve_backend(len(remaining))
+        outcomes = backend.execute([tasks[index] for index in remaining])
         try:
             for outcome in outcomes:
-                index = outcome.index
+                index = remaining[outcome.index]
                 if outcome.error is not None:
                     if outcome.infrastructure:
                         raise WorkerError(
@@ -196,6 +235,8 @@ class SweepEngine:
                 results[index] = outcome.value
                 seen[index] = True
                 done += 1
+                if recorder is not None:
+                    recorder(index, outcome.value)
                 self._report(done, total, tasks[index].label)
         finally:
             close = getattr(outcomes, "close", None)
@@ -248,6 +289,13 @@ class SweepEngine:
             return ProcessPoolBackend(jobs=self.jobs, mp_context=self._mp_context)
         if spec == "socket":
             return SocketBackend(spawn_workers=max(self.jobs, 1))
+        if spec == "ssh":
+            raise ValueError(
+                "backend 'ssh' needs a host list and cannot be resolved from a "
+                "bare name; pass an SSHBackend instance (e.g. "
+                "SweepEngine(backend=SSHBackend(hosts=[...]))) or use the CLI's "
+                "--backend ssh --workers HOST,HOST,..."
+            )
         raise ValueError(f"unknown backend {spec!r}")
 
     def __repr__(self) -> str:
@@ -263,13 +311,40 @@ def resolve_engine(
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
     progress: Optional[Callable[[int, int, str], None]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> SweepEngine:
     """The shared ``jobs``/``engine``/``backend`` policy of every sweep driver.
 
     A caller-supplied ``engine`` wins; otherwise one is built from ``jobs``
-    and ``backend``.  Experiment entry points accept the whole triple and
-    funnel it through here so the precedence stays in one place.
+    and ``backend``.  Experiment entry points accept the whole triple (plus
+    an optional ``checkpoint`` journal/path) and funnel it through here so
+    the precedence stays in one place.  ``checkpoint`` attaches a
+    :class:`~repro.parallel.checkpoint.SweepJournal` to the engine — also
+    to a caller-supplied one.  Passing the *same* journal again is a no-op
+    (so one engine can drive a whole campaign of driver calls that all
+    name the campaign's journal); asking an engine that already journals
+    to use a *different* journal is ambiguous (which file would the
+    campaign resume from?) and raises :class:`ValueError` rather than
+    silently ignoring either.
     """
     if engine is not None:
+        if checkpoint is not None:
+            if engine.journal is None:
+                engine.journal = _coerce_journal(checkpoint)
+            else:
+                requested = (
+                    checkpoint.path
+                    if isinstance(checkpoint, SweepJournal)
+                    else os.fspath(checkpoint)
+                )
+                if str(requested) != engine.journal.path:
+                    raise ValueError(
+                        "the supplied engine already has a journal "
+                        f"({engine.journal.path!r}); passing checkpoint="
+                        f"{str(requested)!r} as well is ambiguous — drop one of "
+                        "the two"
+                    )
+                # Same path: keep the attached journal — its run ordinals
+                # continue the campaign across repeated driver calls.
         return engine
-    return SweepEngine(jobs=jobs, progress=progress, backend=backend)
+    return SweepEngine(jobs=jobs, progress=progress, backend=backend, journal=checkpoint)

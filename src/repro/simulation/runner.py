@@ -27,7 +27,14 @@ import numpy as np
 from ..cluster.system import MultiClusterSystem
 from ..core.model import AnalyticalModel, ModelConfig, PerformanceReport
 from ..errors import ConfigurationError
-from ..parallel import Backend, SweepEngine, SweepTask, resolve_engine, spawn_seeds
+from ..parallel import (
+    Backend,
+    SweepEngine,
+    SweepJournal,
+    SweepTask,
+    resolve_engine,
+    spawn_seeds,
+)
 from ..stats.compare import relative_error
 from ..stats.intervals import ConfidenceInterval, mean_confidence_interval
 from ..workload.destinations import DestinationPolicy
@@ -135,18 +142,21 @@ def run_replications(
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> ReplicatedResult:
     """Run ``replications`` independent simulations and aggregate them.
 
     ``jobs`` (or a pre-configured ``engine``) fans the replications out
     across worker processes; ``backend`` selects the execution substrate
     (``"serial"``, ``"pool"``, ``"socket"`` or a
-    :class:`~repro.parallel.Backend` instance).  The results are
-    bit-identical for every choice because the per-replication seeds
-    depend only on ``config.seed``.
+    :class:`~repro.parallel.Backend` instance such as an
+    :class:`~repro.parallel.SSHBackend`).  The results are bit-identical
+    for every choice because the per-replication seeds depend only on
+    ``config.seed``.  ``checkpoint`` journals completed replications so a
+    killed run resumes without repeating them.
     """
     configs = replication_configs(config, replications)
-    engine = resolve_engine(jobs, engine, backend)
+    engine = resolve_engine(jobs, engine, backend, checkpoint=checkpoint)
     tasks = [
         SweepTask(
             fn=run_simulation_task,
@@ -166,6 +176,7 @@ def validate_against_analysis(
     jobs: Optional[int] = 1,
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> ValidationPoint:
     """Evaluate the analytical model and the simulator for the same setup.
 
@@ -193,6 +204,7 @@ def validate_against_analysis(
 
     analysis = AnalyticalModel(system, model_config).evaluate()
     simulation = run_replications(
-        system, sim_config, replications, jobs=jobs, engine=engine, backend=backend
+        system, sim_config, replications,
+        jobs=jobs, engine=engine, backend=backend, checkpoint=checkpoint,
     )
     return ValidationPoint(analysis=analysis, simulation=simulation)

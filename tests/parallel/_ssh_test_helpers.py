@@ -1,0 +1,25 @@
+"""Task functions shipped to SSH-test workers.
+
+Socket/SSH workers are fresh interpreters, so any task function used with
+them must live in an importable module — the SSH backend tests put this
+directory on the workers' ``PYTHONPATH`` (via ``remote_pythonpath``) so
+these helpers resolve there.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def exit_once(x, sentinel_path):
+    """Hard-kill the first worker that runs this; succeed on the retry.
+
+    The sentinel file makes the crash one-shot: the requeued task lands on
+    a surviving worker (or a rejoin) and completes, which is exactly the
+    "sweep survives the loss of one worker" scenario.
+    """
+    if not os.path.exists(sentinel_path):
+        with open(sentinel_path, "w", encoding="utf-8") as handle:
+            handle.write("crashed once")
+        os._exit(3)
+    return -x

@@ -10,6 +10,7 @@ helpers defined in this test module do not.
 from __future__ import annotations
 
 import math
+import multiprocessing
 import os
 import pickle
 import socket
@@ -147,6 +148,20 @@ class TestEngineBackendSelection:
         # ... while a picklable function works.
         assert SweepEngine(jobs=1, backend="pool").map(_square, [1, 2]) == [1, 4]
 
+    def test_unpicklable_pool_task_never_reaches_the_executor(self):
+        # Regression: pickling errors used to fire on the executor's
+        # queue-feeder thread, which races the manager thread's shutdown
+        # bookkeeping on CPython 3.11 — rarely stranding a resolved future
+        # in pending_work_items, after which interpreter exit hung forever
+        # joining the manager thread.  The backend now rejects the task up
+        # front: same original-type error, but no pool (and no worker
+        # process) is ever created for the doomed sweep.
+        before = {p.pid for p in multiprocessing.active_children()}
+        with pytest.raises((pickle.PicklingError, TypeError, AttributeError)):
+            SweepEngine(jobs=2, backend="pool").map(lambda x: x, [1, 2])
+        spawned = {p.pid for p in multiprocessing.active_children()} - before
+        assert not spawned
+
 
 class TestSocketBackendSpec:
     def test_default_spawns_workers(self):
@@ -169,6 +184,23 @@ class TestSocketBackendSpec:
     def test_garbage_rejected(self):
         with pytest.raises(ValueError):
             socket_backend_from_spec("not-an-address")
+
+    def test_empty_entries_rejected(self):
+        # Silently dropping blanks used to hide typos until the dial path
+        # failed much later; now every blank entry is a clear ValueError.
+        for spec in ("a:1,,b:2", "a:1,", ",a:1", " , "):
+            with pytest.raises(ValueError, match="empty entry"):
+                socket_backend_from_spec(spec)
+
+    def test_malformed_entry_names_the_offender(self):
+        with pytest.raises(ValueError, match="'b'"):
+            socket_backend_from_spec("a:1,b")
+
+    def test_port_zero_rejected(self):
+        # Port 0 parses (it is valid for *binding*) but can never be
+        # dialled; reject it here instead of deep inside _dial.
+        with pytest.raises(ValueError, match="port 0"):
+            socket_backend_from_spec("host:0")
 
     def test_constructor_validation(self):
         with pytest.raises(ValueError):
