@@ -27,7 +27,7 @@ import sys
 from typing import Dict
 
 #: Metric keys treated as throughputs (bigger is better).
-THROUGHPUT_KEYS = ("events_per_sec", "tasks_per_sec")
+THROUGHPUT_KEYS = ("events_per_sec", "messages_per_sec", "tasks_per_sec")
 
 
 def collect_metrics(summary: object, prefix: str = "") -> Dict[str, float]:
@@ -53,8 +53,19 @@ def collect_metrics(summary: object, prefix: str = "") -> Dict[str, float]:
 
 def compare(current: Dict[str, float], baseline: Dict[str, float],
             max_slowdown: float) -> int:
-    """Print a verdict per metric; return the number of regressions."""
+    """Print a verdict per metric; return the number of regressions.
+
+    Large *improvements* are flagged too: a stale baseline quietly loosens
+    the gate — a metric that doubled can then halve again without tripping
+    it — so the report recommends re-seeding with ``--write-baseline``
+    when gains land.  The improvement threshold carries 10% headroom over
+    ``max_slowdown`` because the committed baselines are deliberately
+    seeded at half a local measurement (i.e. they sit at exactly the gate
+    factor when nothing changed).
+    """
     regressions = 0
+    improvements = 0
+    improvement_factor = max_slowdown * 1.1
     for label in sorted(baseline):
         base = baseline[label]
         now = current.get(label)
@@ -69,10 +80,17 @@ def compare(current: Dict[str, float], baseline: Dict[str, float],
             print(f"  REGRESSED {label}: {now:.1f} vs baseline {base:.1f} "
                   f"({ratio:.2f}x, allowed >= {1.0 / max_slowdown:.2f}x)")
             regressions += 1
+        elif now > base * improvement_factor:
+            print(f"  IMPROVED  {label}: {now:.1f} vs baseline {base:.1f} ({ratio:.2f}x)")
+            improvements += 1
         else:
             print(f"  ok        {label}: {now:.1f} vs baseline {base:.1f} ({ratio:.2f}x)")
     for label in sorted(set(current) - set(baseline)):
         print(f"  new       {label}: {current[label]:.1f} (no baseline yet)")
+    if improvements:
+        print(f"{improvements} metric(s) improved beyond {improvement_factor:.1f}x: the "
+              f"committed baseline understates current throughput and loosens the "
+              f"regression gate — re-seed it with --write-baseline")
     return regressions
 
 

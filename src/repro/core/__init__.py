@@ -16,6 +16,7 @@ from .routing import (
 )
 from .service_centers import ServiceCenterModels, build_service_centers
 from .traffic import TrafficRates, compute_traffic_rates
+from .vectorized import GridEvaluation, evaluate_latency_grid
 
 __all__ = [
     "AnalyticalModel",
@@ -33,6 +34,8 @@ __all__ = [
     "compute_traffic_rates",
     "ServiceCenterModels",
     "build_service_centers",
+    "GridEvaluation",
+    "evaluate_latency_grid",
     "FixedPointResult",
     "QueueLengths",
     "solve_effective_rate",

@@ -25,7 +25,7 @@ Quick example
 """
 
 from .core import EmptySchedule, Environment, StopSimulation
-from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .events import AbsoluteTimeout, AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
 from .monitor import Monitor, TimeWeightedMonitor, TraceRecord, Tracer
 from .process import Interrupt, Process
 from .resources import (
@@ -46,6 +46,7 @@ __all__ = [
     "StopSimulation",
     "Event",
     "Timeout",
+    "AbsoluteTimeout",
     "Condition",
     "ConditionValue",
     "AllOf",

@@ -28,7 +28,7 @@ from itertools import count
 from typing import Any, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
-from .events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout, URGENT
+from .events import AbsoluteTimeout, AllOf, AnyOf, Event, NORMAL, PENDING, Timeout, URGENT
 from .process import Process, ProcessGenerator
 
 __all__ = ["Environment", "EmptySchedule", "StopSimulation"]
@@ -105,6 +105,16 @@ class Environment:
         its own heap insertion rather than going through :meth:`schedule`.
         """
         return Timeout(self, delay, value)
+
+    def timeout_at(self, at: float, value: Any = None) -> AbsoluteTimeout:
+        """Create an :class:`AbsoluteTimeout` that fires at absolute time ``at``.
+
+        Unlike ``timeout(at - now)`` this schedules the event at exactly
+        ``at`` with no float round-trip through a relative delay, which the
+        simulator's virtual-queue service centres rely on for bit-identical
+        departure times.
+        """
+        return AbsoluteTimeout(self, at, value)
 
     def process(self, generator: ProcessGenerator) -> Process:
         """Start a new :class:`Process` running ``generator``."""

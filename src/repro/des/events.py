@@ -39,6 +39,7 @@ __all__ = [
     "NORMAL",
     "Event",
     "Timeout",
+    "AbsoluteTimeout",
     "Initialize",
     "ConditionValue",
     "Condition",
@@ -199,6 +200,39 @@ class Timeout(Event):
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay!r} at 0x{id(self):x}>"
+
+
+class AbsoluteTimeout(Event):
+    """An event that fires at an absolute simulated time ``at``.
+
+    The simulation layer schedules departures at exact, precomputed times
+    (``start + service_time``); expressing them as relative delays would
+    re-derive the time as ``now + (at - now)``, which is not the same float.
+    Like :class:`Timeout`, the event is triggered at creation and inlines
+    its heap insertion.
+    """
+
+    __slots__ = ("_at",)
+
+    def __init__(self, env: "Environment", at: float, value: Any = None) -> None:
+        at = float(at)
+        if at < env._now:
+            raise ValueError(f"Cannot schedule at {at!r}, before current time {env._now!r}")
+        self.env = env
+        self.callbacks = []
+        self._ok = True
+        self._value = value
+        self._defused = False
+        self._at = at
+        heappush(env._queue, (at, NORMAL, next(env._eid), self))
+
+    @property
+    def at(self) -> float:
+        """The absolute time the event fires at."""
+        return self._at
+
+    def __repr__(self) -> str:
+        return f"<AbsoluteTimeout at={self._at!r} at 0x{id(self):x}>"
 
 
 class Initialize(Event):

@@ -10,6 +10,7 @@ tools can inspect.
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -18,41 +19,80 @@ import numpy as np
 __all__ = ["Monitor", "TimeWeightedMonitor", "Tracer", "TraceRecord"]
 
 
+def _as_double_array(data: Iterable[float]) -> array:
+    """Coerce ``data`` to a C-double :class:`array.array` in a single pass.
+
+    ndarray input is converted with one C-level memcpy (no per-element
+    Python float boxing); any other iterable — including one-shot
+    generators — is consumed exactly once by the ``array`` constructor.
+    """
+    if isinstance(data, array) and data.typecode == "d":
+        return data
+    if isinstance(data, np.ndarray):
+        if data.ndim != 1:
+            raise ValueError(f"expected a 1-D array, got shape {data.shape!r}")
+        out = array("d")
+        out.frombytes(np.ascontiguousarray(data, dtype=np.float64).tobytes())
+        return out
+    return array("d", data)
+
+
 class Monitor:
     """Record scalar observations and expose summary statistics.
 
     The monitor keeps all observations (time, value) so that warm-up
     truncation and batching can be applied afterwards; for extremely long
     runs use :meth:`summary` incrementally instead.
+
+    Storage is a pair of C-double :class:`array.array` buffers: recording
+    appends a native double (no per-observation Python ``float`` boxing),
+    and the statistics run on transient zero-copy NumPy views of the
+    buffers instead of rebuilding an ndarray from a list of boxed floats
+    per call.
     """
+
+    __slots__ = ("name", "_times", "_values")
 
     def __init__(self, name: str = "monitor") -> None:
         self.name = name
-        self._times: List[float] = []
-        self._values: List[float] = []
+        self._times = array("d")
+        self._values = array("d")
 
     # -- recording ------------------------------------------------------------
 
     def record(self, time: float, value: float) -> None:
         """Record ``value`` observed at simulated ``time``."""
-        self._times.append(float(time))
-        self._values.append(float(value))
+        self._times.append(time)
+        self._values.append(value)
 
     def extend(self, times: Iterable[float], values: Iterable[float]) -> None:
-        """Record many observations at once."""
-        times = list(times)
-        values = list(values)
+        """Record many observations at once.
+
+        Each input is materialized exactly once (ndarrays via a C memcpy,
+        generators consumed in a single pass); a length mismatch raises
+        ``ValueError`` before either buffer is modified.
+        """
+        times = _as_double_array(times)
+        values = _as_double_array(values)
         if len(times) != len(values):
             raise ValueError("times and values must have equal length")
-        self._times.extend(float(t) for t in times)
-        self._values.extend(float(v) for v in values)
+        self._times.extend(times)
+        self._values.extend(values)
 
     def reset(self) -> None:
         """Discard all observations."""
-        self._times.clear()
-        self._values.clear()
+        del self._times[:]
+        del self._values[:]
 
     # -- access ---------------------------------------------------------------
+
+    def _view(self) -> np.ndarray:
+        """Transient zero-copy view of the values buffer (internal).
+
+        The view exports the buffer of ``self._values``, which blocks
+        appends for as long as it is alive — callers must not store it.
+        """
+        return np.frombuffer(self._values, dtype=np.float64)
 
     @property
     def count(self) -> int:
@@ -61,21 +101,21 @@ class Monitor:
 
     @property
     def times(self) -> np.ndarray:
-        """Observation times as an array."""
-        return np.asarray(self._times, dtype=float)
+        """Observation times as an array (an independent snapshot)."""
+        return np.frombuffer(self._times, dtype=np.float64).copy()
 
     @property
     def values(self) -> np.ndarray:
-        """Observation values as an array."""
-        return np.asarray(self._values, dtype=float)
+        """Observation values as an array (an independent snapshot)."""
+        return np.frombuffer(self._values, dtype=np.float64).copy()
 
     def mean(self) -> float:
         """Sample mean of the observations (NaN when empty)."""
-        return float(np.mean(self._values)) if self._values else math.nan
+        return float(self._view().mean()) if self._values else math.nan
 
     def variance(self) -> float:
         """Unbiased sample variance (NaN when fewer than two observations)."""
-        return float(np.var(self._values, ddof=1)) if len(self._values) > 1 else math.nan
+        return float(self._view().var(ddof=1)) if len(self._values) > 1 else math.nan
 
     def std(self) -> float:
         """Sample standard deviation."""
@@ -84,17 +124,17 @@ class Monitor:
 
     def minimum(self) -> float:
         """Smallest observation (NaN when empty)."""
-        return float(np.min(self._values)) if self._values else math.nan
+        return float(self._view().min()) if self._values else math.nan
 
     def maximum(self) -> float:
         """Largest observation (NaN when empty)."""
-        return float(np.max(self._values)) if self._values else math.nan
+        return float(self._view().max()) if self._values else math.nan
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0-100) of the observations."""
         if not self._values:
             return math.nan
-        return float(np.percentile(self._values, q))
+        return float(np.percentile(self._view(), q))
 
     def truncated(self, skip: int) -> "Monitor":
         """Return a copy with the first ``skip`` observations removed (warm-up)."""
@@ -132,6 +172,8 @@ class TimeWeightedMonitor:
     are integrated from the time they are set until the next change.
     """
 
+    __slots__ = ("name", "_last_time", "_last_value", "_area", "_max", "_min", "_start_time")
+
     def __init__(self, name: str = "level", initial: float = 0.0, start_time: float = 0.0) -> None:
         self.name = name
         self._last_time = float(start_time)
@@ -144,15 +186,35 @@ class TimeWeightedMonitor:
     def update(self, time: float, value: float) -> None:
         """Set the signal to ``value`` at simulated ``time``."""
         time = float(time)
-        if time < self._last_time:
+        last_time = self._last_time
+        if time < last_time:
             raise ValueError(
-                f"time went backwards: {time!r} < {self._last_time!r} in monitor {self.name!r}"
+                f"time went backwards: {time!r} < {last_time!r} in monitor {self.name!r}"
             )
+        value = float(value)
+        self._area += self._last_value * (time - last_time)
+        self._last_time = time
+        self._last_value = value
+        if value > self._max:
+            self._max = value
+        elif value < self._min:
+            self._min = value
+
+    def update_unchecked(self, time: float, value: float) -> None:
+        """:meth:`update` without coercion or the went-backwards check.
+
+        For event-driven hot paths where ``time`` is the simulation clock
+        (monotonic by construction) and ``value`` is already a float; keeps
+        the integration bookkeeping in one place instead of letting callers
+        inline it.
+        """
         self._area += self._last_value * (time - self._last_time)
         self._last_time = time
-        self._last_value = float(value)
-        self._max = max(self._max, self._last_value)
-        self._min = min(self._min, self._last_value)
+        self._last_value = value
+        if value > self._max:
+            self._max = value
+        elif value < self._min:
+            self._min = value
 
     def increment(self, time: float, delta: float = 1.0) -> None:
         """Add ``delta`` to the current level at ``time``."""

@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core.model import AnalyticalModel, ModelConfig
+from ..core.model import ModelConfig
+from ..core.vectorized import evaluate_latency_grid
 from ..errors import ExperimentError
 from ..parallel import (
     Backend,
@@ -255,15 +256,22 @@ def run_figure(
     grid: List[Tuple[int, int]] = [(mb, nc) for mb in sizes for nc in counts]
     systems = {nc: build_scenario_system(spec.scenario, nc, parameters) for nc in counts}
 
-    # Analysis pass — closed-form and fast, always serial.
-    analyses = {}
-    for mb, nc in grid:
-        model_config = ModelConfig(
-            architecture=spec.architecture,
-            message_bytes=float(mb),
-            generation_rate=parameters.generation_rate,
-        )
-        analyses[(mb, nc)] = AnalyticalModel(systems[nc], model_config).evaluate()
+    # Analysis pass — closed-form, evaluated for the whole grid in one
+    # vectorized sweep (bit-identical to per-point AnalyticalModel calls).
+    grid_eval = evaluate_latency_grid(
+        [
+            (
+                systems[nc],
+                ModelConfig(
+                    architecture=spec.architecture,
+                    message_bytes=float(mb),
+                    generation_rate=parameters.generation_rate,
+                ),
+            )
+            for mb, nc in grid
+        ]
+    )
+    analyses = {point: float(grid_eval.mean_latency_ms[i]) for i, point in enumerate(grid)}
 
     # Simulation pass — one task per (point, replication), fanned out
     # through the sweep engine.  Seeds are spawned per point so the task
@@ -311,7 +319,7 @@ def run_figure(
             FigurePoint(
                 num_clusters=nc,
                 message_bytes=int(mb),
-                analysis_latency_ms=analyses[point].mean_latency_ms,
+                analysis_latency_ms=analyses[point],
                 simulation_latency_ms=sim_latency_ms,
                 simulation_ci_half_width_ms=sim_ci_ms,
             )

@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
-from ..des.rng import VariateGenerator
+from ..des.rng import DEFAULT_BLOCK_SIZE, VariateGenerator
 
 __all__ = [
     "Distribution",
@@ -61,6 +61,17 @@ class Distribution:
         """Draw one variate using ``rng``."""
         raise NotImplementedError
 
+    def sampler(self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE):
+        """Return a zero-argument callable drawing successive variates.
+
+        The default falls back to one :meth:`sample` call per invocation;
+        distributions with a matching :class:`~repro.des.rng.VariateStream`
+        family override this with a batched stream that reproduces the
+        scalar draw sequence bit-for-bit.  A batched sampler reads ahead on
+        ``rng``, so the stream must be this sampler's exclusive consumer.
+        """
+        return lambda: self.sample(rng)
+
     def scaled(self, factor: float) -> "Distribution":
         """Return a copy whose mean is multiplied by ``factor``."""
         raise NotImplementedError
@@ -86,6 +97,9 @@ class Exponential(Distribution):
 
     def sample(self, rng: VariateGenerator) -> float:
         return rng.exponential(self.mean_value)
+
+    def sampler(self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE):
+        return rng.exponential_stream(self.mean_value, block_size)
 
     def scaled(self, factor: float) -> "Exponential":
         return Exponential(self.mean_value * factor)
@@ -119,6 +133,10 @@ class Deterministic(Distribution):
     def sample(self, rng: VariateGenerator) -> float:
         return rng.deterministic(self.value)
 
+    def sampler(self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE):
+        value = float(self.value)
+        return lambda: value
+
     def scaled(self, factor: float) -> "Deterministic":
         return Deterministic(self.value * factor)
 
@@ -146,6 +164,9 @@ class Erlang(Distribution):
 
     def sample(self, rng: VariateGenerator) -> float:
         return rng.erlang(self.k, self.mean_value)
+
+    def sampler(self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE):
+        return rng.erlang_stream(self.k, self.mean_value, block_size)
 
     def scaled(self, factor: float) -> "Erlang":
         return Erlang(self.k, self.mean_value * factor)
@@ -223,6 +244,9 @@ class UniformDistribution(Distribution):
 
     def sample(self, rng: VariateGenerator) -> float:
         return rng.uniform(self.low, self.high)
+
+    def sampler(self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE):
+        return rng.uniform_stream(self.low, self.high, block_size)
 
     def scaled(self, factor: float) -> "UniformDistribution":
         return UniformDistribution(self.low * factor, self.high * factor)

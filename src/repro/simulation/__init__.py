@@ -8,6 +8,7 @@ from .runner import (
     aggregate_replications,
     replication_configs,
     run_replications,
+    run_message_trace_task,
     run_simulation_task,
     validate_against_analysis,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "ValidationPoint",
     "replication_configs",
     "run_simulation_task",
+    "run_message_trace_task",
     "aggregate_replications",
     "run_replications",
     "validate_against_analysis",

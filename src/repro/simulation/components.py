@@ -12,12 +12,12 @@ is exponentially distributed with the mean given by the §5 network models
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Generator, List, Optional
 
 from ..des.core import Environment
-from ..des.events import Event
+from ..des.events import AbsoluteTimeout, Event
 from ..des.monitor import Monitor, TimeWeightedMonitor
-from ..des.resources import Resource
 from ..des.rng import VariateGenerator
 from ..errors import SimulationError
 from ..queueing.distributions import Distribution
@@ -41,7 +41,33 @@ class ServiceCenterSim:
         exponential whose mean is the §5 transmission time.
     rng:
         Independent random stream for this centre's service times.
+
+    Notes
+    -----
+    The centre is a *virtual* FIFO queue: because a single-server FIFO
+    station serves messages in arrival order, each message's departure time
+    is fully determined at arrival — ``depart = max(now, previous depart) +
+    service_time`` — so one :class:`~repro.des.events.AbsoluteTimeout` per
+    visit replaces the request/grant/timeout/release event chain of an
+    explicit ``Resource`` (5 events and several callback hops per visit).
+    Service times are drawn in arrival order, which for a FIFO queue is
+    exactly the grant order of the explicit-resource formulation, so every
+    seed reproduces the original per-message latencies bit-for-bit (the
+    golden-trace tests assert this).
     """
+
+    __slots__ = (
+        "env",
+        "name",
+        "service_distribution",
+        "rng",
+        "occupancy",
+        "_sample",
+        "_next_free",
+        "_in_service",
+        "_busy_time",
+        "_served",
+    )
 
     def __init__(
         self,
@@ -54,25 +80,61 @@ class ServiceCenterSim:
         self.name = name
         self.service_distribution = service_distribution
         self.rng = rng
-        self.server = Resource(env, capacity=1)
         #: Time-weighted number of messages present (queued + in service).
         self.occupancy = TimeWeightedMonitor(name=f"{name}.occupancy", start_time=env.now)
+        #: Batched per-centre service-time sampler (bit-identical to
+        #: per-call ``service_distribution.sample(rng)``).
+        self._sample = service_distribution.sampler(rng)
+        #: Departure time of the last admitted message (the virtual queue).
+        self._next_free = 0.0
+        #: (start, service_time) of admitted-but-not-departed messages, in
+        #: FIFO order; keeps ``utilization`` exact mid-run.
+        self._in_service: deque = deque()
         self._busy_time = 0.0
         self._served = 0
 
     # -- behaviour ------------------------------------------------------------------
 
-    def serve(self, message: Message) -> Generator[Event, None, None]:
-        """Process generator: pass ``message`` through this service centre."""
-        self.occupancy.increment(self.env.now)
+    def begin(self, message: Message) -> AbsoluteTimeout:
+        """Admit ``message`` and return the event of its departure.
+
+        This is the hot path: it draws the service time, computes the
+        departure time from the virtual queue and schedules a single
+        absolute-time event.  Per-visit bookkeeping (occupancy decrement,
+        served/busy counters) runs in a callback when the event fires,
+        before any waiting process resumes.
+        """
+        env = self.env
+        now = env._now
+        occupancy = self.occupancy
+        occupancy.update_unchecked(now, occupancy._last_value + 1.0)
         message.path.append(self.name)
-        with self.server.request() as req:
-            yield req
-            service_time = self.service_distribution.sample(self.rng)
-            self._busy_time += service_time
-            yield self.env.timeout(service_time)
-        self.occupancy.decrement(self.env.now)
+        start = self._next_free
+        if start < now:
+            start = now
+        service_time = self._sample()
+        depart = start + service_time
+        self._next_free = depart
+        self._in_service.append((start, service_time))
+        event = AbsoluteTimeout(env, depart)
+        event.callbacks.append(self._departed)
+        return event
+
+    def serve(self, message: Message) -> Generator[Event, None, None]:
+        """Process generator: pass ``message`` through this service centre.
+
+        Equivalent to ``yield self.begin(message)``; kept for callers that
+        compose centres with ``yield from``.
+        """
+        yield self.begin(message)
+
+    def _departed(self, _event: Event) -> None:
+        """Commit one departure (runs as the departure event's callback)."""
+        start, service_time = self._in_service.popleft()
+        self._busy_time += service_time
         self._served += 1
+        occupancy = self.occupancy
+        occupancy.update_unchecked(self.env._now, occupancy._last_value - 1.0)
 
     # -- statistics -----------------------------------------------------------------
 
@@ -83,15 +145,25 @@ class ServiceCenterSim:
 
     @property
     def busy_time(self) -> float:
-        """Cumulative service time dispensed (seconds)."""
+        """Cumulative service time of all *departed* messages (seconds)."""
         return self._busy_time
 
     def utilization(self, now: Optional[float] = None) -> float:
-        """Fraction of time the server has been busy up to ``now``."""
+        """Fraction of time the server has been busy up to ``now``.
+
+        Counts the full service time of every message whose service has
+        *started* by ``now`` (matching the explicit-resource formulation,
+        which committed the service time at grant), capped at 1.
+        """
         horizon = self.env.now if now is None else now
         if horizon <= 0:
             return 0.0
-        return min(self._busy_time / horizon, 1.0)
+        busy = self._busy_time
+        for start, service_time in self._in_service:
+            if start > horizon:
+                break
+            busy += service_time
+        return min(busy / horizon, 1.0)
 
     def mean_occupancy(self, now: Optional[float] = None) -> float:
         """Time-average number of messages at the centre (queue + service)."""
@@ -103,6 +175,18 @@ class ServiceCenterSim:
 
 class LatencySink:
     """Collects completed messages and decides when the run is finished."""
+
+    __slots__ = (
+        "env",
+        "target_messages",
+        "warmup_messages",
+        "latencies",
+        "local_latencies",
+        "remote_latencies",
+        "completed",
+        "messages",
+        "done",
+    )
 
     def __init__(self, env: Environment, target_messages: int, warmup_messages: int = 0) -> None:
         if target_messages < 1:
@@ -124,16 +208,17 @@ class LatencySink:
 
     def record(self, message: Message) -> None:
         """Register a completed message (called by the processor agents)."""
-        if message.completed_at is None:
+        completed_at = message.completed_at
+        if completed_at is None:
             raise SimulationError(f"message {message.ident} recorded before completion")
         self.completed += 1
         if self.completed > self.warmup_messages:
-            latency = message.latency
-            self.latencies.record(message.completed_at, latency)
-            if message.is_remote:
-                self.remote_latencies.record(message.completed_at, latency)
+            latency = completed_at - message.created_at
+            self.latencies.record(completed_at, latency)
+            if message.source[0] != message.destination[0]:
+                self.remote_latencies.record(completed_at, latency)
             else:
-                self.local_latencies.record(message.completed_at, latency)
+                self.local_latencies.record(completed_at, latency)
             self.messages.append(message)
         if self.completed >= self.target_messages and not self.done.triggered:
             self.done.succeed(self.completed)

@@ -45,6 +45,7 @@ __all__ = [
     "ValidationPoint",
     "replication_configs",
     "run_simulation_task",
+    "run_message_trace_task",
     "aggregate_replications",
     "run_replications",
     "validate_against_analysis",
@@ -119,6 +120,28 @@ def run_simulation_task(
 ) -> SimulationResult:
     """Run one simulation — the picklable unit of work shipped to pool workers."""
     return MultiClusterSimulator(system, config, destination_policy).run()
+
+
+def run_message_trace_task(
+    system: MultiClusterSystem,
+    config: SimulationConfig,
+    destination_policy: Optional[DestinationPolicy] = None,
+) -> List[tuple]:
+    """Run one simulation and return its exact per-message timings.
+
+    Each measured message becomes ``(ident, created_at.hex(),
+    completed_at.hex())`` — ``float.hex()`` so the timings survive any
+    serialization loss-free.  This is the unit of work behind the
+    golden-trace bit-identity tests (per-message equality across execution
+    backends, not just equality of means); being a library function, it is
+    importable by socket/SSH worker daemons that cannot unpickle
+    test-module closures.
+    """
+    simulator = MultiClusterSimulator(system, config, destination_policy)
+    simulator.run()
+    return [
+        (m.ident, m.created_at.hex(), m.completed_at.hex()) for m in simulator.sink.messages
+    ]
 
 
 def aggregate_replications(results: Sequence[SimulationResult]) -> ReplicatedResult:

@@ -216,36 +216,54 @@ class MultiClusterSimulator:
     # -- processes ---------------------------------------------------------------------
 
     def _processor(self, cluster_idx: int, proc_idx: int) -> Generator[Event, None, None]:
-        """Closed-loop processor: think, send one request, wait for the reply."""
+        """Closed-loop processor: think, send one request, wait for the reply.
+
+        This loop is the simulator's hot path: arrivals come from a batched
+        exponential stream, destinations from the policy's batched chooser
+        (both bit-identical to the per-call draws), and the service-centre
+        hops are single-yield ``begin`` events rather than ``yield from``
+        delegation through sub-generators.
+        """
         cluster = self.system.clusters[cluster_idx]
         rate = cluster.processor_type.scaled_rate(self.config.generation_rate)
         arrival_rng = self._streams.stream(f"arrivals-{cluster_idx}-{proc_idx}")
         dest_rng = self._streams.stream(f"destination-{cluster_idx}-{proc_idx}")
         source = (cluster_idx, proc_idx)
 
+        next_interarrival = arrival_rng.exponential_rate_stream(rate)
+        choose = self.destination_policy.chooser(source, dest_rng)
+        env = self.env
+        timeout = env.timeout
+        icn1_begin = self.icn1[cluster_idx].begin
+        ecn1_begin = self.ecn1[cluster_idx].begin
+        icn2_begin = self.icn2.begin
+        ecn1 = self.ecn1
+        message_bytes = self.config.message_bytes
+        record = self.sink.record
+
         while True:
-            yield self.env.timeout(arrival_rng.exponential_rate(rate))
-            destination = self.destination_policy.choose(source, dest_rng)
+            yield timeout(next_interarrival())
+            destination = choose()
             message = Message(
                 ident=self._message_counter,
                 source=source,
                 destination=destination,
-                size_bytes=self.config.message_bytes,
-                created_at=self.env.now,
+                size_bytes=message_bytes,
+                created_at=env._now,
             )
             self._message_counter += 1
 
             if destination[0] == cluster_idx:
                 # Intra-cluster: a single pass through the cluster's ICN1.
-                yield from self.icn1[cluster_idx].serve(message)
+                yield icn1_begin(message)
             else:
                 # Inter-cluster: source ECN1 -> ICN2 -> destination ECN1.
-                yield from self.ecn1[cluster_idx].serve(message)
-                yield from self.icn2.serve(message)
-                yield from self.ecn1[destination[0]].serve(message)
+                yield ecn1_begin(message)
+                yield icn2_begin(message)
+                yield ecn1[destination[0]].begin(message)
 
-            message.completed_at = self.env.now
-            self.sink.record(message)
+            message.completed_at = env._now
+            record(message)
 
     # -- running -----------------------------------------------------------------------
 

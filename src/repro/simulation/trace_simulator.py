@@ -192,11 +192,11 @@ class TraceDrivenSimulator:
         src_cluster = entry.source[0]
         dst_cluster = entry.destination[0]
         if src_cluster == dst_cluster:
-            yield from self.icn1[src_cluster].serve(message)
+            yield self.icn1[src_cluster].begin(message)
         else:
-            yield from self.ecn1[src_cluster].serve(message)
-            yield from self.icn2.serve(message)
-            yield from self.ecn1[dst_cluster].serve(message)
+            yield self.ecn1[src_cluster].begin(message)
+            yield self.icn2.begin(message)
+            yield self.ecn1[dst_cluster].begin(message)
         message.completed_at = self.env.now
         self._latencies.append(message.latency)
         self._remote += int(message.is_remote)

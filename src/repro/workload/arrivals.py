@@ -8,9 +8,9 @@ that assumption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
-from ..des.rng import VariateGenerator
+from ..des.rng import DEFAULT_BLOCK_SIZE, VariateGenerator
 from ..errors import ConfigurationError
 
 __all__ = ["ArrivalProcess", "PoissonArrivals", "DeterministicArrivals", "MMPPArrivals"]
@@ -25,6 +25,18 @@ class ArrivalProcess:
     def interarrival(self, rng: VariateGenerator) -> float:
         """Draw the next inter-arrival time."""
         raise NotImplementedError
+
+    def sampler(
+        self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Callable[[], float]:
+        """Return a zero-argument callable drawing successive inter-arrivals.
+
+        The base implementation falls back to :meth:`interarrival` per
+        call; memoryless processes override it with a batched stream that
+        reproduces the scalar draw sequence bit-for-bit.  A batched
+        sampler reads ahead on ``rng`` and must be its only consumer.
+        """
+        return lambda: self.interarrival(rng)
 
     def mean_interarrival(self) -> float:
         """Mean inter-arrival time ``1/rate``."""
@@ -46,6 +58,11 @@ class PoissonArrivals(ArrivalProcess):
     def interarrival(self, rng: VariateGenerator) -> float:
         return rng.exponential_rate(self.rate)
 
+    def sampler(
+        self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Callable[[], float]:
+        return rng.exponential_rate_stream(self.rate, block_size)
+
 
 @dataclass
 class DeterministicArrivals(ArrivalProcess):
@@ -59,6 +76,12 @@ class DeterministicArrivals(ArrivalProcess):
 
     def interarrival(self, rng: VariateGenerator) -> float:
         return 1.0 / self.rate
+
+    def sampler(
+        self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Callable[[], float]:
+        interval = 1.0 / self.rate
+        return lambda: interval
 
 
 @dataclass

@@ -10,9 +10,9 @@ that remark be tested quantitatively (ablation ``traffic_locality``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..des.rng import VariateGenerator
+from ..des.rng import DEFAULT_BLOCK_SIZE, VariateGenerator
 from ..errors import ConfigurationError
 
 __all__ = [
@@ -42,7 +42,29 @@ class DestinationPolicy:
         """Pick a destination different from ``source``."""
         raise NotImplementedError
 
+    def chooser(
+        self, source: NodeAddress, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Callable[[], NodeAddress]:
+        """Return a zero-argument callable drawing successive destinations.
+
+        The base implementation falls back to one :meth:`choose` call per
+        invocation; policies whose draw pattern allows it (a single fixed
+        draw family per stream) override this with a batched variant that
+        reproduces the scalar sequence bit-for-bit.  A batched chooser
+        reads ahead on ``rng``, so it must be the stream's only consumer.
+        """
+        return lambda: self.choose(source, rng)
+
     # -- helpers ---------------------------------------------------------------------
+
+    @property
+    def _address_table(self) -> List[NodeAddress]:
+        """Flat index -> (cluster, processor) lookup table (built lazily)."""
+        table = self.__dict__.get("_address_table_cache")
+        if table is None:
+            table = [self._unflatten(i) for i in range(self.total_nodes)]
+            self.__dict__["_address_table_cache"] = table
+        return table
 
     def _uniform_other_node(self, source: NodeAddress, rng: VariateGenerator) -> NodeAddress:
         """Uniform choice over all nodes except ``source`` (flat index trick)."""
@@ -106,6 +128,28 @@ class UniformDestinations(DestinationPolicy):
 
     def choose(self, source: NodeAddress, rng: VariateGenerator) -> NodeAddress:
         return self._uniform_other_node(source, rng)
+
+    def chooser(
+        self, source: NodeAddress, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Callable[[], NodeAddress]:
+        """Batched uniform chooser: one fixed-bounds integer draw per call.
+
+        Draws the same ``integer(0, total_nodes - 2)`` sequence as
+        :meth:`choose` (bit-identical) but in blocks, and resolves flat
+        indices through a precomputed address table instead of a per-call
+        scan over the cluster sizes.
+        """
+        src_flat = self._flatten(source)
+        pick_stream = rng.integer_stream(0, self.total_nodes - 2, block_size)
+        table = self._address_table
+
+        def choose() -> NodeAddress:
+            pick = pick_stream()
+            if pick >= src_flat:
+                pick += 1
+            return table[pick]
+
+        return choose
 
 
 class LocalizedDestinations(DestinationPolicy):

@@ -198,3 +198,102 @@ class TestConditions:
         bad.fail(RuntimeError("child failed"))
         env.run()
         assert captured == ["child failed"]
+
+
+class TestAbsoluteTimeout:
+    def test_fires_at_exact_absolute_time(self, env):
+        log = []
+
+        def proc(env):
+            yield env.timeout(1.5)
+            yield env.timeout_at(4.25)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [4.25]
+
+    def test_scheduling_in_the_past_rejected(self, env):
+        env.timeout(1.0)
+        env.run()
+        with pytest.raises(ValueError):
+            env.timeout_at(0.5)
+
+    def test_exposes_target_time_and_value(self, env):
+        event = env.timeout_at(3.0, value="done")
+        assert event.at == 3.0
+        env.run()
+        assert event.value == "done"
+
+    def test_same_time_as_now_allowed(self, env):
+        event = env.timeout_at(0.0)
+        env.run()
+        assert event.processed
+
+    def test_orders_with_timeouts_at_same_time(self, env):
+        order = []
+
+        def a(env):
+            yield env.timeout(2.0)
+            order.append("relative")
+
+        def b(env):
+            yield env.timeout_at(2.0)
+            order.append("absolute")
+
+        env.process(a(env))
+        env.process(b(env))
+        env.run()
+        # Same time, same NORMAL priority: creation order breaks the tie.
+        assert order == ["relative", "absolute"]
+
+
+class TestEventSlots:
+    """The event classes must not carry a per-instance ``__dict__``.
+
+    ``Timeout.__slots__`` is only effective because every class on its MRO
+    (``Event`` included) declares ``__slots__``; a single slot-less base
+    would silently re-introduce a dict on each of the millions of events a
+    simulation allocates.
+    """
+
+    def test_timeout_has_no_dict(self, env):
+        assert not hasattr(env.timeout(1.0), "__dict__")
+
+    def test_event_family_has_no_dict(self, env):
+        from repro.des.events import AbsoluteTimeout, AllOf, AnyOf, Initialize
+
+        assert not hasattr(env.event(), "__dict__")
+        assert not hasattr(env.timeout_at(1.0), "__dict__")
+        assert not hasattr(env.all_of([]), "__dict__")
+        assert not hasattr(env.any_of([]), "__dict__")
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        process = env.process(proc(env))
+        assert not hasattr(process, "__dict__")
+        # Initialize is created internally by Process; build one directly.
+        assert not hasattr(Initialize(env, process), "__dict__")
+
+    def test_resource_and_store_events_have_no_dict(self, env):
+        from repro.des.resources import PriorityResource, Resource
+        from repro.des.store import Container, Store
+
+        resource = Resource(env)
+        request = resource.request()
+        assert not hasattr(request, "__dict__")
+        assert not hasattr(resource.release(request), "__dict__")
+        priority_resource = PriorityResource(env)
+        assert not hasattr(priority_resource.request(priority=1), "__dict__")
+        store = Store(env)
+        assert not hasattr(store.put("item"), "__dict__")
+        assert not hasattr(store.get(), "__dict__")
+        container = Container(env, capacity=10.0)
+        assert not hasattr(container.put(1.0), "__dict__")
+        assert not hasattr(container.get(1.0), "__dict__")
+
+    def test_message_has_no_dict(self):
+        from repro.simulation.message import Message
+
+        assert not hasattr(Message(0, (0, 0), (0, 1), 1024.0, 0.0), "__dict__")

@@ -124,3 +124,79 @@ class TestTracer:
         tracer.log(0.0, "x", "y")
         tracer.clear()
         assert len(tracer) == 0
+
+
+class TestMonitorExtendFastPaths:
+    """The single-pass / zero-copy ``extend`` added by the PR-4 perf work."""
+
+    def test_extend_accepts_ndarrays(self):
+        import numpy as np
+
+        mon = Monitor()
+        mon.extend(np.arange(4, dtype=float), np.array([1.0, 2.0, 3.0, 4.0]))
+        assert mon.count == 4
+        assert list(mon.values) == [1.0, 2.0, 3.0, 4.0]
+        assert list(mon.times) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_extend_ndarray_length_mismatch_leaves_monitor_untouched(self):
+        import numpy as np
+
+        mon = Monitor()
+        mon.record(0.0, 9.0)
+        with pytest.raises(ValueError):
+            mon.extend(np.zeros(3), np.zeros(2))
+        assert mon.count == 1
+        assert list(mon.values) == [9.0]
+
+    def test_extend_generator_consumed_single_pass(self):
+        mon = Monitor()
+        consumed = []
+
+        def times():
+            for t in (0.0, 1.0, 2.0):
+                consumed.append(t)
+                yield t
+
+        mon.extend(times(), iter([5.0, 6.0, 7.0]))
+        assert consumed == [0.0, 1.0, 2.0]
+        assert list(mon.values) == [5.0, 6.0, 7.0]
+
+    def test_extend_generator_length_mismatch_rejected(self):
+        mon = Monitor()
+        with pytest.raises(ValueError):
+            mon.extend(iter([0.0, 1.0]), iter([5.0]))
+        assert mon.count == 0
+
+    def test_extend_rejects_multidimensional_arrays(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            Monitor().extend(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_extend_casts_integer_arrays(self):
+        import numpy as np
+
+        mon = Monitor()
+        mon.extend(np.arange(3), np.array([1, 2, 3]))
+        assert list(mon.values) == [1.0, 2.0, 3.0]
+
+    def test_values_snapshot_is_independent(self):
+        mon = Monitor()
+        mon.record(0.0, 1.0)
+        snapshot = mon.values
+        snapshot[0] = 99.0
+        assert mon.mean() == 1.0
+
+    def test_record_after_reading_stats(self):
+        # Stats use transient zero-copy views of the buffer; they must not
+        # keep the buffer exported (which would block further appends).
+        mon = Monitor()
+        mon.record(0.0, 1.0)
+        assert mon.mean() == 1.0
+        assert mon.values is not None
+        mon.record(1.0, 3.0)
+        assert mon.mean() == 2.0
+
+    def test_monitor_has_no_dict(self):
+        assert not hasattr(Monitor(), "__dict__")
+        assert not hasattr(TimeWeightedMonitor(), "__dict__")

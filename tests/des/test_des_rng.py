@@ -128,3 +128,143 @@ class TestVariateGenerator:
         with pytest.raises(ValueError):
             gen.lognormal(0.0, -1.0)
         assert gen.lognormal(0.0, 0.5) > 0
+
+
+class TestVariateStreams:
+    """Batched streams must reproduce the scalar draw sequence bit-for-bit."""
+
+    def _pair(self, name: str = "s"):
+        return RandomStreams(seed=42).stream(name), RandomStreams(seed=42).stream(name)
+
+    def test_exponential_stream_matches_scalar_sequence(self):
+        scalar, batched = self._pair()
+        stream = batched.exponential_stream(2.5, block_size=16)
+        assert [stream() for _ in range(50)] == [scalar.exponential(2.5) for _ in range(50)]
+
+    def test_exponential_rate_stream_matches_scalar_sequence(self):
+        scalar, batched = self._pair()
+        stream = batched.exponential_rate_stream(0.25, block_size=8)
+        assert [stream() for _ in range(30)] == [
+            scalar.exponential_rate(0.25) for _ in range(30)
+        ]
+
+    def test_integer_stream_matches_scalar_sequence(self):
+        scalar, batched = self._pair()
+        stream = batched.integer_stream(0, 30, block_size=8)
+        assert [stream() for _ in range(40)] == [scalar.integer(0, 30) for _ in range(40)]
+
+    def test_uniform_stream_matches_scalar_sequence(self):
+        scalar, batched = self._pair()
+        stream = batched.uniform_stream(1.0, 3.0, block_size=4)
+        assert [stream() for _ in range(20)] == [scalar.uniform(1.0, 3.0) for _ in range(20)]
+
+    def test_erlang_stream_matches_scalar_sequence(self):
+        scalar, batched = self._pair()
+        stream = batched.erlang_stream(3, 2.0, block_size=4)
+        assert [stream() for _ in range(20)] == [scalar.erlang(3, 2.0) for _ in range(20)]
+
+    def test_sequence_independent_of_block_size(self):
+        draws = {}
+        for block in (1, 2, 7, 64, 1024):
+            gen = RandomStreams(seed=7).stream("x")
+            stream = gen.exponential_stream(1.0, block_size=block)
+            draws[block] = [stream() for _ in range(25)]
+        assert len({tuple(v) for v in draws.values()}) == 1
+
+    def test_geometric_block_growth(self):
+        from repro.des.rng import VariateStream
+
+        sizes = []
+
+        def draw(n):
+            sizes.append(n)
+            return [0.0] * n
+
+        stream = VariateStream(draw, block_size=512)
+        for _ in range(64 + 128 + 256 + 1):
+            stream()
+        assert sizes == [64, 128, 256, 512]
+
+    def test_stream_returns_python_scalars(self):
+        gen = RandomStreams(seed=1).stream("x")
+        assert type(gen.exponential_stream(1.0)()) is float
+        assert type(gen.integer_stream(0, 5)()) is int
+
+    def test_remaining_counts_down(self):
+        gen = RandomStreams(seed=1).stream("x")
+        stream = gen.uniform_stream(block_size=4)
+        assert stream.remaining == 0  # lazy: nothing drawn yet
+        stream()
+        assert stream.remaining == 3
+
+    def test_parameter_validation(self):
+        gen = RandomStreams(seed=1).stream("x")
+        with pytest.raises(ValueError):
+            gen.exponential_stream(0.0)
+        with pytest.raises(ValueError):
+            gen.exponential_rate_stream(-1.0)
+        with pytest.raises(ValueError):
+            gen.integer_stream(5, 4)
+        with pytest.raises(ValueError):
+            gen.uniform_stream(2.0, 1.0)
+        with pytest.raises(ValueError):
+            gen.erlang_stream(0, 1.0)
+        with pytest.raises(ValueError):
+            gen.exponential_stream(1.0, block_size=0)
+
+    def test_generator_has_no_dict(self):
+        gen = RandomStreams(seed=1).stream("x")
+        assert not hasattr(gen, "__dict__")
+        assert not hasattr(gen.exponential_stream(1.0), "__dict__")
+
+
+class TestBatchedSamplersAndChoosers:
+    """The batched plumbing through distributions, arrivals, destinations."""
+
+    def test_exponential_distribution_sampler_matches_sample(self):
+        from repro.queueing.distributions import Exponential
+
+        dist = Exponential(0.125)
+        scalar = RandomStreams(seed=9).stream("svc")
+        batched = RandomStreams(seed=9).stream("svc")
+        sampler = dist.sampler(batched)
+        assert [sampler() for _ in range(40)] == [dist.sample(scalar) for _ in range(40)]
+
+    def test_deterministic_distribution_sampler_is_constant(self):
+        from repro.queueing.distributions import Deterministic
+
+        sampler = Deterministic(2.5).sampler(RandomStreams(seed=9).stream("svc"))
+        assert [sampler() for _ in range(3)] == [2.5, 2.5, 2.5]
+
+    def test_poisson_arrivals_sampler_matches_interarrival(self):
+        from repro.workload.arrivals import PoissonArrivals
+
+        process = PoissonArrivals(rate=0.25)
+        scalar = RandomStreams(seed=4).stream("arr")
+        batched = RandomStreams(seed=4).stream("arr")
+        sampler = process.sampler(batched)
+        assert [sampler() for _ in range(30)] == [
+            process.interarrival(scalar) for _ in range(30)
+        ]
+
+    def test_uniform_destinations_chooser_matches_choose(self):
+        from repro.workload.destinations import UniformDestinations
+
+        policy = UniformDestinations([4, 4, 4])
+        scalar = RandomStreams(seed=6).stream("dest")
+        batched = RandomStreams(seed=6).stream("dest")
+        chooser = policy.chooser((1, 2), batched)
+        assert [chooser() for _ in range(60)] == [
+            policy.choose((1, 2), scalar) for _ in range(60)
+        ]
+
+    def test_localized_destinations_chooser_falls_back_to_scalar(self):
+        from repro.workload.destinations import LocalizedDestinations
+
+        policy = LocalizedDestinations([4, 4], locality=0.5)
+        scalar = RandomStreams(seed=6).stream("dest")
+        batched = RandomStreams(seed=6).stream("dest")
+        chooser = policy.chooser((0, 1), batched)
+        assert [chooser() for _ in range(40)] == [
+            policy.choose((0, 1), scalar) for _ in range(40)
+        ]

@@ -1,0 +1,178 @@
+"""Golden-trace regression tests for the optimized simulation layer.
+
+``golden_trace.json`` was captured from the simulator *before* the PR-4
+performance work (virtual FIFO service centres, batched variate streams,
+slotted events, array-backed monitors) landed.  Every float in the fixture
+is a ``float.hex()`` string, and every comparison here is exact equality:
+the optimizations must reproduce the original per-message timings — not
+just the means — bit for bit, for every seed, on every execution backend.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.presets import paper_evaluation_system
+from repro.des.rng import RandomStreams
+from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
+from repro.parallel import SweepEngine, SweepTask
+from repro.parallel.backends import ProcessPoolBackend, SerialBackend, SocketBackend
+from repro.simulation.runner import run_message_trace_task
+from repro.simulation.simulator import MultiClusterSimulator, SimulationConfig
+from repro.simulation.trace_simulator import TraceDrivenSimulator, TraceSimulationConfig
+from repro.workload.destinations import LocalizedDestinations
+from repro.workload.messages import generate_trace
+
+FIXTURE = Path(__file__).parent / "golden_trace.json"
+
+#: Generous handshake budget for the 1-CPU CI box (workers import numpy).
+ACCEPT_TIMEOUT = 60.0
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with FIXTURE.open() as handle:
+        return json.load(handle)
+
+
+def _system():
+    return paper_evaluation_system(2, GIGABIT_ETHERNET, FAST_ETHERNET, total_processors=8)
+
+
+def _assert_simulation_matches(golden_case: dict, system, config, policy=None) -> None:
+    sim = MultiClusterSimulator(system, config, policy)
+    result = sim.run()
+    assert result.mean_latency_s.hex() == golden_case["mean_latency_s"]
+    assert result.simulated_time_s.hex() == golden_case["simulated_time_s"]
+    assert result.measured_messages == golden_case["measured"]
+    assert result.completed_messages == golden_case["completed"]
+    assert result.remote_fraction.hex() == golden_case["remote_fraction"]
+    for name, value in result.utilizations.items():
+        assert value.hex() == golden_case["utilizations"][name], name
+    for name, value in result.mean_occupancies.items():
+        assert value.hex() == golden_case["occupancies"][name], name
+    assert len(sim.sink.messages) == len(golden_case["messages"])
+    for message, expected in zip(sim.sink.messages, golden_case["messages"]):
+        assert message.ident == expected["ident"]
+        assert list(message.source) == expected["src"]
+        assert list(message.destination) == expected["dst"]
+        assert message.created_at.hex() == expected["created"]
+        assert message.completed_at.hex() == expected["completed"]
+        assert message.path == expected["path"]
+
+
+class TestGoldenMultiClusterSimulator:
+    def test_nonblocking_exponential(self, golden):
+        _assert_simulation_matches(
+            golden["multicluster_nonblocking_exponential"],
+            _system(),
+            SimulationConfig(num_messages=250, seed=1234),
+        )
+
+    def test_blocking_deterministic_service(self, golden):
+        """Deterministic service produces heavy event-time ties — the case
+        most likely to expose event-ordering drift in a rewritten hot path."""
+        _assert_simulation_matches(
+            golden["multicluster_blocking_deterministic"],
+            _system(),
+            SimulationConfig(
+                architecture="blocking", exponential_service=False, num_messages=200, seed=77
+            ),
+        )
+
+    def test_localized_policy_scalar_fallback(self, golden):
+        """Localized policies interleave bernoulli and integer draws on one
+        stream, so they must take the scalar (non-batched) chooser path."""
+        _assert_simulation_matches(
+            golden["multicluster_localized_policy"],
+            _system(),
+            SimulationConfig(num_messages=150, seed=5),
+            LocalizedDestinations([4, 4], locality=0.5),
+        )
+
+
+class TestGoldenTraceDrivenSimulator:
+    def test_trace_replay(self, golden):
+        expected = golden["trace_driven"]
+        trace = generate_trace([4, 4], num_messages=200, seed=42)
+        sim = TraceDrivenSimulator(_system(), trace, TraceSimulationConfig(seed=7))
+        result = sim.run()
+        assert result.mean_latency_s.hex() == expected["mean_latency_s"]
+        assert result.makespan_s.hex() == expected["makespan_s"]
+        assert result.completed_messages == expected["completed"]
+        assert result.remote_fraction.hex() == expected["remote_fraction"]
+        for name, value in result.utilizations.items():
+            assert value.hex() == expected["utilizations"][name], name
+        assert [x.hex() for x in sim._latencies] == expected["latencies"]
+
+
+class TestGoldenRandomStreams:
+    """The batched-RNG determinism guarantee, pinned draw by draw."""
+
+    def test_draw_sequences(self, golden):
+        expected = golden["random_streams"]
+        streams = RandomStreams(seed=9)
+        assert [
+            streams.stream("arrivals-0-0").exponential_rate(0.25).hex() for _ in range(12)
+        ] == expected["exponential_rate_0.25"]
+        assert [
+            streams.stream("service-icn2").exponential(0.001).hex() for _ in range(12)
+        ] == expected["exponential_0.001"]
+        assert [
+            streams.stream("destination-0-0").integer(0, 6) for _ in range(16)
+        ] == expected["integer_0_6"]
+        assert [
+            streams.stream("u").uniform(0.0, 1.0).hex() for _ in range(8)
+        ] == expected["uniform_0_1"]
+        assert [
+            streams.stream("b").bernoulli(0.3) for _ in range(12)
+        ] == expected["bernoulli_0.3"]
+        assert [
+            streams.stream("e").erlang(3, 2.0).hex() for _ in range(8)
+        ] == expected["erlang_3_2.0"]
+
+    def test_batched_streams_reproduce_pinned_sequences(self, golden):
+        """The same pinned sequences, served through the batched streams."""
+        expected = golden["random_streams"]
+        streams = RandomStreams(seed=9)
+        arrivals = streams.stream("arrivals-0-0").exponential_rate_stream(0.25)
+        assert [arrivals().hex() for _ in range(12)] == expected["exponential_rate_0.25"]
+        service = streams.stream("service-icn2").exponential_stream(0.001)
+        assert [service().hex() for _ in range(12)] == expected["exponential_0.001"]
+        destination = streams.stream("destination-0-0").integer_stream(0, 6)
+        assert [destination() for _ in range(16)] == expected["integer_0_6"]
+        uniform = streams.stream("u").uniform_stream(0.0, 1.0)
+        assert [uniform().hex() for _ in range(8)] == expected["uniform_0_1"]
+        erlang = streams.stream("e").erlang_stream(3, 2.0)
+        assert [erlang().hex() for _ in range(8)] == expected["erlang_3_2.0"]
+
+
+class TestGoldenAcrossBackends:
+    """Per-message latencies are identical on every execution backend."""
+
+    def test_serial_pool_socket_reproduce_golden(self, golden):
+        expected = [
+            (m["ident"], m["created"], m["completed"])
+            for m in golden["multicluster_nonblocking_exponential"]["messages"]
+        ]
+        # A library-level task (not a test closure) so socket worker
+        # daemons — fresh processes — can import and unpickle it.
+        tasks = [
+            SweepTask(
+                fn=run_message_trace_task,
+                args=(_system(), SimulationConfig(num_messages=250, seed=1234)),
+            )
+        ]
+        engines = {
+            "serial": SweepEngine(backend=SerialBackend()),
+            "pool": SweepEngine(backend=ProcessPoolBackend(jobs=2)),
+            "socket": SweepEngine(
+                backend=SocketBackend(spawn_workers=1, accept_timeout=ACCEPT_TIMEOUT)
+            ),
+        }
+        for name, engine in engines.items():
+            (per_message,) = engine.run(tasks)
+            assert per_message == expected, f"{name} backend diverged from the golden trace"
