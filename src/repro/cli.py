@@ -10,6 +10,12 @@ Usage examples::
     python -m repro ablation switch-ports    # one of the ablation studies
     python -m repro info                     # paper parameters and scenarios
 
+    # the open scenario registry and the declarative pipeline
+    python -m repro scenarios                # list every registered scenario
+    python -m repro run hotspot --clusters 4 --sizes 512 --messages 1000
+    python -m repro run SPEC.json            # run a JSON experiment spec
+    python -m repro run bursty-hyper --smoke # the scenario's tiny CI smoke spec
+
     # explicit execution backend: serial, local process pool, or TCP work queue
     python -m repro figure 6 --simulate --backend pool --jobs 4
     python -m repro figure 6 --simulate --backend socket --workers 4
@@ -48,9 +54,11 @@ import shlex
 import sys
 from typing import List, Optional, Sequence
 
+from dataclasses import replace as dataclass_replace
+
 from . import __version__
 from .core.model import AnalyticalModel, ModelConfig
-from .errors import CheckpointError
+from .errors import CheckpointError, ConfigurationError, ExperimentError
 from .experiments.ablations import (
     fixed_point_vs_exact_mva,
     sweep_generation_rate,
@@ -60,12 +68,20 @@ from .experiments.ablations import (
 )
 from .experiments.blocking_ratio import run_blocking_ratio_study
 from .experiments.figures import FIGURE_SPECS, run_figure
+from .experiments.pipeline import (
+    ExperimentRunner,
+    ExperimentSpec,
+    build_plan,
+    smoke_spec,
+)
 from .experiments.scenarios import (
     CASE_1,
     CASE_2,
     PAPER_PARAMETERS,
+    SCENARIO_REGISTRY,
     SCENARIOS,
     build_scenario_system,
+    get_scenario,
 )
 from .parallel import (
     BACKEND_NAMES,
@@ -166,6 +182,27 @@ def build_journal(args: argparse.Namespace) -> Optional[SweepJournal]:
         raise SystemExit(f"could not open sweep journal {path!r}: {exc}")
 
 
+def check_idle_journal(engine: SweepEngine) -> None:
+    """Reject a foreign ``--resume`` journal on a command that ran no sweeps.
+
+    Closed-form commands (``ratio``, the analysis ablations, analysis-only
+    ``figure``/``report``/``run``) evaluate in-process vectorized passes and
+    start no engine runs, so the engine's fingerprint check never sees the
+    journal.  Resuming a journal that *does* record sweep runs with such a
+    command would silently succeed while matching nothing — raise the same
+    :class:`CheckpointError` the fingerprint check would have.
+    """
+    journal = getattr(engine, "journal", None)
+    if journal is not None and journal.runs_started == 0 and journal.recorded_runs > 0:
+        raise CheckpointError(
+            f"journal {journal.path!r} records {journal.recorded_runs} sweep "
+            "run(s), but this command executed its sweeps as in-process "
+            "vectorized passes and journaled nothing — the journal belongs "
+            "to a different campaign (resume it with the command that "
+            "created it)"
+        )
+
+
 def build_engine(args: argparse.Namespace, progress=None) -> SweepEngine:
     """Construct the :class:`SweepEngine` selected by the parsed CLI flags."""
     backend = getattr(args, "backend", None)
@@ -250,6 +287,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the cluster-count sweep")
     add_backend_flags(rep)
 
+    runp = sub.add_parser(
+        "run", help="run a declarative experiment spec (SPEC.json) or a registered scenario"
+    )
+    runp.add_argument(
+        "spec", metavar="SPEC",
+        help="path to a SPEC.json experiment spec, or the name of a "
+             "registered scenario (see 'repro scenarios')",
+    )
+    runp.add_argument("--mode", choices=["analysis", "simulate", "both"], default=None,
+                      help="override the spec's mode")
+    runp.add_argument("--clusters", type=int, nargs="*", default=None,
+                      help="override the cluster-count axis")
+    runp.add_argument("--sizes", type=int, nargs="*", default=None,
+                      help="override the message-size axis (bytes)")
+    runp.add_argument("--rates", type=float, nargs="*", default=None,
+                      help="override the generation-rate axis (msg/s)")
+    runp.add_argument("--messages", type=int, default=None,
+                      help="override the simulated messages per point")
+    runp.add_argument("--replications", type=int, default=None,
+                      help="override the simulation replications per point")
+    runp.add_argument("--seed", type=int, default=None, help="override the campaign seed")
+    runp.add_argument("--smoke", action="store_true",
+                      help="use the scenario's tiny smoke spec (scenario-name form only)")
+    runp.add_argument("--csv", type=str, default=None, help="write the points to a CSV file")
+    add_backend_flags(runp)
+
+    scen = sub.add_parser("scenarios", help="list the registered experiment scenarios")
+    scen.add_argument("--names", action="store_true",
+                      help="print one scenario name per line (for shell loops)")
+    scen.add_argument("--json", action="store_true", help="machine-readable JSON listing")
+    scen.add_argument(
+        "--write-smoke-specs", type=str, default=None, metavar="DIR",
+        help="write each scenario's tiny smoke spec as DIR/<name>.json "
+             "(the CI scenario matrix feeds these to 'repro run')",
+    )
+
     point = sub.add_parser("analyze", help="evaluate the analytical model at one point")
     point.add_argument("--case", choices=sorted(SCENARIOS), default="case-1")
     point.add_argument("--clusters", type=int, default=16)
@@ -277,6 +350,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         replications=args.replications,
         engine=engine,
     )
+    check_idle_journal(engine)
     print(result.spec.title)
     print()
     print(result.to_text_table())
@@ -294,7 +368,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_ratio(args: argparse.Namespace) -> int:
-    study = run_blocking_ratio_study(engine=build_engine(args))
+    engine = build_engine(args)
+    study = run_blocking_ratio_study(engine=engine)
+    check_idle_journal(engine)
     print("Blocking vs non-blocking mean latency ratio (paper section 6 claim)")
     print()
     print(format_fixed_width_table(study.to_rows()))
@@ -345,26 +421,12 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         "message-size": sweep_message_size,
         "fixed-point-vs-mva": fixed_point_vs_exact_mva,
     }
-    if args.study == "fixed-point-vs-mva":
-        # This study is a single closed-form comparison, not a sweep:
-        # silently dropping the user's backend selection would make them
-        # believe the run happened on their chosen substrate.
-        if (
-            args.jobs != 1
-            or args.backend is not None
-            or args.workers is not None
-            or args.checkpoint is not None
-            or args.resume is not None
-        ):
-            raise SystemExit(
-                "ablation 'fixed-point-vs-mva' is a single closed-form "
-                "comparison; --jobs/--backend/--workers/--checkpoint/--resume "
-                "do not apply"
-            )
-        kwargs = {}
-    else:
-        kwargs = {"engine": build_engine(args)}
-    study = studies[args.study](**kwargs)
+    # Every ablation flows through the pipeline's ExperimentRunner, so the
+    # full --jobs/--backend/--checkpoint policy applies uniformly (the
+    # fixed-point-vs-MVA comparison used to reject backend flags outright).
+    engine = build_engine(args)
+    study = studies[args.study](engine=engine)
+    check_idle_journal(engine)
     print(study.name)
     print()
     print(format_fixed_width_table(study.to_rows()))
@@ -374,17 +436,145 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import generate_report
 
+    engine = build_engine(args, progress=stderr_progress if args.simulate else None)
     report = generate_report(
         include_simulation=args.simulate,
         cluster_counts=args.clusters,
         simulation_messages=args.messages,
-        engine=build_engine(args, progress=stderr_progress if args.simulate else None),
+        engine=engine,
     )
+    check_idle_journal(engine)
     if args.output:
         report.write(args.output)
         print(f"Wrote reproduction report to {args.output}")
     else:
         print(report.to_markdown())
+    return 0
+
+
+def _load_run_spec(args: argparse.Namespace) -> ExperimentSpec:
+    """Resolve the ``repro run`` SPEC argument into an :class:`ExperimentSpec`."""
+    target = args.spec
+    if os.path.exists(target):
+        if args.smoke:
+            raise SystemExit(
+                "--smoke applies to scenario names only; edit the spec file instead"
+            )
+        spec = ExperimentSpec.from_file(target)
+    elif target in SCENARIO_REGISTRY:
+        scenario = get_scenario(target)
+        if args.smoke:
+            spec = smoke_spec(scenario)
+        else:
+            spec = ExperimentSpec(
+                scenario=scenario.name,
+                mode="both" if scenario.supports_analysis else "simulate",
+            )
+    else:
+        raise SystemExit(
+            f"{target!r} is neither a spec file nor a registered scenario; "
+            "'repro scenarios' lists the registered names"
+        )
+    overrides = {}
+    if args.mode is not None:
+        overrides["mode"] = args.mode
+    if args.clusters is not None:
+        overrides["cluster_counts"] = tuple(args.clusters)
+    if args.sizes is not None:
+        overrides["message_sizes"] = tuple(args.sizes)
+    if args.rates is not None:
+        overrides["generation_rates"] = tuple(args.rates)
+    if args.messages is not None:
+        overrides["simulation_messages"] = args.messages
+    if args.replications is not None:
+        overrides["replications"] = args.replications
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return dataclass_replace(spec, **overrides) if overrides else spec
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_run_spec(args)
+    plan = build_plan(spec)
+    engine = build_engine(
+        args, progress=stderr_progress if spec.include_simulation else None
+    )
+    result = ExperimentRunner(engine=engine).run(plan)
+    check_idle_journal(engine)
+    print(plan.scenario.describe())
+    print(
+        f"Architecture: {plan.architecture}, mode: {spec.mode}, "
+        f"seed: {spec.seed}"
+        + (
+            f", {spec.simulation_messages} messages x "
+            f"{spec.replications} replication(s) per point"
+            if spec.include_simulation
+            else ""
+        )
+    )
+    print()
+    print(result.to_text_table())
+    summary = result.accuracy_summary()
+    if summary is not None:
+        print()
+        print(f"Analysis vs simulation: {summary}")
+    if args.csv:
+        write_csv(args.csv, result.to_rows())
+        print(f"\nWrote {len(result.points)} points to {args.csv}")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.write_smoke_specs:
+        os.makedirs(args.write_smoke_specs, exist_ok=True)
+        for name, scenario in SCENARIO_REGISTRY.items():
+            path = os.path.join(args.write_smoke_specs, f"{name}.json")
+            smoke_spec(scenario).to_file(path)
+            print(f"wrote {path}")
+        return 0
+    if args.names:
+        for name in SCENARIO_REGISTRY:
+            print(name)
+        return 0
+    if args.json:
+        import json
+
+        listing = [
+            {
+                "name": scenario.name,
+                "description": scenario.description,
+                "paper": scenario.paper,
+                "supports_analysis": scenario.supports_analysis,
+                "default_architecture": scenario.default_architecture,
+                "custom_destinations": scenario.destination_policy is not None,
+                "custom_arrivals": scenario.arrival_factory is not None,
+            }
+            for scenario in SCENARIO_REGISTRY.values()
+        ]
+        print(json.dumps(listing, indent=2))
+        return 0
+    rows = [
+        {
+            "name": scenario.name,
+            "analysis": "yes" if scenario.supports_analysis else "no",
+            "architecture": scenario.default_architecture,
+            "workload": ", ".join(
+                part
+                for part, present in (
+                    ("destinations", scenario.destination_policy is not None),
+                    ("arrivals", scenario.arrival_factory is not None),
+                )
+                if present
+            )
+            or "paper default",
+            "description": scenario.description,
+        }
+        for scenario in SCENARIO_REGISTRY.values()
+    ]
+    print(format_fixed_width_table(rows))
+    print()
+    print("Run one with: python -m repro run NAME  (or write a SPEC.json; "
+          "see the README's scenario cookbook)")
     return 0
 
 
@@ -433,6 +623,9 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print("Figures:")
     for number, spec in sorted(FIGURE_SPECS.items()):
         print(f"  Figure {number}: {spec.description}")
+    print()
+    print(f"Registered scenarios ({len(SCENARIO_REGISTRY)}; see 'repro scenarios'): "
+          + ", ".join(SCENARIO_REGISTRY))
     return 0
 
 
@@ -446,6 +639,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validate": _cmd_validate,
         "ablation": _cmd_ablation,
         "report": _cmd_report,
+        "run": _cmd_run,
+        "scenarios": _cmd_scenarios,
         "analyze": _cmd_analyze,
         "info": _cmd_info,
     }
@@ -456,6 +651,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # different campaign) deserves its one-line message, not a
         # traceback.
         raise SystemExit(f"checkpoint error: {exc}")
+    except (ExperimentError, ConfigurationError) as exc:
+        # Spec/scenario/configuration mistakes (unknown scenario, invalid
+        # spec JSON, analysis requested for a simulate-only scenario, a
+        # cluster count a preset cannot be rescaled to) are user errors:
+        # one line, no traceback.
+        raise SystemExit(f"error: {exc}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -56,6 +56,12 @@ class GridEvaluation:
     effective_rate: np.ndarray
     outgoing_probability: np.ndarray
     iterations: np.ndarray
+    #: ICN2 utilisation per point (``λ_I2 / µ_I2``, the same division the
+    #: scalar report performs) — used by the offered-load ablation sweep.
+    icn2_utilization: np.ndarray
+    #: ``λ_eff / λ`` per point (1.0 at zero nominal rate, like the scalar
+    #: report's ``throttling_factor`` property).
+    throttling_factor: np.ndarray
     #: Indices that were delegated to the scalar solver (non-converged or
     #: degenerate points); empty for ordinary figure grids.
     scalar_fallback: Tuple[int, ...]
@@ -69,7 +75,9 @@ class GridEvaluation:
         return int(self.mean_latency_s.size)
 
 
-def _scalar_point(system: MultiClusterSystem, config: ModelConfig) -> Tuple[float, float, float, float, int]:
+def _scalar_point(
+    system: MultiClusterSystem, config: ModelConfig
+) -> Tuple[float, float, float, float, int, float, float]:
     """Evaluate one point through the scalar model (fallback path)."""
     report = AnalyticalModel(system, config).evaluate()
     return (
@@ -78,6 +86,8 @@ def _scalar_point(system: MultiClusterSystem, config: ModelConfig) -> Tuple[floa
         report.remote_latency_s,
         report.effective_rate,
         report.fixed_point_iterations,
+        report.utilizations["icn2"],
+        report.throttling_factor,
     )
 
 
@@ -103,7 +113,8 @@ def evaluate_latency_grid(
     if n_points == 0:
         empty = np.empty(0, dtype=np.float64)
         return GridEvaluation(empty, empty.copy(), empty.copy(), empty.copy(),
-                              empty.copy(), np.empty(0, dtype=np.int64), ())
+                              empty.copy(), np.empty(0, dtype=np.int64),
+                              empty.copy(), empty.copy(), ())
 
     # -- assemble per-point inputs (cheap scalar work) ---------------------
     c_arr = np.empty(n_points, dtype=np.float64)
@@ -200,6 +211,9 @@ def evaluate_latency_grid(
     local = w_icn1
     remote = w_icn2 + 2.0 * w_ecn1
     mean = (1.0 - p_arr) * local + p_arr * remote
+    icn2_util = lam_icn2 / mu_icn2
+    with np.errstate(divide="ignore", invalid="ignore"):
+        throttling = np.where(nominal == 0.0, 1.0, current / nominal)
 
     result = GridEvaluation(
         mean_latency_s=mean,
@@ -208,16 +222,22 @@ def evaluate_latency_grid(
         effective_rate=current,
         outgoing_probability=p_arr,
         iterations=iterations,
+        icn2_utilization=icn2_util,
+        throttling_factor=throttling,
         scalar_fallback=tuple(sorted(set(fallback))),
     )
     for idx in result.scalar_fallback:
         system, config = evaluations[idx]
-        mean_s, local_s, remote_s, eff, iters = _scalar_point(system, config)
+        mean_s, local_s, remote_s, eff, iters, util_icn2, throttle = _scalar_point(
+            system, config
+        )
         result.mean_latency_s[idx] = mean_s
         result.local_latency_s[idx] = local_s
         result.remote_latency_s[idx] = remote_s
         result.effective_rate[idx] = eff
         result.iterations[idx] = iters
+        result.icn2_utilization[idx] = util_icn2
+        result.throttling_factor[idx] = throttle
     return result
 
 

@@ -12,23 +12,32 @@ DESIGN.md calls out four modelling decisions worth probing:
 4. **Finite-source correction** (Eq. 7) vs the *exact* closed-network
    solution (MVA): how good the paper's approximation is.
 
-All studies are analysis-only (fast); the service-distribution ablation
-additionally runs the simulator with deterministic service times.
+The closed-form sweeps (1–3) are evaluated through the vectorized
+:func:`~repro.core.vectorized.evaluate_latency_grid` — one NumPy pass for
+the whole sweep, bit-identical to the historical per-row
+:class:`~repro.core.model.AnalyticalModel` evaluations.  The MVA
+comparison (4) and the simulator-based service-distribution ablation run
+as ordinary sweep tasks through the pipeline's
+:class:`~repro.experiments.pipeline.ExperimentRunner`, so *every* ablation
+honours the same ``--jobs``/``--backend``/``--checkpoint`` execution
+policy as the other drivers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.model import AnalyticalModel, ModelConfig
 from ..core.routing import outgoing_probability
 from ..core.service_centers import build_service_centers
+from ..core.vectorized import GridEvaluation, evaluate_latency_grid
 from ..network.switch import SwitchFabric
-from ..parallel import Backend, SweepEngine, SweepJournal, SweepTask, resolve_engine
+from ..parallel import Backend, SweepEngine, SweepJournal, SweepTask
 from ..queueing.mva import MVAStation, mean_value_analysis
 from ..simulation.simulator import MultiClusterSimulator, SimulationConfig
 from ..viz.tables import format_markdown_table
+from .pipeline import ExperimentRunner
 from .scenarios import (
     CASE_1,
     NetworkScenario,
@@ -89,50 +98,33 @@ class AblationStudy:
         return [r.mean_latency_ms for r in self.rows]
 
 
-def _evaluate(
-    scenario: NetworkScenario,
-    num_clusters: int,
-    architecture: str,
-    message_bytes: float,
-    generation_rate: float,
-    parameters: PaperParameters,
-    switch: Optional[SwitchFabric] = None,
-) -> float:
-    params = parameters if switch is None else PaperParameters(
-        total_processors=parameters.total_processors,
-        cluster_counts=parameters.cluster_counts,
-        message_sizes=parameters.message_sizes,
-        generation_rate=parameters.generation_rate,
-        simulation_messages=parameters.simulation_messages,
-        switch=switch,
-    )
-    system = build_scenario_system(scenario, num_clusters, params)
-    report = AnalyticalModel(
-        system,
-        ModelConfig(
-            architecture=architecture,
-            message_bytes=message_bytes,
-            generation_rate=generation_rate,
-        ),
-    ).evaluate()
-    return report.mean_latency_ms
+def _with_switch(parameters: PaperParameters, switch: Optional[SwitchFabric]) -> PaperParameters:
+    """Parameters with the switch fabric swapped (None keeps the original)."""
+    return parameters if switch is None else replace(parameters, switch=switch)
 
 
-def _sweep(
+def _analysis_sweep(
     name: str,
     parameter: str,
-    tasks: Sequence[SweepTask],
     values: Sequence[float],
-    jobs: Optional[int],
-    engine: Optional[SweepEngine] = None,
-    backend: Optional[Union[str, Backend]] = None,
-    checkpoint: Optional[Union[str, SweepJournal]] = None,
+    evaluations: Sequence[Tuple[object, ModelConfig]],
+    extra: Optional[Callable[[GridEvaluation, int], Dict[str, float]]] = None,
 ) -> AblationStudy:
-    """Run the per-value evaluation tasks through the sweep engine."""
-    latencies = resolve_engine(jobs, engine, backend, checkpoint=checkpoint).run(tasks)
+    """Evaluate a closed-form sweep in one vectorized grid pass.
+
+    Bit-identical to evaluating each row with a scalar
+    :class:`AnalyticalModel` (the grid's per-point contract), so this
+    preserves the results of the historical per-row sweep tasks exactly.
+    """
+    grid = evaluate_latency_grid(evaluations)
     rows = [
-        AblationRow(parameter, float(value), latency, {})
-        for value, latency in zip(values, latencies)
+        AblationRow(
+            parameter,
+            float(value),
+            float(grid.mean_latency_ms[i]),
+            extra(grid, i) if extra is not None else {},
+        )
+        for i, value in enumerate(values)
     ]
     return AblationStudy(name, rows)
 
@@ -149,19 +141,31 @@ def sweep_switch_ports(
     backend: Optional[Union[str, Backend]] = None,
     checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> AblationStudy:
-    """Ablation 1: how the switch port count Pr shapes the latency."""
-    tasks = [
-        SweepTask(
-            fn=_evaluate,
-            args=(scenario, num_clusters, architecture, message_bytes,
-                  parameters.generation_rate, parameters),
-            kwargs={"switch": SwitchFabric(ports=ports, latency_s=parameters.switch.latency_s)},
-            label=f"switch_ports={ports}",
+    """Ablation 1: how the switch port count Pr shapes the latency.
+
+    (``jobs``/``engine``/``backend``/``checkpoint`` are accepted for
+    interface compatibility; the sweep is closed-form and evaluated in one
+    in-process vectorized pass.)
+    """
+    evaluations = [
+        (
+            build_scenario_system(
+                scenario,
+                num_clusters,
+                _with_switch(
+                    parameters,
+                    SwitchFabric(ports=ports, latency_s=parameters.switch.latency_s),
+                ),
+            ),
+            ModelConfig(
+                architecture=architecture,
+                message_bytes=message_bytes,
+                generation_rate=parameters.generation_rate,
+            ),
         )
         for ports in ports_values
     ]
-    return _sweep("switch-port-count", "switch_ports", tasks, list(ports_values), jobs,
-                  engine=engine, backend=backend, checkpoint=checkpoint)
+    return _analysis_sweep("switch-port-count", "switch_ports", list(ports_values), evaluations)
 
 
 def sweep_switch_latency(
@@ -176,48 +180,27 @@ def sweep_switch_latency(
     backend: Optional[Union[str, Backend]] = None,
     checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> AblationStudy:
-    """Ablation 2: sensitivity to the per-switch latency α_sw."""
-    tasks = [
-        SweepTask(
-            fn=_evaluate,
-            args=(scenario, num_clusters, architecture, message_bytes,
-                  parameters.generation_rate, parameters),
-            kwargs={"switch": SwitchFabric(ports=parameters.switch.ports,
-                                           latency_s=latency_us * 1e-6)},
-            label=f"switch_latency_us={latency_us}",
+    """Ablation 2: sensitivity to the per-switch latency α_sw (closed-form)."""
+    evaluations = [
+        (
+            build_scenario_system(
+                scenario,
+                num_clusters,
+                _with_switch(
+                    parameters,
+                    SwitchFabric(ports=parameters.switch.ports, latency_s=latency_us * 1e-6),
+                ),
+            ),
+            ModelConfig(
+                architecture=architecture,
+                message_bytes=message_bytes,
+                generation_rate=parameters.generation_rate,
+            ),
         )
         for latency_us in latency_values_us
     ]
-    return _sweep("switch-latency", "switch_latency_us", tasks, list(latency_values_us), jobs,
-                  engine=engine, backend=backend, checkpoint=checkpoint)
-
-
-def _generation_rate_row(
-    rate: float,
-    scenario: NetworkScenario,
-    num_clusters: int,
-    architecture: str,
-    message_bytes: float,
-    parameters: PaperParameters,
-) -> AblationRow:
-    """Evaluate one offered-load point (picklable sweep task)."""
-    system = build_scenario_system(scenario, num_clusters, parameters)
-    report = AnalyticalModel(
-        system,
-        ModelConfig(
-            architecture=architecture,
-            message_bytes=message_bytes,
-            generation_rate=rate,
-        ),
-    ).evaluate()
-    return AblationRow(
-        "generation_rate",
-        float(rate),
-        report.mean_latency_ms,
-        {
-            "icn2_utilization": report.utilizations["icn2"],
-            "throttling_factor": report.throttling_factor,
-        },
+    return _analysis_sweep(
+        "switch-latency", "switch_latency_us", list(latency_values_us), evaluations
     )
 
 
@@ -233,17 +216,35 @@ def sweep_generation_rate(
     backend: Optional[Union[str, Backend]] = None,
     checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> AblationStudy:
-    """Ablation 3a: offered load sweep (the paper's λ = 0.25 is nearly idle)."""
-    tasks = [
-        SweepTask(
-            fn=_generation_rate_row,
-            args=(float(rate), scenario, num_clusters, architecture, message_bytes, parameters),
-            label=f"generation_rate={rate}",
+    """Ablation 3a: offered load sweep (the paper's λ = 0.25 is nearly idle).
+
+    Closed-form and vectorized; the per-row ICN2 utilisation and
+    finite-source throttling factor come straight from the grid (the same
+    divisions the scalar report performs, so the extras are bit-identical
+    too).
+    """
+    system = build_scenario_system(scenario, num_clusters, parameters)
+    evaluations = [
+        (
+            system,
+            ModelConfig(
+                architecture=architecture,
+                message_bytes=message_bytes,
+                generation_rate=float(rate),
+            ),
         )
         for rate in rate_values
     ]
-    rows = resolve_engine(jobs, engine, backend, checkpoint=checkpoint).run(tasks)
-    return AblationStudy("generation-rate", rows)
+
+    def extras(grid: GridEvaluation, i: int) -> Dict[str, float]:
+        return {
+            "icn2_utilization": float(grid.icn2_utilization[i]),
+            "throttling_factor": float(grid.throttling_factor[i]),
+        }
+
+    return _analysis_sweep(
+        "generation-rate", "generation_rate", list(rate_values), evaluations, extra=extras
+    )
 
 
 def sweep_message_size(
@@ -258,48 +259,68 @@ def sweep_message_size(
     checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> AblationStudy:
     """Ablation 3b: message-size sweep beyond the paper's 512/1024 bytes."""
-    tasks = [
-        SweepTask(
-            fn=_evaluate,
-            args=(scenario, num_clusters, architecture, float(size),
-                  parameters.generation_rate, parameters),
-            label=f"message_bytes={size}",
+    system = build_scenario_system(scenario, num_clusters, parameters)
+    evaluations = [
+        (
+            system,
+            ModelConfig(
+                architecture=architecture,
+                message_bytes=float(size),
+                generation_rate=parameters.generation_rate,
+            ),
         )
         for size in size_values
     ]
-    return _sweep("message-size", "message_bytes", tasks, list(size_values), jobs,
-                  engine=engine, backend=backend, checkpoint=checkpoint)
+    return _analysis_sweep("message-size", "message_bytes", list(size_values), evaluations)
 
 
-def fixed_point_vs_exact_mva(
-    scenario: NetworkScenario = CASE_1,
-    num_clusters: int = 16,
-    architecture: str = "non-blocking",
-    message_bytes: float = 1024.0,
-    generation_rate: float = 0.25,
-    parameters: PaperParameters = PAPER_PARAMETERS,
-) -> AblationStudy:
-    """Ablation 4: the Eq. (7) fixed point vs the exact closed-network (MVA) solution.
+def _fixed_point_method_row(
+    scenario: NetworkScenario,
+    num_clusters: int,
+    architecture: str,
+    message_bytes: float,
+    generation_rate: float,
+    parameters: PaperParameters,
+) -> AblationRow:
+    """The Eq. (7) fixed-point latency (picklable sweep task)."""
+    system = build_scenario_system(scenario, num_clusters, parameters)
+    report = AnalyticalModel(
+        system,
+        ModelConfig(
+            architecture=architecture,
+            message_bytes=message_bytes,
+            generation_rate=generation_rate,
+        ),
+    ).evaluate()
+    return AblationRow(
+        "method", 0.0, report.mean_latency_ms, {"label": 0.0, "throughput": float("nan")}
+    )
+
+
+def _exact_mva_method_row(
+    scenario: NetworkScenario,
+    num_clusters: int,
+    architecture: str,
+    message_bytes: float,
+    generation_rate: float,
+    parameters: PaperParameters,
+) -> AblationRow:
+    """The exact closed-network (MVA) latency (picklable sweep task).
 
     The closed model has the N processors as a delay (think) station with
     mean think time 1/λ, and the ICN1 / ECN1 / ICN2 centres visited with
-    ratios (1−P), 2P and P respectively.
+    ratios (1−P), 2P and P respectively.  Each of the C ICN1s and C ECN1s
+    is its own station: by symmetry a message visits a *specific* cluster's
+    ICN1 with probability (1−P)/C and its ECN1 twice with probability P,
+    i.e. visit ratio 2P/C.
     """
     system = build_scenario_system(scenario, num_clusters, parameters)
-    config = ModelConfig(
-        architecture=architecture, message_bytes=message_bytes, generation_rate=generation_rate
-    )
-    report = AnalyticalModel(system, config).evaluate()
-
     n0 = system.processors_per_cluster
     c = system.num_clusters
     n_total = system.total_processors
     p_out = outgoing_probability(c, n0)
     centers = build_service_centers(system, architecture, message_bytes)
 
-    # Each of the C ICN1s and C ECN1s is its own station: by symmetry a
-    # message visits a *specific* cluster's ICN1 with probability (1−P)/C and
-    # its ECN1 twice with probability P, i.e. visit ratio 2P/C.
     stations = [
         MVAStation("think", visit_ratio=1.0, service_time=1.0 / generation_rate, is_delay=True),
         MVAStation("icn2", visit_ratio=p_out, service_time=centers.icn2_service_time),
@@ -322,16 +343,38 @@ def fixed_point_vs_exact_mva(
     mva = mean_value_analysis(stations, population=n_total)
     think_residence = 1.0 / generation_rate
     exact_latency_s = max(mva.cycle_time - think_residence, 0.0)
-    rows = [
-        AblationRow(
-            "method", 0.0, report.mean_latency_ms, {"label": 0.0, "throughput": float("nan")}
-        ),
-        AblationRow(
-            "method", 1.0, exact_latency_s * 1e3, {"label": 1.0, "throughput": mva.throughput}
-        ),
+    return AblationRow(
+        "method", 1.0, exact_latency_s * 1e3, {"label": 1.0, "throughput": mva.throughput}
+    )
+
+
+def fixed_point_vs_exact_mva(
+    scenario: NetworkScenario = CASE_1,
+    num_clusters: int = 16,
+    architecture: str = "non-blocking",
+    message_bytes: float = 1024.0,
+    generation_rate: float = 0.25,
+    parameters: PaperParameters = PAPER_PARAMETERS,
+    jobs: Optional[int] = 1,
+    engine: Optional[SweepEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
+    checkpoint: Optional[Union[str, SweepJournal]] = None,
+) -> AblationStudy:
+    """Ablation 4: the Eq. (7) fixed point vs the exact closed-network (MVA) solution.
+
+    The two methods are independent sweep tasks executed through the
+    pipeline's runner, so — like every other ablation — the study accepts
+    the full ``--jobs``/``--backend``/``--checkpoint`` execution policy
+    (it used to reject backend flags outright).
+    """
+    args = (scenario, num_clusters, architecture, message_bytes, generation_rate, parameters)
+    tasks = [
+        SweepTask(fn=_fixed_point_method_row, args=args, label="method=fixed-point"),
+        SweepTask(fn=_exact_mva_method_row, args=args, label="method=exact-mva"),
     ]
-    study = AblationStudy("fixed-point-vs-exact-mva", rows)
-    return study
+    runner = ExperimentRunner(engine=engine, jobs=jobs, backend=backend, checkpoint=checkpoint)
+    rows = runner.run_tasks(tasks)
+    return AblationStudy("fixed-point-vs-exact-mva", rows)
 
 
 def _simulate_service_distribution(system, config: SimulationConfig):
@@ -373,7 +416,8 @@ def service_distribution_ablation(
         )
         for exponential in variants
     ]
-    results = resolve_engine(jobs, engine, backend, checkpoint=checkpoint).run(tasks)
+    runner = ExperimentRunner(engine=engine, jobs=jobs, backend=backend, checkpoint=checkpoint)
+    results = runner.run_tasks(tasks)
     rows = [
         AblationRow(
             "exponential_service",

@@ -11,10 +11,11 @@ checked quantitatively; the observed band is recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.model import AnalyticalModel, ModelConfig
-from ..parallel import Backend, SweepEngine, SweepJournal, resolve_engine
+from ..core.vectorized import evaluate_latency_grid
+from ..parallel import Backend, SweepEngine, SweepJournal
 from ..viz.tables import format_markdown_table
 from .scenarios import (
     CASE_1,
@@ -142,33 +143,50 @@ def run_blocking_ratio_study(
 ) -> BlockingRatioStudy:
     """Compute the blocking/non-blocking ratio over the paper's sweep grid.
 
-    The study is closed-form (no simulation) so ``jobs=1`` is usually fine;
-    the grid still goes through :class:`~repro.parallel.SweepEngine` so
-    large custom sweeps can fan out with ``jobs>1`` or an explicit
-    ``backend`` (``"serial"``, ``"pool"``, ``"socket"``, an ``ssh``
-    backend instance, or any :class:`~repro.parallel.Backend`), and
-    ``checkpoint`` journals completed points for crash-resume.
+    The study is closed-form: both architectures of every grid point are
+    evaluated in a single vectorized
+    :func:`~repro.core.vectorized.evaluate_latency_grid` sweep, which is
+    bit-identical to the historical per-point
+    :class:`~repro.core.model.AnalyticalModel` tasks on every execution
+    backend (and ~two orders of magnitude faster at paper scale).  The
+    ``jobs``/``engine``/``backend``/``checkpoint`` parameters are accepted
+    for interface compatibility with the simulating drivers; a closed-form
+    grid has no sweep tasks to distribute or journal, so they do not affect
+    the computation.
     """
     cases = list(scenarios) if scenarios is not None else [CASE_1, CASE_2]
     counts = list(cluster_counts) if cluster_counts is not None else list(parameters.cluster_counts)
     sizes = list(message_sizes) if message_sizes is not None else list(parameters.message_sizes)
 
-    grid = [
-        (scenario, num_clusters, message_bytes, parameters)
-        for scenario in cases
-        for message_bytes in sizes
-        for num_clusters in counts
+    # One (system, config) pair per (point, architecture), both
+    # architectures adjacent so the ratio folds straight out of the grid.
+    evaluations: List[Tuple[object, ModelConfig]] = []
+    meta: List[Tuple[str, int, int]] = []
+    for scenario in cases:
+        systems = {nc: build_scenario_system(scenario, nc, parameters) for nc in counts}
+        for message_bytes in sizes:
+            for num_clusters in counts:
+                meta.append((scenario.name, num_clusters, int(message_bytes)))
+                for architecture in ("non-blocking", "blocking"):
+                    evaluations.append(
+                        (
+                            systems[num_clusters],
+                            ModelConfig(
+                                architecture=architecture,
+                                message_bytes=float(message_bytes),
+                                generation_rate=parameters.generation_rate,
+                            ),
+                        )
+                    )
+    grid = evaluate_latency_grid(evaluations)
+    points = [
+        RatioPoint(
+            scenario=name,
+            num_clusters=num_clusters,
+            message_bytes=message_bytes,
+            nonblocking_latency_ms=float(grid.mean_latency_ms[2 * i]),
+            blocking_latency_ms=float(grid.mean_latency_ms[2 * i + 1]),
+        )
+        for i, (name, num_clusters, message_bytes) in enumerate(meta)
     ]
-    engine = resolve_engine(jobs, engine, backend, checkpoint=checkpoint)
-    points: List[RatioPoint] = engine.map(
-        _ratio_point_task,
-        grid,
-        label=lambda i, g: f"ratio {g[0].name} C={g[1]} M={g[2]}",
-    )
     return BlockingRatioStudy(points=points)
-
-
-def _ratio_point_task(task) -> RatioPoint:
-    """Unpack one grid tuple for :meth:`SweepEngine.map`."""
-    scenario, num_clusters, message_bytes, parameters = task
-    return _ratio_point(scenario, num_clusters, message_bytes, parameters)

@@ -17,38 +17,37 @@ benchmarks and the CLI print the same rows/series the paper plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..core.model import ModelConfig
 from ..core.vectorized import evaluate_latency_grid
 from ..errors import ExperimentError
-from ..parallel import (
-    Backend,
-    SweepEngine,
-    SweepJournal,
-    SweepTask,
-    resolve_engine,
-    spawn_seeds,
-)
-from ..simulation.runner import (
-    aggregate_replications,
-    replication_configs,
-    run_simulation_task,
-)
-from ..simulation.simulator import SimulationConfig
+from ..parallel import Backend, SweepEngine, SweepJournal
 from ..stats.compare import compare_series, ComparisonSummary
 from ..viz.ascii_chart import line_chart
 from ..viz.tables import format_fixed_width_table, format_markdown_table
+from .pipeline import (
+    Collector,
+    ExperimentOutcome,
+    ExperimentRunner,
+    ExperimentSpec,
+    build_plan,
+)
 from .scenarios import (
     CASE_1,
     CASE_2,
     NetworkScenario,
     PAPER_PARAMETERS,
     PaperParameters,
-    build_scenario_system,
 )
 
-__all__ = ["FigureSpec", "FigurePoint", "FigureResult", "FIGURE_SPECS", "run_figure"]
+__all__ = [
+    "FigureSpec",
+    "FigurePoint",
+    "FigureResult",
+    "FigureCollector",
+    "FIGURE_SPECS",
+    "run_figure",
+]
 
 
 @dataclass(frozen=True)
@@ -190,6 +189,35 @@ class FigureResult:
         )
 
 
+class FigureCollector(Collector):
+    """Folds a pipeline outcome into the traditional :class:`FigureResult`."""
+
+    def __init__(self, spec: FigureSpec, parameters: PaperParameters) -> None:
+        self.spec = spec
+        self.parameters = parameters
+
+    def collect(self, outcome: ExperimentOutcome) -> FigureResult:
+        result = FigureResult(spec=self.spec, parameters=self.parameters)
+        for point in outcome.plan.points:
+            sim_latency_ms: Optional[float] = None
+            sim_ci_ms: Optional[float] = None
+            if outcome.replicated is not None:
+                agg = outcome.replicated[point.index]
+                sim_latency_ms = agg.mean_latency_ms
+                if agg.latency_interval is not None:
+                    sim_ci_ms = agg.latency_interval.half_width * 1e3
+            result.points.append(
+                FigurePoint(
+                    num_clusters=point.num_clusters,
+                    message_bytes=int(point.message_bytes),
+                    analysis_latency_ms=float(outcome.analysis.mean_latency_ms[point.index]),
+                    simulation_latency_ms=sim_latency_ms,
+                    simulation_ci_half_width_ms=sim_ci_ms,
+                )
+            )
+        return result
+
+
 def run_figure(
     number: int,
     include_simulation: bool = True,
@@ -205,6 +233,13 @@ def run_figure(
     checkpoint: Optional[Union[str, SweepJournal]] = None,
 ) -> FigureResult:
     """Reproduce one of the paper's Figures 4–7.
+
+    The driver is a thin shell over the declarative pipeline: the figure's
+    scenario/architecture and the sweep axes become an
+    :class:`~repro.experiments.pipeline.ExperimentSpec`, whose plan carries
+    the vectorized analysis grid and the seeded, labelled simulation tasks
+    (labels keep the historical ``fig<N> M=<mb> C=<nc> rep[<i>]`` shape, so
+    existing checkpoint journals keep matching).
 
     Parameters
     ----------
@@ -250,78 +285,36 @@ def run_figure(
         simulation_messages if simulation_messages is not None else parameters.simulation_messages
     )
 
-    # The sweep grid, in the row order the figure tables use.  Systems only
-    # depend on the cluster count, so they are built (and pickled) once per
-    # count, not once per grid point.
-    grid: List[Tuple[int, int]] = [(mb, nc) for mb in sizes for nc in counts]
-    systems = {nc: build_scenario_system(spec.scenario, nc, parameters) for nc in counts}
-
-    # Analysis pass — closed-form, evaluated for the whole grid in one
-    # vectorized sweep (bit-identical to per-point AnalyticalModel calls).
-    grid_eval = evaluate_latency_grid(
-        [
-            (
-                systems[nc],
-                ModelConfig(
-                    architecture=spec.architecture,
-                    message_bytes=float(mb),
-                    generation_rate=parameters.generation_rate,
-                ),
-            )
-            for mb, nc in grid
-        ]
+    experiment = ExperimentSpec(
+        scenario=spec.scenario.name,
+        mode="both" if include_simulation else "analysis",
+        architecture=spec.architecture,
+        cluster_counts=tuple(counts),
+        message_sizes=tuple(sizes),
+        generation_rates=(parameters.generation_rate,),
+        replications=replications,
+        simulation_messages=sim_messages,
+        seed=seed,
     )
-    analyses = {point: float(grid_eval.mean_latency_ms[i]) for i, point in enumerate(grid)}
+    plan = build_plan(
+        experiment,
+        parameters=parameters,
+        label=lambda point, rep_index, rep_config: (
+            f"fig{number} M={point.message_bytes} C={point.num_clusters} rep[{rep_index}]"
+        ),
+    )
 
-    # Simulation pass — one task per (point, replication), fanned out
-    # through the sweep engine.  Seeds are spawned per point so the task
-    # list (and therefore the results) is independent of the job count.
-    replicated = {}
-    if include_simulation:
-        engine = resolve_engine(jobs, engine, backend, checkpoint=checkpoint)
-        point_seeds = spawn_seeds(seed, len(grid))
-        tasks: List[SweepTask] = []
-        task_point: List[int] = []
-        for point_idx, (point, point_seed) in enumerate(zip(grid, point_seeds)):
-            mb, nc = point
-            sim_config = SimulationConfig(
-                architecture=spec.architecture,
-                message_bytes=float(mb),
-                generation_rate=parameters.generation_rate,
-                num_messages=sim_messages,
-                seed=point_seed,
-            )
-            for i, rep_config in enumerate(replication_configs(sim_config, replications)):
-                tasks.append(
-                    SweepTask(
-                        fn=run_simulation_task,
-                        args=(systems[nc], rep_config),
-                        label=f"fig{number} M={mb} C={nc} rep[{i}]",
-                    )
-                )
-                task_point.append(point_idx)
-        results = engine.run(tasks)
-        for point_idx in range(len(grid)):
-            per_point = [r for p, r in zip(task_point, results) if p == point_idx]
-            replicated[point_idx] = aggregate_replications(per_point)
-
-    result = FigureResult(spec=spec, parameters=parameters)
-    for point_idx, point in enumerate(grid):
-        mb, nc = point
-        sim_latency_ms: Optional[float] = None
-        sim_ci_ms: Optional[float] = None
-        if point_idx in replicated:
-            agg = replicated[point_idx]
-            sim_latency_ms = agg.mean_latency_ms
-            if agg.latency_interval is not None:
-                sim_ci_ms = agg.latency_interval.half_width * 1e3
-        result.points.append(
-            FigurePoint(
-                num_clusters=nc,
-                message_bytes=int(mb),
-                analysis_latency_ms=analyses[point],
-                simulation_latency_ms=sim_latency_ms,
-                simulation_ci_half_width_ms=sim_ci_ms,
-            )
+    # Analysis pass — always computed, vectorized and bit-identical to
+    # per-point AnalyticalModel calls.  The execution engine is resolved
+    # only when a simulation pass actually runs (so an analysis-only call
+    # never opens checkpoints or spins up backends).
+    analysis = evaluate_latency_grid(plan.analysis_evaluations())
+    replicated = None
+    if plan.include_simulation:
+        runner = ExperimentRunner(
+            engine=engine, jobs=jobs, backend=backend, checkpoint=checkpoint
         )
-    return result
+        replicated = runner.run_simulation_plan(plan.simulation)
+
+    outcome = ExperimentOutcome(plan=plan, analysis=analysis, replicated=replicated)
+    return FigureCollector(spec, parameters).collect(outcome)

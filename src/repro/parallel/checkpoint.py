@@ -206,8 +206,29 @@ class SweepJournal:
                     f"tail ({exc}); resumes will keep re-executing its tasks",
                     stacklevel=2,
                 )
+        else:
+            # Eagerly create a missing journal file: a campaign that asked
+            # for checkpointing but happened to journal nothing (e.g. an
+            # analysis-only, fully vectorized study) must still leave a
+            # journal that --resume accepts.
+            try:
+                with open(self.path, "ab"):
+                    pass
+            except OSError:
+                # _append_done will raise a meaningful error on first write.
+                pass
         self._handle: Optional[io.TextIOWrapper] = None
         self._runs_started = 0
+
+    @property
+    def recorded_runs(self) -> int:
+        """Number of engine runs a previous campaign recorded in this journal."""
+        return len(self._headers)
+
+    @property
+    def runs_started(self) -> int:
+        """Number of engine runs begun against this journal by this process."""
+        return self._runs_started
 
     def __repr__(self) -> str:
         restored = sum(len(v) for v in self._restored.values())

@@ -27,14 +27,7 @@ import numpy as np
 from ..cluster.system import MultiClusterSystem
 from ..core.model import AnalyticalModel, ModelConfig, PerformanceReport
 from ..errors import ConfigurationError
-from ..parallel import (
-    Backend,
-    SweepEngine,
-    SweepJournal,
-    SweepTask,
-    resolve_engine,
-    spawn_seeds,
-)
+from ..parallel import Backend, SweepEngine, SweepJournal, spawn_seeds
 from ..stats.compare import relative_error
 from ..stats.intervals import ConfidenceInterval, mean_confidence_interval
 from ..workload.destinations import DestinationPolicy
@@ -117,15 +110,22 @@ def run_simulation_task(
     system: MultiClusterSystem,
     config: SimulationConfig,
     destination_policy: Optional[DestinationPolicy] = None,
+    arrival_factory=None,
 ) -> SimulationResult:
-    """Run one simulation — the picklable unit of work shipped to pool workers."""
-    return MultiClusterSimulator(system, config, destination_policy).run()
+    """Run one simulation — the picklable unit of work shipped to pool workers.
+
+    ``destination_policy`` and ``arrival_factory`` carry a scenario's
+    non-default workload (hotspot/localized destinations, bursty arrivals);
+    both must be picklable so socket/SSH workers can reconstruct them.
+    """
+    return MultiClusterSimulator(system, config, destination_policy, arrival_factory).run()
 
 
 def run_message_trace_task(
     system: MultiClusterSystem,
     config: SimulationConfig,
     destination_policy: Optional[DestinationPolicy] = None,
+    arrival_factory=None,
 ) -> List[tuple]:
     """Run one simulation and return its exact per-message timings.
 
@@ -137,7 +137,7 @@ def run_message_trace_task(
     importable by socket/SSH worker daemons that cannot unpickle
     test-module closures.
     """
-    simulator = MultiClusterSimulator(system, config, destination_policy)
+    simulator = MultiClusterSimulator(system, config, destination_policy, arrival_factory)
     simulator.run()
     return [
         (m.ident, m.created_at.hex(), m.completed_at.hex()) for m in simulator.sink.messages
@@ -177,18 +177,35 @@ def run_replications(
     for every choice because the per-replication seeds depend only on
     ``config.seed``.  ``checkpoint`` journals completed replications so a
     killed run resumes without repeating them.
+
+    The run is a one-point campaign of the declarative pipeline
+    (:mod:`repro.experiments.pipeline`): ``config`` is the point's master
+    configuration, the replication seeds are spawned from ``config.seed``
+    exactly as before, and execution flows through the same
+    :class:`~repro.experiments.pipeline.ExperimentRunner` policy layer as
+    every other driver.
     """
-    configs = replication_configs(config, replications)
-    engine = resolve_engine(jobs, engine, backend, checkpoint=checkpoint)
-    tasks = [
-        SweepTask(
-            fn=run_simulation_task,
-            args=(system, rep_config, destination_policy),
-            label=f"replication[{i}] seed={rep_config.seed}",
-        )
-        for i, rep_config in enumerate(configs)
-    ]
-    return aggregate_replications(engine.run(tasks))
+    # Imported lazily: the pipeline builds on this module's task helpers.
+    from ..experiments.pipeline import (
+        ExperimentRunner,
+        PlanPoint,
+        build_simulation_plan,
+    )
+
+    point = PlanPoint(
+        index=0,
+        num_clusters=system.num_clusters,
+        message_bytes=config.message_bytes,
+        generation_rate=config.generation_rate,
+    )
+    plan = build_simulation_plan(
+        [(point, system, config)],
+        replications=replications,
+        label=lambda _point, i, rep_config: f"replication[{i}] seed={rep_config.seed}",
+        destination_policy=destination_policy,
+    )
+    runner = ExperimentRunner(engine=engine, jobs=jobs, backend=backend, checkpoint=checkpoint)
+    return runner.run_simulation_plan(plan)[0]
 
 
 def validate_against_analysis(

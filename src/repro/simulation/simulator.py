@@ -23,7 +23,7 @@ extension is validated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from ..cluster.system import MultiClusterSystem
 from ..des.core import Environment
@@ -33,9 +33,14 @@ from ..errors import ConfigurationError, SimulationError
 from ..network.models import CommunicationNetworkModel, build_network_model
 from ..queueing.distributions import Deterministic, Distribution, Exponential
 from ..stats.intervals import ConfidenceInterval, batch_means
+from ..workload.arrivals import ArrivalProcess
 from ..workload.destinations import DestinationPolicy, UniformDestinations
 from .components import LatencySink, ServiceCenterSim
 from .message import Message
+
+#: Signature of the optional per-processor arrival-process factory: it maps
+#: the processor's (speed-scaled) request rate to an :class:`ArrivalProcess`.
+ArrivalFactory = Callable[[float], ArrivalProcess]
 
 __all__ = ["SimulationConfig", "SimulationResult", "MultiClusterSimulator"]
 
@@ -138,6 +143,7 @@ class MultiClusterSimulator:
         system: MultiClusterSystem,
         config: Optional[SimulationConfig] = None,
         destination_policy: Optional[DestinationPolicy] = None,
+        arrival_factory: Optional[ArrivalFactory] = None,
     ) -> None:
         self.system = system
         self.config = config if config is not None else SimulationConfig()
@@ -149,6 +155,11 @@ class MultiClusterSimulator:
             if destination_policy is not None
             else UniformDestinations(self.cluster_sizes)
         )
+        # None keeps the paper's Poisson arrivals on the historical batched
+        # exponential stream (bit-identical to every earlier release); a
+        # factory is called once per processor with its scaled rate so
+        # stateful processes (e.g. MMPP) never share state across sources.
+        self.arrival_factory = arrival_factory
         self._streams = RandomStreams(self.config.seed)
 
         self.env = Environment()
@@ -230,7 +241,12 @@ class MultiClusterSimulator:
         dest_rng = self._streams.stream(f"destination-{cluster_idx}-{proc_idx}")
         source = (cluster_idx, proc_idx)
 
-        next_interarrival = arrival_rng.exponential_rate_stream(rate)
+        if self.arrival_factory is None:
+            next_interarrival = arrival_rng.exponential_rate_stream(rate)
+        else:
+            # The arrival stream's sole consumer is this sampler, so batched
+            # processes stay bit-identical to their scalar draw sequence.
+            next_interarrival = self.arrival_factory(rate).sampler(arrival_rng)
         choose = self.destination_policy.chooser(source, dest_rng)
         env = self.env
         timeout = env.timeout

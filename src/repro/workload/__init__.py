@@ -1,6 +1,13 @@
 """Workload generators: arrival processes, destination policies, message sizes, traces."""
 
-from .arrivals import ArrivalProcess, DeterministicArrivals, MMPPArrivals, PoissonArrivals
+from .arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    ErlangArrivals,
+    HyperexponentialArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
 from .destinations import (
     DestinationPolicy,
     HotspotDestinations,
@@ -22,6 +29,8 @@ __all__ = [
     "ArrivalProcess",
     "PoissonArrivals",
     "DeterministicArrivals",
+    "ErlangArrivals",
+    "HyperexponentialArrivals",
     "MMPPArrivals",
     "DestinationPolicy",
     "UniformDestinations",

@@ -7,13 +7,21 @@ that assumption.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from ..des.rng import DEFAULT_BLOCK_SIZE, VariateGenerator
 from ..errors import ConfigurationError
 
-__all__ = ["ArrivalProcess", "PoissonArrivals", "DeterministicArrivals", "MMPPArrivals"]
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "ErlangArrivals",
+    "HyperexponentialArrivals",
+    "MMPPArrivals",
+]
 
 
 class ArrivalProcess:
@@ -21,6 +29,11 @@ class ArrivalProcess:
 
     #: Nominal mean rate (events per unit time) of the process.
     rate: float = 0.0
+
+    #: Whether :meth:`interarrival` consumes random numbers.  Trace and
+    #: simulator batching use this to decide when a shared stream has a
+    #: single consumer (and batched lookahead is therefore bit-identical).
+    consumes_rng: bool = True
 
     def interarrival(self, rng: VariateGenerator) -> float:
         """Draw the next inter-arrival time."""
@@ -69,6 +82,7 @@ class DeterministicArrivals(ArrivalProcess):
     """Constant inter-arrival times (periodic sources)."""
 
     rate: float = 1.0
+    consumes_rng = False
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -82,6 +96,74 @@ class DeterministicArrivals(ArrivalProcess):
     ) -> Callable[[], float]:
         interval = 1.0 / self.rate
         return lambda: interval
+
+
+@dataclass
+class ErlangArrivals(ArrivalProcess):
+    """Erlang-``shape`` inter-arrival times (smoother than Poisson, CV² = 1/k).
+
+    An Erlang-k renewal process models sources that go through ``k``
+    exponential stages between requests — burst-*free* traffic relative to
+    the paper's Poisson assumption 1.  The overall mean inter-arrival time
+    is ``1/rate`` regardless of ``shape``; ``shape=1`` recovers Poisson.
+    """
+
+    rate: float = 1.0
+    shape: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate!r}")
+        if self.shape < 1:
+            raise ConfigurationError(f"shape must be a positive integer, got {self.shape!r}")
+
+    def interarrival(self, rng: VariateGenerator) -> float:
+        return rng.erlang(self.shape, 1.0 / self.rate)
+
+    def sampler(
+        self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Callable[[], float]:
+        return rng.erlang_stream(self.shape, 1.0 / self.rate, block_size)
+
+
+@dataclass
+class HyperexponentialArrivals(ArrivalProcess):
+    """Two-phase hyperexponential inter-arrival times (bursty, CV² > 1).
+
+    The classic balanced-means H2 fit: given the mean ``1/rate`` and a
+    squared coefficient of variation ``cv2 >= 1``, phase 1 is chosen with
+    probability ``p₁ = (1 + sqrt((cv2−1)/(cv2+1)))/2`` and each phase
+    carries half the mean (``p₁·m₁ = p₂·m₂``).  ``cv2 = 1`` degenerates to
+    Poisson; larger values produce increasingly bursty request trains while
+    keeping the offered load identical.
+    """
+
+    rate: float = 1.0
+    cv2: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate!r}")
+        if self.cv2 < 1.0:
+            raise ConfigurationError(
+                f"a hyperexponential needs cv2 >= 1, got {self.cv2!r} "
+                "(use ErlangArrivals for sub-exponential variability)"
+            )
+        # The mixture fit is fixed at construction; computing it here keeps
+        # the sqrt/divisions out of the simulator's per-arrival hot path.
+        p1 = 0.5 * (1.0 + math.sqrt((self.cv2 - 1.0) / (self.cv2 + 1.0)))
+        p2 = 1.0 - p1
+        mean = 1.0 / self.rate
+        self._phases = ((mean / (2.0 * p1), mean / (2.0 * p2)), (p1, p2))
+
+    @property
+    def phases(self):
+        """The fitted ``((mean1, mean2), (p1, p2))`` mixture parameters."""
+        return self._phases
+
+    def interarrival(self, rng: VariateGenerator) -> float:
+        means, probs = self._phases
+        return rng.hyperexponential(means, probs)
 
 
 @dataclass

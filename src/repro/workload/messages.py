@@ -7,9 +7,9 @@ the trace generator support sensitivity studies and replayable workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
-from ..des.rng import RandomStreams, VariateGenerator
+from ..des.rng import DEFAULT_BLOCK_SIZE, RandomStreams, VariateGenerator
 from ..errors import ConfigurationError
 from .arrivals import ArrivalProcess, PoissonArrivals
 from .destinations import DestinationPolicy, NodeAddress, UniformDestinations
@@ -28,9 +28,27 @@ __all__ = [
 class MessageSizeModel:
     """Base class: draws the size in bytes of each generated message."""
 
+    #: Whether :meth:`sample` consumes random numbers (``False`` for the
+    #: paper's fixed-size assumption).  Workload batching uses this to
+    #: identify the consumers of a shared stream.
+    consumes_rng: bool = True
+
     def sample(self, rng: VariateGenerator) -> float:
         """Draw one message size (bytes)."""
         raise NotImplementedError
+
+    def sampler(
+        self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Callable[[], float]:
+        """Return a zero-argument callable drawing successive sizes.
+
+        The base implementation falls back to one :meth:`sample` call per
+        invocation; single-draw models override it with a batched
+        :class:`~repro.des.rng.VariateStream` that reproduces the scalar
+        sequence bit-for-bit.  A batched sampler reads ahead on ``rng``
+        and must be its only consumer.
+        """
+        return lambda: self.sample(rng)
 
     @property
     def mean(self) -> float:
@@ -43,6 +61,7 @@ class FixedMessageSize(MessageSizeModel):
     """Assumption 6: every message is exactly ``size_bytes`` long."""
 
     size_bytes: float
+    consumes_rng = False
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -50,6 +69,12 @@ class FixedMessageSize(MessageSizeModel):
 
     def sample(self, rng: VariateGenerator) -> float:
         return self.size_bytes
+
+    def sampler(
+        self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Callable[[], float]:
+        size = self.size_bytes
+        return lambda: size
 
     @property
     def mean(self) -> float:
@@ -95,6 +120,12 @@ class UniformMessageSize(MessageSizeModel):
 
     def sample(self, rng: VariateGenerator) -> float:
         return rng.uniform(self.low_bytes, self.high_bytes)
+
+    def sampler(
+        self, rng: VariateGenerator, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> Callable[[], float]:
+        """Batched equivalent of repeated :meth:`sample` calls (bit-identical)."""
+        return rng.uniform_stream(self.low_bytes, self.high_bytes, block_size)
 
     @property
     def mean(self) -> float:
@@ -143,6 +174,38 @@ class WorkloadTrace:
         return counts
 
 
+def _node_draw_callables(
+    node: NodeAddress,
+    arrival: ArrivalProcess,
+    dest: DestinationPolicy,
+    sizes: MessageSizeModel,
+    rng: VariateGenerator,
+) -> Tuple[Callable[[], float], Callable[[], NodeAddress], Callable[[], float]]:
+    """Per-entry draw callables for one node's shared stream.
+
+    When at most one of the three families actually consumes random numbers,
+    that family is the stream's *sole* consumer and its batched
+    :class:`~repro.des.rng.VariateStream` sampler reads the exact bit-stream
+    positions the scalar calls would — so batching is bit-identical.  With
+    two or more consumers the draws interleave on the shared stream and any
+    lookahead would shift what the other family observes, so the scalar
+    per-call path is kept (this is why the paper-default Poisson + uniform
+    trace cannot be batched without changing its values; use
+    ``stream_layout="per-family"`` for a fully batched — but differently
+    seeded — trace).
+    """
+    consumers = sum(
+        1 for family in (arrival, dest, sizes) if family.consumes_rng
+    )
+    if consumers <= 1:
+        return arrival.sampler(rng), dest.chooser(node, rng), sizes.sampler(rng)
+    return (
+        lambda: arrival.interarrival(rng),
+        lambda: dest.choose(node, rng),
+        lambda: sizes.sample(rng),
+    )
+
+
 def generate_trace(
     cluster_sizes: Sequence[int],
     num_messages: int,
@@ -150,6 +213,7 @@ def generate_trace(
     destination_policy: Optional[DestinationPolicy] = None,
     size_model: Optional[MessageSizeModel] = None,
     seed: int = 0,
+    stream_layout: str = "shared",
 ) -> WorkloadTrace:
     """Pre-generate an open-loop workload trace.
 
@@ -158,9 +222,26 @@ def generate_trace(
     traffic *closed-loop* (a processor blocks while its request is pending,
     assumption 4); traces are for open-loop extension studies and for
     feeding external simulators.
+
+    ``stream_layout`` selects how random streams are assigned:
+
+    * ``"shared"`` (default) — one stream per node, consumed by all three
+      draw families in interleaved order.  This is the historical layout:
+      traces are bit-identical to every earlier release for the same seed.
+      Whenever at most one family consumes random numbers the draws are
+      served from a batched :class:`~repro.des.rng.VariateStream`
+      (still bit-identical — the batch reads the same stream positions).
+    * ``"per-family"`` — three independent named streams per node
+      (arrivals / destinations / sizes), every family batched.  Much
+      faster for large traces and equally deterministic, but a *different*
+      trace than ``"shared"`` because the streams are seeded differently.
     """
     if num_messages < 0:
         raise ConfigurationError(f"num_messages must be non-negative, got {num_messages!r}")
+    if stream_layout not in ("shared", "per-family"):
+        raise ConfigurationError(
+            f"stream_layout must be 'shared' or 'per-family', got {stream_layout!r}"
+        )
     streams = RandomStreams(seed)
     arrival = arrival_process if arrival_process is not None else PoissonArrivals(rate=0.25)
     dest = (
@@ -179,16 +260,26 @@ def generate_trace(
     for cluster, size in enumerate(cluster_sizes):
         for proc in range(size):
             node = (cluster, proc)
-            rng = streams.stream(f"trace-{cluster}-{proc}")
+            if stream_layout == "per-family":
+                next_interarrival = arrival.sampler(
+                    streams.stream(f"trace-{cluster}-{proc}-arrivals")
+                )
+                choose = dest.chooser(node, streams.stream(f"trace-{cluster}-{proc}-destinations"))
+                draw_size = sizes.sampler(streams.stream(f"trace-{cluster}-{proc}-sizes"))
+            else:
+                rng = streams.stream(f"trace-{cluster}-{proc}")
+                next_interarrival, choose, draw_size = _node_draw_callables(
+                    node, arrival, dest, sizes, rng
+                )
             t = 0.0
             for _ in range(per_node):
-                t += arrival.interarrival(rng)
+                t += next_interarrival()
                 entries.append(
                     TraceEntry(
                         time=t,
                         source=node,
-                        destination=dest.choose(node, rng),
-                        size_bytes=sizes.sample(rng),
+                        destination=choose(),
+                        size_bytes=draw_size(),
                     )
                 )
     entries.sort(key=lambda e: e.time)

@@ -160,3 +160,36 @@ class TestRunFigureUsesGrid:
                 ),
             ).evaluate()
             assert point.analysis_latency_ms == report.mean_latency_ms
+
+
+class TestGridUtilizationAndThrottling:
+    """The PR-5 fields feeding the vectorized generation-rate ablation."""
+
+    def test_icn2_utilization_and_throttling_match_scalar_exactly(self):
+        system = build_scenario_system(CASE_1, 16, PAPER_PARAMETERS)
+        pairs = [
+            (
+                system,
+                ModelConfig(
+                    architecture="non-blocking", message_bytes=1024.0,
+                    generation_rate=rate,
+                ),
+            )
+            for rate in (0.25, 1.0, 10.0, 100.0, 500.0, 1000.0)
+        ]
+        grid = evaluate_latency_grid(pairs)
+        for i, (sys_, config) in enumerate(pairs):
+            report = AnalyticalModel(sys_, config).evaluate()
+            assert float(grid.icn2_utilization[i]) == report.utilizations["icn2"], i
+            assert float(grid.throttling_factor[i]) == report.throttling_factor, i
+
+    def test_fallback_points_carry_scalar_utilization(self):
+        system = build_scenario_system(CASE_1, 4, PAPER_PARAMETERS)
+        config = ModelConfig(
+            architecture="non-blocking", message_bytes=1024.0, generation_rate=0.0
+        )
+        grid = evaluate_latency_grid([(system, config)])
+        assert grid.scalar_fallback == (0,)
+        report = AnalyticalModel(system, config).evaluate()
+        assert float(grid.icn2_utilization[0]) == report.utilizations["icn2"]
+        assert float(grid.throttling_factor[0]) == report.throttling_factor == 1.0

@@ -255,13 +255,18 @@ class TestCliBackendSelection:
         engine = build_engine(args)
         assert engine.backend == "pool" and engine.jobs == 2
 
-    def test_closed_form_ablation_rejects_backend_flags(self):
+    def test_closed_form_ablation_accepts_backend_flags(self, capsys):
+        # The MVA comparison runs as an ordinary 2-task sweep through the
+        # pipeline runner, so backend flags apply to it like to every other
+        # ablation (it used to reject them outright).
         from repro.cli import main
 
-        with pytest.raises(SystemExit):
-            main(["ablation", "fixed-point-vs-mva", "--backend", "serial"])
-        with pytest.raises(SystemExit):
-            main(["ablation", "fixed-point-vs-mva", "--jobs", "2"])
+        assert main(["ablation", "fixed-point-vs-mva", "--backend", "serial"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["ablation", "fixed-point-vs-mva", "--backend", "pool", "--jobs", "2"]) == 0
+        pool_out = capsys.readouterr().out
+        assert serial_out == pool_out
+        assert "fixed-point-vs-exact-mva" in serial_out
 
 
 class TestSocketExecution:

@@ -391,20 +391,20 @@ class TestAbortHookAndCli:
 
     def test_cli_checkpoint_error_is_a_clean_exit(self, tmp_path):
         # Resuming with changed parameters must print the CheckpointError
-        # message, not a traceback.
-        journal = str(tmp_path / "ratio.journal")
-        first = self._cli("ratio", "--checkpoint", journal, cwd=str(tmp_path))
+        # message, not a traceback.  (The ratio study is closed-form and
+        # vectorized — it journals no tasks — so the campaign here is a
+        # small simulating figure sweep.)
+        journal = str(tmp_path / "fig4.journal")
+        base = ["figure", "4", "--simulate", "--sizes", "512", "--messages", "100"]
+        first = self._cli(*base, "--clusters", "2", "--checkpoint", journal,
+                          cwd=str(tmp_path))
         assert first.returncode == 0, first.stderr
-        clashed = self._cli(
-            "ratio", "--resume", journal, "--csv", "x.csv", cwd=str(tmp_path),
-            env={"COLUMNS": "80"},
-        )
+        clashed = self._cli(*base, "--clusters", "2", "--resume", journal,
+                            "--csv", "x.csv", cwd=str(tmp_path), env={"COLUMNS": "80"})
         assert clashed.returncode == 0  # same campaign resumes fine
         # Now a different campaign definition against the same journal:
-        mismatch = self._cli(
-            "figure", "4", "--simulate", "--clusters", "2", "--sizes", "512",
-            "--messages", "100", "--resume", journal, cwd=str(tmp_path),
-        )
+        mismatch = self._cli(*base, "--clusters", "2", "4", "--resume", journal,
+                             cwd=str(tmp_path))
         assert mismatch.returncode != 0
         assert "checkpoint error:" in mismatch.stderr
         assert "Traceback" not in mismatch.stderr
@@ -438,11 +438,18 @@ class TestAbortHookAndCli:
         ):
             assert parser.parse_args(argv).checkpoint == "j"
 
-    def test_closed_form_ablation_rejects_checkpoint(self):
+    def test_closed_form_ablation_accepts_checkpoint(self, tmp_path, capsys):
+        # fixed-point-vs-mva now runs as a 2-task sweep through the
+        # pipeline runner, so --checkpoint/--resume journal it like any
+        # other ablation (the flags used to be rejected).
         from repro.cli import main
 
-        with pytest.raises(SystemExit):
-            main(["ablation", "fixed-point-vs-mva", "--checkpoint", "j"])
+        journal = str(tmp_path / "mva.journal")
+        assert main(["ablation", "fixed-point-vs-mva", "--checkpoint", journal]) == 0
+        first = capsys.readouterr().out
+        assert os.path.exists(journal)
+        assert main(["ablation", "fixed-point-vs-mva", "--resume", journal]) == 0
+        assert capsys.readouterr().out == first
 
     def test_cli_checkpoint_then_resume_ratio(self, tmp_path):
         journal = str(tmp_path / "ratio.journal")
