@@ -22,6 +22,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
+import sys
 import time
 
 from _bench_utils import pytest_or_stub
@@ -38,11 +41,35 @@ from repro.simulation.trace_simulator import TraceDrivenSimulator, TraceSimulati
 from repro.workload.messages import generate_trace
 
 
-def _closed_loop(system, messages: int, seed: int = 1) -> tuple:
+def _closed_loop(system, messages: int, seed: int = 1, stats_mode: str = "array") -> tuple:
     """One closed-loop run; returns (measured messages, events scheduled)."""
-    sim = MultiClusterSimulator(system, SimulationConfig(num_messages=messages, seed=seed))
+    sim = MultiClusterSimulator(
+        system, SimulationConfig(num_messages=messages, seed=seed, stats_mode=stats_mode)
+    )
     result = sim.run()
     return result.measured_messages, next(sim.env._eid)
+
+
+def _peak_rss_mb(stats_mode: str, messages: int) -> float:
+    """Peak RSS (MiB) of one closed-loop run, measured in a fresh subprocess.
+
+    Delegates to ``smoke_memory.py --no-cap`` so the figure is the whole
+    process (interpreter + run), uncontaminated by this process's history.
+    Returns NaN where the probe is unavailable (non-Linux).
+    """
+    script = os.path.join(os.path.dirname(os.path.abspath(__file__)), "smoke_memory.py")
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(os.path.dirname(script), "..", "src"))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    try:
+        proc = subprocess.run(
+            [sys.executable, script, "--mode", stats_mode,
+             "--messages", str(messages), "--no-cap"],
+            capture_output=True, text=True, timeout=600, check=True, env=env,
+        )
+        return float(json.loads(proc.stdout)["peak_rss_mb"])
+    except (subprocess.SubprocessError, OSError, ValueError, KeyError):
+        return float("nan")
 
 
 def _trace_replay(system, trace) -> tuple:
@@ -69,6 +96,15 @@ def test_closed_loop_simulator_throughput(benchmark):
     """End-to-end closed-loop simulator messages/second (32-node system)."""
     system = paper_evaluation_system(4, GIGABIT_ETHERNET, FAST_ETHERNET, total_processors=32)
     measured, _ = benchmark(lambda: _closed_loop(system, 1_000))
+    assert measured > 0
+    benchmark.extra_info["messages_per_sec"] = 1_000 / benchmark.stats.stats.min
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_closed_loop_online_sink_throughput(benchmark):
+    """Closed-loop throughput with the bounded-memory streaming sinks."""
+    system = paper_evaluation_system(4, GIGABIT_ETHERNET, FAST_ETHERNET, total_processors=32)
+    measured, _ = benchmark(lambda: _closed_loop(system, 1_000, stats_mode="online"))
     assert measured > 0
     benchmark.extra_info["messages_per_sec"] = 1_000 / benchmark.stats.stats.min
 
@@ -125,6 +161,25 @@ def run_standalone(quick: bool = False, repeats: int = 3) -> dict:
         "messages_per_sec": round(measured / seconds, 1),
         "events_per_sec": round(events / seconds, 1),
     })
+
+    measured, events = _closed_loop(system, messages, stats_mode="online")
+    seconds = _best_of(lambda: _closed_loop(system, messages, stats_mode="online"), repeats)
+    results.append({
+        "name": "simulator_closed_loop_online",
+        "seconds": round(seconds, 6),
+        "messages_per_sec": round(measured / seconds, 1),
+        "events_per_sec": round(events / seconds, 1),
+    })
+
+    # Peak RSS per stats mode (fresh subprocess each; not a throughput, so
+    # the regression gate reports it without failing on it).
+    rss_messages = 20_000 if quick else 100_000
+    for mode in ("array", "online"):
+        results.append({
+            "name": f"simulator_rss_{mode}",
+            "messages": rss_messages,
+            "peak_rss_mb": _peak_rss_mb(mode, rss_messages),
+        })
 
     completed, events = _trace_replay(system, trace)
     seconds = _best_of(lambda: _trace_replay(system, trace), repeats)

@@ -94,6 +94,7 @@ from .parallel import (
 )
 from .simulation.runner import validate_against_analysis
 from .simulation.simulator import SimulationConfig
+from .stats.sinks import STATS_MODES
 from .viz.tables import format_fixed_width_table, write_csv
 
 __all__ = [
@@ -104,6 +105,7 @@ __all__ = [
     "jobs_count",
     "add_jobs_flag",
     "add_backend_flags",
+    "add_stats_mode_flag",
 ]
 
 
@@ -127,6 +129,21 @@ def add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         help="worker processes for independent simulation runs "
              "(1 = in-process serial, 0 = one per CPU core); "
              "results are identical for every value",
+    )
+
+
+def add_stats_mode_flag(parser: argparse.ArgumentParser, default: Optional[str] = "array") -> None:
+    """Attach the shared ``--stats-mode`` option to ``parser``.
+
+    ``default=None`` means "defer to the spec file" (used by ``repro run``,
+    where an explicit flag overrides the spec but its absence must not).
+    """
+    parser.add_argument(
+        "--stats-mode", choices=list(STATS_MODES), default=default,
+        help="observation sinks for simulation runs: 'array' retains every "
+             "sample (bit-identical legacy behaviour, exact percentiles), "
+             "'online' streams through bounded-memory accumulators so run "
+             "length is bounded by CPU instead of RAM (default: array)",
     )
 
 
@@ -252,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--chart", action="store_true", help="print an ASCII chart")
     fig.add_argument("--replications", type=int, default=1,
                      help="independent simulation replications per point")
+    add_stats_mode_flag(fig)
     add_backend_flags(fig)
 
     ratio = sub.add_parser("ratio", help="blocking vs non-blocking latency ratio study")
@@ -266,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--message-bytes", type=float, default=1024.0)
     val.add_argument("--messages", type=int, default=PAPER_PARAMETERS.simulation_messages)
     val.add_argument("--replications", type=int, default=1)
+    add_stats_mode_flag(val)
     add_backend_flags(val)
 
     abl = sub.add_parser("ablation", help="run one ablation study")
@@ -285,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulated messages per point when --simulate is given")
     rep.add_argument("--clusters", type=int, nargs="*", default=None,
                      help="override the cluster-count sweep")
+    add_stats_mode_flag(rep)
     add_backend_flags(rep)
 
     runp = sub.add_parser(
@@ -311,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--smoke", action="store_true",
                       help="use the scenario's tiny smoke spec (scenario-name form only)")
     runp.add_argument("--csv", type=str, default=None, help="write the points to a CSV file")
+    add_stats_mode_flag(runp, default=None)
     add_backend_flags(runp)
 
     scen = sub.add_parser("scenarios", help="list the registered experiment scenarios")
@@ -349,6 +370,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         simulation_messages=args.messages,
         replications=args.replications,
         engine=engine,
+        stats_mode=args.stats_mode,
     )
     check_idle_journal(engine)
     print(result.spec.title)
@@ -399,6 +421,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         message_bytes=args.message_bytes,
         generation_rate=PAPER_PARAMETERS.generation_rate,
         num_messages=args.messages,
+        stats_mode=args.stats_mode,
     )
     point = validate_against_analysis(
         system, model_config, sim_config, args.replications,
@@ -442,6 +465,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         cluster_counts=args.clusters,
         simulation_messages=args.messages,
         engine=engine,
+        stats_mode=args.stats_mode,
     )
     check_idle_journal(engine)
     if args.output:
@@ -468,7 +492,7 @@ def _load_run_spec(args: argparse.Namespace) -> ExperimentSpec:
         else:
             spec = ExperimentSpec(
                 scenario=scenario.name,
-                mode="both" if scenario.supports_analysis else "simulate",
+                mode="both" if scenario.analysis_capable else "simulate",
             )
     else:
         raise SystemExit(
@@ -490,6 +514,8 @@ def _load_run_spec(args: argparse.Namespace) -> ExperimentSpec:
         overrides["replications"] = args.replications
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.stats_mode is not None:
+        overrides["stats_mode"] = args.stats_mode
     return dataclass_replace(spec, **overrides) if overrides else spec
 
 
@@ -545,6 +571,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 "description": scenario.description,
                 "paper": scenario.paper,
                 "supports_analysis": scenario.supports_analysis,
+                "heterogeneous_analysis": scenario.heterogeneous_analysis,
                 "default_architecture": scenario.default_architecture,
                 "custom_destinations": scenario.destination_policy is not None,
                 "custom_arrivals": scenario.arrival_factory is not None,
@@ -556,7 +583,11 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     rows = [
         {
             "name": scenario.name,
-            "analysis": "yes" if scenario.supports_analysis else "no",
+            "analysis": (
+                "yes"
+                if scenario.supports_analysis
+                else ("het" if scenario.heterogeneous_analysis else "no")
+            ),
             "architecture": scenario.default_architecture,
             "workload": ", ".join(
                 part

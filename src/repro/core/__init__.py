@@ -4,6 +4,7 @@ from .cluster_of_clusters import (
     ClusterOfClustersModel,
     HeterogeneousModelConfig,
     HeterogeneousReport,
+    evaluate_heterogeneous_grid,
 )
 from .fixed_point import FixedPointResult, QueueLengths, queue_lengths_at, solve_effective_rate
 from .latency import LatencyBreakdown, WaitingTimes, mean_message_latency, waiting_time
@@ -26,6 +27,7 @@ __all__ = [
     "ClusterOfClustersModel",
     "HeterogeneousModelConfig",
     "HeterogeneousReport",
+    "evaluate_heterogeneous_grid",
     "outgoing_probability",
     "local_probability",
     "remote_destinations",

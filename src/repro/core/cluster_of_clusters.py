@@ -39,8 +39,14 @@ from ..errors import ConfigurationError, StabilityError
 from ..network.models import CommunicationNetworkModel, build_network_model
 from .latency import waiting_time
 from .model import PAPER_GENERATION_RATE
+from .vectorized import GridEvaluation
 
-__all__ = ["HeterogeneousModelConfig", "HeterogeneousReport", "ClusterOfClustersModel"]
+__all__ = [
+    "HeterogeneousModelConfig",
+    "HeterogeneousReport",
+    "ClusterOfClustersModel",
+    "evaluate_heterogeneous_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -254,3 +260,70 @@ class ClusterOfClustersModel:
             utilizations=utilizations,
             iterations=iterations,
         )
+
+
+def evaluate_heterogeneous_grid(
+    evaluations: Sequence[Tuple[MultiClusterSystem, HeterogeneousModelConfig]],
+) -> GridEvaluation:
+    """Evaluate the Cluster-of-Clusters model at every ``(system, config)`` point.
+
+    The counterpart of :func:`repro.core.vectorized.evaluate_latency_grid`
+    for scenarios whose systems the §4 homogeneous model cannot describe
+    (unequal cluster sizes, per-cluster technologies): the experiment
+    pipeline's analysis pass feeds either function into the same
+    :class:`~repro.core.vectorized.GridEvaluation` consumers.
+
+    Per-cluster quantities are folded to one scalar per point by weighting
+    source clusters with their share of generated traffic
+    (``N_i λ_eff,i``), the same weighting :meth:`ClusterOfClustersModel.
+    evaluate` uses for the overall mean latency.  Every point is solved by
+    the scalar model, so ``scalar_fallback`` lists every index.
+    """
+    n = len(evaluations)
+    mean = np.empty(n)
+    local = np.empty(n)
+    remote = np.empty(n)
+    effective = np.empty(n)
+    outgoing = np.empty(n)
+    iterations = np.empty(n, dtype=int)
+    icn2_util = np.empty(n)
+    throttling = np.empty(n)
+
+    for i, (system, config) in enumerate(evaluations):
+        report = ClusterOfClustersModel(system, config).evaluate()
+        names = [c.name for c in system.clusters]
+        sizes = np.array([c.num_processors for c in system.clusters], dtype=float)
+        rates = np.array([report.per_cluster_effective_rate[name] for name in names])
+        nominal = np.array(
+            [
+                c.processor_type.scaled_rate(config.generation_rate)
+                for c in system.clusters
+            ]
+        )
+        generation = sizes * rates
+        total = generation.sum()
+        weights = generation / total if total > 0 else np.full(len(sizes), 1.0 / len(sizes))
+
+        mean[i] = report.mean_latency_s
+        local[i] = float(np.sum(weights * [report.per_cluster_local_latency_s[n_] for n_ in names]))
+        remote[i] = float(np.sum(weights * [report.per_cluster_remote_latency_s[n_] for n_ in names]))
+        effective[i] = float(np.sum(weights * rates))
+        outgoing[i] = float(
+            np.sum(weights * [report.per_cluster_outgoing_probability[n_] for n_ in names])
+        )
+        iterations[i] = report.iterations
+        icn2_util[i] = report.utilizations["icn2"]
+        nominal_weighted = float(np.sum(weights * nominal))
+        throttling[i] = effective[i] / nominal_weighted if nominal_weighted > 0 else 1.0
+
+    return GridEvaluation(
+        mean_latency_s=mean,
+        local_latency_s=local,
+        remote_latency_s=remote,
+        effective_rate=effective,
+        outgoing_probability=outgoing,
+        iterations=iterations,
+        icn2_utilization=icn2_util,
+        throttling_factor=throttling,
+        scalar_fallback=tuple(range(n)),
+    )

@@ -10,9 +10,11 @@ tools can inspect.
 from __future__ import annotations
 
 import math
+import warnings
 from array import array
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -158,6 +160,17 @@ class Monitor:
             "p99": self.percentile(99),
         }
 
+    def batch_means_interval(self, num_batches: int, confidence: float = 0.95):
+        """Batch-means confidence interval over the retained observations.
+
+        Part of the :class:`repro.stats.sinks.StatsSink` protocol; delegates
+        to :func:`repro.stats.intervals.batch_means` on the full value
+        array, so it is bit-identical to calling that function directly.
+        """
+        from ..stats.intervals import batch_means
+
+        return batch_means(self.values, num_batches=num_batches, confidence=confidence)
+
     def __len__(self) -> int:
         return len(self._values)
 
@@ -265,16 +278,34 @@ class TraceRecord:
 
 
 class Tracer:
-    """Structured event log with optional category filtering.
+    """Structured event log with optional category filtering and a size cap.
 
     Tracing is off by default (``enabled=False``) so that it costs a single
     attribute check per potential record in hot paths.
+
+    ``max_records`` bounds memory on long traced runs: when set, the log
+    becomes a ring buffer that keeps only the most recent ``max_records``
+    entries.  The first time an old record is dropped a single
+    ``RuntimeWarning`` is emitted; :attr:`dropped` counts every drop since
+    the last :meth:`clear`.
     """
 
-    def __init__(self, enabled: bool = False, categories: Optional[Iterable[str]] = None) -> None:
+    __slots__ = ("enabled", "max_records", "_categories", "_records", "_dropped", "_warned")
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        categories: Optional[Iterable[str]] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records!r}")
         self.enabled = enabled
+        self.max_records = max_records
         self._categories = set(categories) if categories is not None else None
-        self._records: List[TraceRecord] = []
+        self._records: Deque[TraceRecord] = deque(maxlen=max_records)
+        self._dropped = 0
+        self._warned = False
 
     def log(self, time: float, category: str, message: str, **data: Any) -> None:
         """Append a record if tracing is enabled and the category is selected."""
@@ -282,20 +313,38 @@ class Tracer:
             return
         if self._categories is not None and category not in self._categories:
             return
-        self._records.append(TraceRecord(float(time), category, message, dict(data)))
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self._dropped += 1
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"Tracer reached max_records={records.maxlen}; oldest records "
+                    "are being dropped (ring buffer)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        records.append(TraceRecord(float(time), category, message, dict(data)))
 
     @property
     def records(self) -> Tuple[TraceRecord, ...]:
-        """All recorded entries, in order."""
+        """All retained entries, in order (oldest may have been dropped)."""
         return tuple(self._records)
 
+    @property
+    def dropped(self) -> int:
+        """Number of records dropped by the ring buffer since the last clear."""
+        return self._dropped
+
     def filter(self, category: str) -> List[TraceRecord]:
-        """Return only the records of the given ``category``."""
+        """Return only the retained records of the given ``category``."""
         return [r for r in self._records if r.category == category]
 
     def clear(self) -> None:
-        """Discard all records."""
+        """Discard all records and reset the drop counter."""
         self._records.clear()
+        self._dropped = 0
+        self._warned = False
 
     def __len__(self) -> int:
         return len(self._records)

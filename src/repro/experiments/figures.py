@@ -231,6 +231,7 @@ def run_figure(
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
     checkpoint: Optional[Union[str, SweepJournal]] = None,
+    stats_mode: str = "array",
 ) -> FigureResult:
     """Reproduce one of the paper's Figures 4–7.
 
@@ -275,6 +276,10 @@ def run_figure(
         completed simulations are journaled as they finish, and a killed
         sweep re-run with the same journal resumes bit-identically,
         re-executing only the unfinished tasks.
+    stats_mode:
+        Observation sinks of the simulation pass: ``"array"`` (default,
+        bit-identical legacy behaviour) or ``"online"`` (bounded-memory
+        streaming accumulators; see :mod:`repro.stats.sinks`).
     """
     if number not in FIGURE_SPECS:
         raise ExperimentError(f"unknown figure {number}; the paper has figures 4-7")
@@ -295,6 +300,7 @@ def run_figure(
         replications=replications,
         simulation_messages=sim_messages,
         seed=seed,
+        stats_mode=stats_mode,
     )
     plan = build_plan(
         experiment,

@@ -63,6 +63,7 @@ from ..simulation.runner import (
 )
 from ..simulation.simulator import SimulationConfig
 from ..stats.compare import ComparisonSummary, compare_series
+from ..stats.sinks import STATS_MODES
 from ..viz.tables import format_fixed_width_table, format_markdown_table
 from ..workload.destinations import DestinationPolicy
 from .scenarios import (
@@ -139,6 +140,11 @@ class ExperimentSpec:
         ``SeedSequence``-spawned from it.
     switch_ports, switch_latency_us:
         Optional overrides of the Table-2 switch fabric.
+    stats_mode:
+        Observation-sink strategy of the simulation pass
+        (:data:`repro.stats.sinks.STATS_MODES`): ``"array"`` retains every
+        sample (bit-identical legacy behaviour), ``"online"`` streams
+        through bounded-memory accumulators.
     """
 
     scenario: str
@@ -152,6 +158,7 @@ class ExperimentSpec:
     seed: int = 0
     switch_ports: Optional[int] = None
     switch_latency_us: Optional[float] = None
+    stats_mode: str = "array"
 
     def __post_init__(self) -> None:
         # Coerce JSON-borne lists into tuples so specs stay hashable and
@@ -182,6 +189,10 @@ class ExperimentSpec:
         if self.mode not in EXPERIMENT_MODES:
             raise ExperimentError(
                 f"mode must be one of {EXPERIMENT_MODES}, got {self.mode!r}"
+            )
+        if self.stats_mode not in STATS_MODES:
+            raise ExperimentError(
+                f"stats_mode must be one of {STATS_MODES}, got {self.stats_mode!r}"
             )
         if self.replications < 1:
             raise ExperimentError(f"replications must be >= 1, got {self.replications!r}")
@@ -287,7 +298,7 @@ def smoke_spec(scenario: Union[str, Scenario], messages: int = 300, seed: int = 
         scenario = get_scenario(scenario)
     return ExperimentSpec(
         scenario=scenario.name,
-        mode="both" if scenario.supports_analysis else "simulate",
+        mode="both" if scenario.analysis_capable else "simulate",
         cluster_counts=scenario.smoke_cluster_counts,
         message_sizes=(512,),
         replications=1,
@@ -322,7 +333,13 @@ class SimulationPlan:
 
 @dataclass
 class ExperimentPlan:
-    """A fully expanded campaign: grid, systems, analysis and simulation."""
+    """A fully expanded campaign: grid, systems, analysis and simulation.
+
+    ``analysis_kind`` records which analytical model backs the analysis
+    pass: ``"paper"`` for the §4 homogeneous model (vectorized grid) or
+    ``"cluster-of-clusters"`` for the §7 heterogeneous extension used by
+    scenarios with unequal clusters or per-cluster technologies.
+    """
 
     spec: ExperimentSpec
     scenario: Scenario
@@ -331,6 +348,7 @@ class ExperimentPlan:
     points: List[PlanPoint]
     systems: Dict[int, Any]
     simulation: Optional[SimulationPlan] = None
+    analysis_kind: str = "paper"
 
     @property
     def include_analysis(self) -> bool:
@@ -348,6 +366,22 @@ class ExperimentPlan:
             (
                 self.systems[point.num_clusters],
                 ModelConfig(
+                    architecture=self.architecture,
+                    message_bytes=float(point.message_bytes),
+                    generation_rate=point.generation_rate,
+                ),
+            )
+            for point in self.points
+        ]
+
+    def heterogeneous_evaluations(self) -> List[Tuple[Any, Any]]:
+        """The ``(system, config)`` pairs of the Cluster-of-Clusters pass."""
+        from ..core.cluster_of_clusters import HeterogeneousModelConfig
+
+        return [
+            (
+                self.systems[point.num_clusters],
+                HeterogeneousModelConfig(
                     architecture=self.architecture,
                     message_bytes=float(point.message_bytes),
                     generation_rate=point.generation_rate,
@@ -456,11 +490,12 @@ def build_plan(
     in grid order.
     """
     scenario = get_scenario(spec.scenario)
-    if spec.include_analysis and not scenario.supports_analysis:
+    if spec.include_analysis and not scenario.analysis_capable:
         raise ExperimentError(
             f"scenario {spec.scenario!r} does not support the closed-form "
             f"analysis (mode={spec.mode!r}); use mode='simulate'"
         )
+    analysis_kind = "paper" if scenario.supports_analysis else "cluster-of-clusters"
     parameters = _apply_switch_overrides(spec, parameters)
     counts = (
         spec.cluster_counts
@@ -510,6 +545,7 @@ def build_plan(
                     generation_rate=point.generation_rate,
                     num_messages=spec.simulation_messages,
                     seed=point_seed,
+                    stats_mode=spec.stats_mode,
                 ),
             )
             for point, point_seed in zip(points, point_seeds)
@@ -530,6 +566,7 @@ def build_plan(
         points=points,
         systems=systems,
         simulation=simulation,
+        analysis_kind=analysis_kind,
     )
 
 
@@ -575,6 +612,14 @@ class ExperimentRunner:
         """Evaluate the closed-form model for a grid (vectorized, bit-exact)."""
         return evaluate_latency_grid(evaluations)
 
+    def run_plan_analysis(self, plan: ExperimentPlan) -> GridEvaluation:
+        """Evaluate the analysis pass with the model ``plan.analysis_kind`` names."""
+        if plan.analysis_kind == "cluster-of-clusters":
+            from ..core.cluster_of_clusters import evaluate_heterogeneous_grid
+
+            return evaluate_heterogeneous_grid(plan.heterogeneous_evaluations())
+        return self.run_analysis(plan.analysis_evaluations())
+
     def run_simulation_plan(self, simulation: SimulationPlan) -> List[ReplicatedResult]:
         """Execute a simulation plan and fold results per point, in order."""
         results = self.engine.run(simulation.tasks)
@@ -591,9 +636,7 @@ class ExperimentRunner:
 
     def run(self, plan: ExperimentPlan, collector: Optional["Collector"] = None):
         """Execute ``plan`` and fold it through ``collector`` (table default)."""
-        analysis = (
-            self.run_analysis(plan.analysis_evaluations()) if plan.include_analysis else None
-        )
+        analysis = self.run_plan_analysis(plan) if plan.include_analysis else None
         replicated = (
             self.run_simulation_plan(plan.simulation) if plan.include_simulation else None
         )

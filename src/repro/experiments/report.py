@@ -147,6 +147,7 @@ def generate_report(
     engine: Optional[SweepEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
     checkpoint: Optional[Union[str, SweepJournal]] = None,
+    stats_mode: str = "array",
 ) -> ReproductionReport:
     """Regenerate every figure (and the ratio study) and bundle them.
 
@@ -170,6 +171,7 @@ def generate_report(
             parameters=parameters,
             seed=seed + number,
             engine=engine,
+            stats_mode=stats_mode,
         )
         for number in numbers
     }

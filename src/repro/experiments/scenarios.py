@@ -193,6 +193,16 @@ class Scenario:
     smoke_cluster_counts: Tuple[int, ...] = (2, 4)
     #: Whether this scenario reproduces part of the paper's own evaluation.
     paper: bool = False
+    #: Whether the §7 Cluster-of-Clusters extension
+    #: (:class:`repro.core.cluster_of_clusters.ClusterOfClustersModel`)
+    #: provides the scenario's analytical curve when the §4 homogeneous
+    #: model does not apply (unequal clusters, per-cluster technologies).
+    heterogeneous_analysis: bool = False
+
+    @property
+    def analysis_capable(self) -> bool:
+        """Whether *some* analytical model covers this scenario."""
+        return self.supports_analysis or self.heterogeneous_analysis
 
     def system(
         self, num_clusters: int, parameters: "PaperParameters" = None
@@ -359,6 +369,7 @@ register_scenario(Scenario(
     ),
     build_system=_build_heterogeneous_nics,
     supports_analysis=False,
+    heterogeneous_analysis=True,
     default_cluster_counts=(2, 4, 8, 16, 32),
     smoke_cluster_counts=(4,),
 ))
@@ -423,6 +434,7 @@ register_scenario(Scenario(
     ),
     build_system=_build_llnl,
     supports_analysis=False,
+    heterogeneous_analysis=True,
     default_cluster_counts=(4,),
     smoke_cluster_counts=(4,),
 ))

@@ -21,6 +21,7 @@ from ..des.monitor import Monitor, TimeWeightedMonitor
 from ..des.rng import VariateGenerator
 from ..errors import SimulationError
 from ..queueing.distributions import Distribution
+from ..stats.sinks import OnlineMonitor, validate_stats_mode
 from .message import Message
 
 __all__ = ["ServiceCenterSim", "LatencySink"]
@@ -174,12 +175,28 @@ class ServiceCenterSim:
 
 
 class LatencySink:
-    """Collects completed messages and decides when the run is finished."""
+    """Collects completed messages and decides when the run is finished.
+
+    The latency monitors are pluggable :class:`repro.stats.sinks.StatsSink`
+    implementations selected by ``stats_mode``:
+
+    * ``"array"`` (default) — array-backed :class:`~repro.des.monitor.Monitor`
+      objects plus retention of every completed :class:`Message` (needed for
+      per-message traces and exact percentiles); O(n) memory, bit-identical
+      to all earlier releases.
+    * ``"online"`` — bounded-memory :class:`~repro.stats.sinks.OnlineMonitor`
+      accumulators.  The measured count is known up front
+      (``target_messages - warmup_messages``), so the overall-latency sink
+      pre-sizes its streaming batch-means layout to match the array path;
+      completed messages are **not** retained.
+    """
 
     __slots__ = (
         "env",
         "target_messages",
         "warmup_messages",
+        "stats_mode",
+        "keep_messages",
         "latencies",
         "local_latencies",
         "remote_latencies",
@@ -188,19 +205,41 @@ class LatencySink:
         "done",
     )
 
-    def __init__(self, env: Environment, target_messages: int, warmup_messages: int = 0) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        target_messages: int,
+        warmup_messages: int = 0,
+        stats_mode: str = "array",
+        batch_count: int = 20,
+    ) -> None:
         if target_messages < 1:
             raise SimulationError(f"target_messages must be >= 1, got {target_messages!r}")
         if warmup_messages < 0 or warmup_messages >= target_messages:
             raise SimulationError(
                 "warmup_messages must be non-negative and smaller than target_messages"
             )
+        validate_stats_mode(stats_mode)
         self.env = env
         self.target_messages = target_messages
         self.warmup_messages = warmup_messages
-        self.latencies = Monitor("latency")
-        self.local_latencies = Monitor("latency.local")
-        self.remote_latencies = Monitor("latency.remote")
+        self.stats_mode = stats_mode
+        if stats_mode == "array":
+            self.keep_messages = True
+            self.latencies = Monitor("latency")
+            self.local_latencies = Monitor("latency.local")
+            self.remote_latencies = Monitor("latency.remote")
+        else:
+            self.keep_messages = False
+            measured = target_messages - warmup_messages
+            self.latencies = OnlineMonitor(
+                "latency",
+                batch_count=batch_count if measured >= batch_count else None,
+                expected_count=measured if measured >= batch_count else None,
+            )
+            # The split sinks only ever report means; skip the histograms.
+            self.local_latencies = OnlineMonitor("latency.local", track_quantiles=False)
+            self.remote_latencies = OnlineMonitor("latency.remote", track_quantiles=False)
         self.completed: int = 0
         self.messages: List[Message] = []
         #: Event triggered once ``target_messages`` messages have completed.
@@ -219,7 +258,8 @@ class LatencySink:
                 self.remote_latencies.record(completed_at, latency)
             else:
                 self.local_latencies.record(completed_at, latency)
-            self.messages.append(message)
+            if self.keep_messages:
+                self.messages.append(message)
         if self.completed >= self.target_messages and not self.done.triggered:
             self.done.succeed(self.completed)
 

@@ -137,6 +137,11 @@ def run_message_trace_task(
     importable by socket/SSH worker daemons that cannot unpickle
     test-module closures.
     """
+    if config.stats_mode != "array":
+        raise ConfigurationError(
+            "per-message traces require stats_mode='array' (the online sink "
+            f"does not retain messages), got {config.stats_mode!r}"
+        )
     simulator = MultiClusterSimulator(system, config, destination_policy, arrival_factory)
     simulator.run()
     return [

@@ -32,7 +32,8 @@ from ..des.rng import RandomStreams
 from ..errors import ConfigurationError, SimulationError
 from ..network.models import CommunicationNetworkModel, build_network_model
 from ..queueing.distributions import Deterministic, Distribution, Exponential
-from ..stats.intervals import ConfidenceInterval, batch_means
+from ..stats.intervals import ConfidenceInterval
+from ..stats.sinks import STATS_MODES
 from ..workload.arrivals import ArrivalProcess
 from ..workload.destinations import DestinationPolicy, UniformDestinations
 from .components import LatencySink, ServiceCenterSim
@@ -71,6 +72,12 @@ class SimulationConfig:
         ablation of the M/M/1 assumption).
     batch_count:
         Number of batches for the batch-means confidence interval.
+    stats_mode:
+        Observation-sink strategy (:data:`repro.stats.sinks.STATS_MODES`):
+        ``"array"`` retains every sample and message (bit-identical legacy
+        behaviour, exact percentiles, per-message traces); ``"online"``
+        streams everything through bounded-memory accumulators so run
+        length is bounded by CPU rather than RAM.
     """
 
     architecture: str = "non-blocking"
@@ -81,6 +88,7 @@ class SimulationConfig:
     seed: int = 0
     exponential_service: bool = True
     batch_count: int = 20
+    stats_mode: str = "array"
 
     def __post_init__(self) -> None:
         if self.message_bytes <= 0:
@@ -97,11 +105,21 @@ class SimulationConfig:
             )
         if self.batch_count < 2:
             raise ConfigurationError(f"batch_count must be >= 2, got {self.batch_count!r}")
+        if self.stats_mode not in STATS_MODES:
+            raise ConfigurationError(
+                f"stats_mode must be one of {STATS_MODES}, got {self.stats_mode!r}"
+            )
 
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Summary of one simulation run."""
+    """Summary of one simulation run.
+
+    ``latency_summary`` carries count/mean/std/min/max/p50/p95/p99 of the
+    post-warm-up latency stream (seconds).  Count, min and max are exact in
+    both stats modes; in ``online`` mode the percentiles are histogram
+    estimates at the sink's documented resolution.
+    """
 
     mean_latency_s: float
     confidence_interval: Optional[ConfidenceInterval]
@@ -114,6 +132,8 @@ class SimulationResult:
     utilizations: Dict[str, float]
     mean_occupancies: Dict[str, float]
     seed: int
+    stats_mode: str = "array"
+    latency_summary: Optional[Dict[str, float]] = None
 
     @property
     def mean_latency_ms(self) -> float:
@@ -165,7 +185,13 @@ class MultiClusterSimulator:
         self.env = Environment()
         self._build_service_centers()
         warmup = int(self.config.num_messages * self.config.warmup_fraction)
-        self.sink = LatencySink(self.env, self.config.num_messages, warmup)
+        self.sink = LatencySink(
+            self.env,
+            self.config.num_messages,
+            warmup,
+            stats_mode=self.config.stats_mode,
+            batch_count=self.config.batch_count,
+        )
         self._message_counter = 0
         self._start_processors()
 
@@ -294,10 +320,12 @@ class MultiClusterSimulator:
             raise SimulationError("simulation finished without measuring any messages")
         now = self.env.now
 
-        latencies = sink.latencies.values
+        # Both sink implementations expose the StatsSink protocol; in array
+        # mode batch_means_interval delegates to the historical batch_means
+        # call on the full value array, keeping the result bit-identical.
         ci: Optional[ConfidenceInterval] = None
-        if latencies.size >= self.config.batch_count:
-            ci = batch_means(latencies, num_batches=self.config.batch_count)
+        if sink.latencies.count >= self.config.batch_count:
+            ci = sink.latencies.batch_means_interval(self.config.batch_count)
 
         remote_count = sink.remote_latencies.count
         measured = sink.measured
@@ -324,4 +352,6 @@ class MultiClusterSimulator:
             utilizations=utilizations,
             mean_occupancies=occupancies,
             seed=self.config.seed,
+            stats_mode=self.config.stats_mode,
+            latency_summary=sink.latencies.summary(),
         )

@@ -12,9 +12,14 @@ from .compare import (
 from .histogram import Histogram, LogHistogram
 from .intervals import ConfidenceInterval, batch_means, mean_confidence_interval, t_quantile
 from .online import ExponentialMovingAverage, RunningCovariance, RunningStatistics
+from .sinks import STATS_MODES, OnlineMonitor, StatsSink, validate_stats_mode
 from .warmup import moving_average_crossing, mser5_truncation, truncate_warmup
 
 __all__ = [
+    "STATS_MODES",
+    "StatsSink",
+    "OnlineMonitor",
+    "validate_stats_mode",
     "RunningStatistics",
     "RunningCovariance",
     "ExponentialMovingAverage",

@@ -1,0 +1,401 @@
+"""Pluggable statistics sinks: the streaming observation layer.
+
+Every consumer of per-observation statistics in the simulation path — the
+DES monitors, :class:`~repro.simulation.components.LatencySink`, the
+simulator's result assembly and the experiment pipeline's collectors —
+talks to a :class:`StatsSink`, not to a concrete storage strategy.  Two
+interchangeable implementations exist:
+
+* :class:`~repro.des.monitor.Monitor` — the historical array-backed sink.
+  It retains every ``(time, value)`` pair, so warm-up re-cuts, exact
+  percentiles and per-message traces stay available, at O(n) memory.
+  This is the default (``stats_mode="array"``) and is bit-identical to
+  every earlier release (pinned by the golden-trace fixtures).
+* :class:`OnlineMonitor` — the bounded-memory streaming sink built on
+  :class:`~repro.stats.online.RunningStatistics` (Welford mean/variance/
+  extrema), a :class:`~repro.stats.histogram.Histogram` for quantiles at a
+  documented resolution, and per-batch Welford accumulators for the
+  batch-means confidence interval.  Memory is O(bins + batches) no matter
+  how many observations stream through, so simulation length is bounded
+  by CPU, not RAM (``stats_mode="online"``).
+
+Exactness contract of the online sink relative to the array sink, for the
+same observation stream:
+
+* ``count``, ``minimum``, ``maximum`` and ``total`` are **exact**;
+* ``mean``/``std``/``variance`` and the batch-means confidence interval
+  agree to within ~1e-12 relative (Welford vs NumPy pairwise summation —
+  the test suite pins 1e-9);
+* percentiles are approximate: the histogram auto-calibrates its range on
+  the first ``calibration_samples`` observations (quantiles are *exact*
+  until then) and afterwards resolves quantiles to one bin width —
+  ``range / quantile_bins`` — with values outside the calibrated range
+  clamped to its edges.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .histogram import Histogram
+from .intervals import ConfidenceInterval, mean_confidence_interval
+from .online import RunningStatistics
+
+__all__ = [
+    "STATS_MODES",
+    "StatsSink",
+    "OnlineMonitor",
+    "validate_stats_mode",
+]
+
+#: Valid values of the ``stats_mode`` knob threaded through
+#: :class:`~repro.simulation.simulator.SimulationConfig`,
+#: :class:`~repro.experiments.pipeline.ExperimentSpec` and the CLI.
+STATS_MODES = ("array", "online")
+
+
+def validate_stats_mode(mode: str) -> str:
+    """Validate a ``stats_mode`` value and return it."""
+    if mode not in STATS_MODES:
+        raise ValueError(f"stats_mode must be one of {STATS_MODES}, got {mode!r}")
+    return mode
+
+
+try:  # pragma: no cover - typing affordance only
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - pre-3.8 fallback, never hit in CI
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+@runtime_checkable
+class StatsSink(Protocol):
+    """Structural interface every observation sink implements.
+
+    :class:`~repro.des.monitor.Monitor` (array-backed) and
+    :class:`OnlineMonitor` (streaming) both satisfy it; simulation
+    components and result assembly depend only on these members, so the
+    two are interchangeable behind the ``stats_mode`` knob.
+    """
+
+    name: str
+
+    def record(self, time: float, value: float) -> None: ...
+
+    @property
+    def count(self) -> int: ...
+
+    def mean(self) -> float: ...
+
+    def variance(self) -> float: ...
+
+    def std(self) -> float: ...
+
+    def minimum(self) -> float: ...
+
+    def maximum(self) -> float: ...
+
+    def percentile(self, q: float) -> float: ...
+
+    def summary(self) -> Dict[str, float]: ...
+
+    def batch_means_interval(
+        self, num_batches: int, confidence: float = 0.95
+    ) -> ConfidenceInterval: ...
+
+
+class OnlineMonitor:
+    """Bounded-memory streaming sink: Welford + histogram + batch means.
+
+    Parameters
+    ----------
+    name:
+        Sink name used in reports (mirrors :class:`~repro.des.monitor.Monitor`).
+    batch_count, expected_count:
+        When both are given, the sink maintains ``batch_count`` per-batch
+        Welford accumulators sized for ``expected_count`` observations —
+        batch ``i`` covers observations ``[i*bs, (i+1)*bs)`` with
+        ``bs = expected_count // batch_count`` and the final batch absorbs
+        the remainder, exactly the layout of
+        :func:`repro.stats.intervals.batch_means` when the stream length
+        matches ``expected_count`` (simulation runs know both up front).
+    quantile_bins:
+        Regular bins of the quantile histogram; the quantile resolution is
+        ``calibrated range / quantile_bins``.
+    calibration_samples:
+        Observations buffered before the histogram range is frozen (the
+        range becomes ``[min(0, observed min), 4 * observed max]``).
+        Quantiles are exact while calibrating.  Ignored when
+        ``histogram_range`` fixes the range up front.
+    histogram_range:
+        Optional explicit ``(low, high)`` histogram range.  Required for
+        :meth:`merge`, since auto-calibrated ranges are data-dependent.
+    track_quantiles:
+        ``False`` drops the histogram entirely (percentiles become NaN) —
+        used for the local/remote split sinks that only report means.
+    """
+
+    __slots__ = (
+        "name",
+        "_stats",
+        "_histogram",
+        "_pending",
+        "_calibration_samples",
+        "_quantile_bins",
+        "_fixed_range",
+        "_track_quantiles",
+        "_batch_count",
+        "_batch_size",
+        "_expected_count",
+        "_batches",
+    )
+
+    def __init__(
+        self,
+        name: str = "monitor",
+        *,
+        batch_count: Optional[int] = None,
+        expected_count: Optional[int] = None,
+        quantile_bins: int = 4096,
+        calibration_samples: int = 1024,
+        histogram_range: Optional[Tuple[float, float]] = None,
+        track_quantiles: bool = True,
+    ) -> None:
+        if quantile_bins < 1:
+            raise ValueError(f"quantile_bins must be >= 1, got {quantile_bins!r}")
+        if calibration_samples < 1:
+            raise ValueError(
+                f"calibration_samples must be >= 1, got {calibration_samples!r}"
+            )
+        self.name = name
+        self._stats = RunningStatistics()
+        self._track_quantiles = bool(track_quantiles)
+        self._quantile_bins = int(quantile_bins)
+        self._calibration_samples = int(calibration_samples)
+        self._fixed_range = histogram_range
+        self._histogram: Optional[Histogram] = None
+        self._pending: Optional[array] = None
+        if self._track_quantiles:
+            if histogram_range is not None:
+                low, high = histogram_range
+                self._histogram = Histogram(low, high, self._quantile_bins)
+            else:
+                self._pending = array("d")
+
+        self._batch_count: Optional[int] = None
+        self._batch_size: Optional[int] = None
+        self._expected_count: Optional[int] = None
+        self._batches: List[RunningStatistics] = []
+        if batch_count is not None or expected_count is not None:
+            if batch_count is None or expected_count is None:
+                raise ValueError(
+                    "batch_count and expected_count must be given together"
+                )
+            if batch_count < 2:
+                raise ValueError(f"batch_count must be >= 2, got {batch_count!r}")
+            if expected_count < 1:
+                raise ValueError(
+                    f"expected_count must be >= 1, got {expected_count!r}"
+                )
+            self._batch_count = int(batch_count)
+            self._expected_count = int(expected_count)
+            self._batch_size = max(self._expected_count // self._batch_count, 1)
+            self._batches = [RunningStatistics() for _ in range(self._batch_count)]
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, time: float, value: float) -> None:
+        """Incorporate one observation (the ``time`` is not retained)."""
+        value = float(value)
+        if self._batch_size is not None:
+            # Observation index before the push selects the batch; the final
+            # batch absorbs everything past the nominal layout, mirroring
+            # repro.stats.intervals.batch_means.
+            idx = self._stats.count // self._batch_size
+            if idx >= self._batch_count:
+                idx = self._batch_count - 1
+            self._batches[idx].push(value)
+        self._stats.push(value)
+        if self._histogram is not None:
+            self._histogram.add(value)
+        elif self._pending is not None:
+            self._pending.append(value)
+            if len(self._pending) >= self._calibration_samples:
+                self._freeze_histogram()
+
+    def extend(self, times, values) -> None:
+        """Record many observations (times are ignored, like :meth:`record`)."""
+        values = list(values)
+        times = list(times)
+        if len(times) != len(values):
+            raise ValueError("times and values must have equal length")
+        for time, value in zip(times, values):
+            self.record(time, value)
+
+    def _freeze_histogram(self) -> None:
+        """Fix the histogram range from the calibration buffer and replay it."""
+        low = min(0.0, self._stats.minimum)
+        high = self._stats.maximum * 4.0
+        if not high > low:
+            high = low + max(abs(low), 1.0)
+        self._histogram = Histogram(low, high, self._quantile_bins)
+        self._histogram.add_many(self._pending)
+        self._pending = None
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of recorded observations (exact)."""
+        return self._stats.count
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations (exact)."""
+        return self._stats.total
+
+    def mean(self) -> float:
+        """Streaming sample mean (NaN when empty)."""
+        return self._stats.mean
+
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN below two observations)."""
+        return self._stats.variance
+
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return self._stats.std
+
+    def minimum(self) -> float:
+        """Smallest observation (exact; NaN when empty)."""
+        return self._stats.minimum
+
+    def maximum(self) -> float:
+        """Largest observation (exact; NaN when empty)."""
+        return self._stats.maximum
+
+    @property
+    def quantile_resolution(self) -> float:
+        """Width of one histogram bin (NaN before the range is frozen)."""
+        if self._histogram is None:
+            return math.nan
+        return (self._histogram.high - self._histogram.low) / self._histogram.bins
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100), histogram-resolved.
+
+        Exact while the calibration buffer is still live; afterwards
+        resolved to one bin width and clamped to the exact ``[min, max]``.
+        NaN when quantile tracking is disabled or no data arrived.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must lie in [0, 100], got {q!r}")
+        if self._stats.count == 0 or not self._track_quantiles:
+            return math.nan
+        if self._pending is not None:
+            return float(np.percentile(np.frombuffer(self._pending, dtype=np.float64), q))
+        estimate = self._histogram.quantile(q / 100.0)
+        # The histogram answers with bin centres (or range edges for
+        # clamped mass); the exact running extrema bound the true value.
+        return float(min(max(estimate, self._stats.minimum), self._stats.maximum))
+
+    def summary(self) -> Dict[str, float]:
+        """Summary dictionary with the same keys as ``Monitor.summary``."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "std": self.std(),
+            "min": self.minimum(),
+            "max": self.maximum(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    # -- batch means ----------------------------------------------------------
+
+    def batch_means_interval(
+        self, num_batches: int, confidence: float = 0.95
+    ) -> ConfidenceInterval:
+        """Batch-means confidence interval from the streaming accumulators.
+
+        ``num_batches`` must match the configured ``batch_count`` (the
+        layout was fixed when the sink was built).  Matches the array
+        path's :func:`~repro.stats.intervals.batch_means` exactly in batch
+        layout whenever the stream length equals ``expected_count``; the
+        batch means themselves are Welford-accumulated, so the interval
+        agrees with the array path to ~1e-12 relative.
+        """
+        if self._batch_count is None:
+            raise ValueError(
+                f"sink {self.name!r} was built without batch-means accumulators "
+                "(pass batch_count and expected_count)"
+            )
+        if num_batches != self._batch_count:
+            raise ValueError(
+                f"sink {self.name!r} accumulates {self._batch_count} batches, "
+                f"cannot produce a {num_batches}-batch interval"
+            )
+        if self.count < self._batch_count:
+            raise ValueError(
+                f"need at least {self._batch_count} observations for "
+                f"{self._batch_count} batches, got {self.count}"
+            )
+        means = np.array([b.mean for b in self._batches if b.count], dtype=float)
+        return mean_confidence_interval(means, confidence)
+
+    # -- merging --------------------------------------------------------------
+
+    def merge(self, other: "OnlineMonitor") -> "OnlineMonitor":
+        """Combine two partial streams into one sink (``self`` then ``other``).
+
+        Scalar statistics merge exactly for any split
+        (:meth:`RunningStatistics.merge`).  Histograms merge only when both
+        sinks were built with the same explicit ``histogram_range`` — the
+        auto-calibrated range is data-dependent, so two shards would bin
+        differently.  Per-batch accumulators merge index-wise, which is
+        exact when the split lies on batch boundaries (how a sharded
+        backend partitions a run).
+        """
+        if not isinstance(other, OnlineMonitor):
+            raise TypeError("can only merge with another OnlineMonitor")
+        if self._track_quantiles != other._track_quantiles:
+            raise ValueError("cannot merge sinks with different quantile tracking")
+        if self._track_quantiles:
+            if self._fixed_range is None or self._fixed_range != other._fixed_range:
+                raise ValueError(
+                    "merging quantile-tracking sinks requires both to share an "
+                    "explicit histogram_range (auto-calibrated ranges are "
+                    "data-dependent)"
+                )
+        if (self._batch_count, self._batch_size) != (other._batch_count, other._batch_size):
+            raise ValueError("cannot merge sinks with different batch layouts")
+        merged = OnlineMonitor(
+            self.name,
+            batch_count=self._batch_count,
+            expected_count=self._expected_count,
+            quantile_bins=self._quantile_bins,
+            calibration_samples=self._calibration_samples,
+            histogram_range=self._fixed_range,
+            track_quantiles=self._track_quantiles,
+        )
+        merged._stats = self._stats.merge(other._stats)
+        if merged._histogram is not None:
+            merged._histogram = self._histogram.merge(other._histogram)
+        if self._batch_count is not None:
+            merged._batches = [
+                a.merge(b) for a, b in zip(self._batches, other._batches)
+            ]
+        return merged
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"<OnlineMonitor {self.name!r} n={self.count} mean={self.mean():.6g}>"
