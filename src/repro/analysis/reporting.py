@@ -1,0 +1,85 @@
+"""Output formatters for lint reports: text, JSON and GitHub annotations.
+
+Each formatter turns a :class:`~repro.analysis.engine.LintReport` into a
+string; writing it (and choosing the exit code) is the CLI's job.
+
+* ``text`` — one ``path:line:col: ID message`` line per finding plus a
+  summary, for humans and editors that parse compiler-style locations.
+* ``json`` — a single object with ``findings``/``files_scanned``/
+  ``suppressed`` keys, for toolchain consumers.
+* ``github`` — ``::error`` workflow commands, so a CI run annotates the
+  offending lines directly in the pull-request diff.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict
+
+from .engine import LintReport
+
+__all__ = ["FORMATS", "format_report"]
+
+
+def _format_text(report: LintReport) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}" for f in report.findings
+    ]
+    noise = f", {report.suppressed} suppressed" if report.suppressed else ""
+    if report.findings:
+        count = len(report.findings)
+        plural = "" if count == 1 else "s"
+        lines.append(f"{count} finding{plural} in {report.files_scanned} files{noise}")
+    else:
+        lines.append(f"clean: {report.files_scanned} files scanned{noise}")
+    return "\n".join(lines)
+
+
+def _format_json(report: LintReport) -> str:
+    payload = {
+        "findings": [f.as_dict() for f in report.findings],
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _escape_github(text: str) -> str:
+    """Escape data for a workflow-command message (GitHub's own rules)."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_github_property(text: str) -> str:
+    return _escape_github(text).replace(":", "%3A").replace(",", "%2C")
+
+
+def _format_github(report: LintReport) -> str:
+    lines = []
+    for f in report.findings:
+        location = (
+            f"file={_escape_github_property(f.path)},"
+            f"line={f.line},col={f.col + 1},"
+            f"title={_escape_github_property(f.rule)}"
+        )
+        lines.append(f"::error {location}::{_escape_github(f.message)}")
+    if not lines:
+        return f"clean: {report.files_scanned} files scanned"
+    return "\n".join(lines)
+
+
+FORMATS: Dict[str, Callable[[LintReport], str]] = {
+    "text": _format_text,
+    "json": _format_json,
+    "github": _format_github,
+}
+
+
+def format_report(report: LintReport, fmt: str = "text") -> str:
+    """Render ``report`` in ``fmt`` (one of :data:`FORMATS`)."""
+    try:
+        formatter = FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r}; expected one of {sorted(FORMATS)}"
+        ) from None
+    return formatter(report)

@@ -1,0 +1,133 @@
+"""Rule framework: findings, the rule base class and the rule registry.
+
+A rule is a small AST checker encoding one of the repository's correctness
+invariants (see :mod:`repro.analysis` for the catalogue).  Rules are
+*instantiated per file* so they may keep per-file state, and participate in
+one shared tree walk:
+
+* ``node_types`` names the AST node classes the engine dispatches to
+  :meth:`Rule.visit` — one walk serves every rule (clang-tidy style
+  matcher dispatch, not one full walk per rule);
+* :meth:`Rule.start` runs before the walk (pre-pass state, e.g. collecting
+  the registered DES process names);
+* :meth:`Rule.finish` runs after the walk for whole-module checks.
+
+Register a rule with :func:`register_rule`; the engine instantiates every
+registered rule whose :meth:`Rule.applies_to` accepts the module under
+scan.  Rule identifiers are ``REP<family><nn>`` — family 1 determinism,
+2 pickle safety, 3 slots integrity, 4 DES protocol, 5 frozen specs,
+6 error hygiene.  ``REP000`` is reserved for unparseable files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "rule_catalogue",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    message: str
+    line: int
+    col: int = 0
+    path: str = ""
+
+    def relocate(self, path: str) -> "Finding":
+        """Return the finding stamped with the file it came from."""
+        return Finding(self.rule, self.message, self.line, self.col, path)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain dictionary for the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class of all lint rules.  Subclasses are stateful per file."""
+
+    #: Unique identifier, e.g. ``"REP101"``.
+    id: str = ""
+    #: Short kebab-case name, e.g. ``"nondeterministic-rng"``.
+    name: str = ""
+    #: One-line rationale shown by ``repro lint --list-rules`` and the README.
+    rationale: str = ""
+    #: AST node classes dispatched to :meth:`visit` during the shared walk.
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, ctx) -> bool:
+        """Whether this rule scans ``ctx`` (a :class:`~repro.analysis.engine.ModuleContext`)."""
+        return True
+
+    def start(self, ctx) -> None:
+        """Pre-walk hook: initialise per-file state, run pre-passes."""
+
+    def visit(self, node: ast.AST, ctx) -> Iterator[Finding]:
+        """Handle one dispatched node; yield findings."""
+        return iter(())
+
+    def finish(self, ctx) -> Iterator[Finding]:
+        """Post-walk hook for whole-module checks; yield findings."""
+        return iter(())
+
+    # -- helpers shared by several rules ----------------------------------
+
+    @staticmethod
+    def call_name(node: ast.Call) -> str:
+        """Terminal name of a call target: ``a.b.C(...)`` and ``C(...)`` -> ``"C"``."""
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return ""
+
+    @staticmethod
+    def dotted(node: ast.AST) -> str:
+        """Dotted text of a Name/Attribute chain (best effort, ``""`` otherwise)."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return ""
+
+
+#: Registered rule classes by id, in registration (family) order.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to :data:`RULE_REGISTRY`."""
+    if not cls.id or not cls.name:
+        raise ValueError(f"rule {cls.__name__} needs non-empty id and name")
+    if cls.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """``{"id", "name", "rationale"}`` rows for docs and ``--list-rules``."""
+    return [
+        {"id": cls.id, "name": cls.name, "rationale": cls.rationale}
+        for cls in RULE_REGISTRY.values()
+    ]

@@ -1,0 +1,90 @@
+"""Error-hygiene rules: REP601 (bare except), REP602 (swallowed errors).
+
+A long-running sweep that swallows exceptions does not fail — it produces
+*wrong numbers*: a worker that drops a task on the floor shifts every
+subsequent seed-to-task pairing, and a silently ignored analysis error
+leaves stale values in the report.  Two patterns are rejected:
+
+* ``except:`` with no exception type (REP601) — also catches
+  ``KeyboardInterrupt``/``SystemExit``, making runs unkillable; name the
+  exceptions (or ``except Exception`` if the handler genuinely re-raises
+  or records the error);
+* ``except Exception: pass`` (REP602) — a broad catch whose body does
+  nothing discards errors invisibly.  Narrow pass-only handlers
+  (``except OSError: pass`` around best-effort cleanup) stay legal; it is
+  the *broad + silent* combination that hides bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Finding, Rule, register_rule
+
+__all__ = ["BareExceptRule", "SwallowedErrorRule"]
+
+#: Exception types broad enough that a pass-only handler hides real bugs.
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _is_silent(body) -> bool:
+    """Whether a handler body does nothing (only ``pass``/``...``/docstring)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare ``...``
+        return False
+    return True
+
+
+@register_rule
+class BareExceptRule(Rule):
+    id = "REP601"
+    name = "bare-except"
+    rationale = (
+        "except: also catches KeyboardInterrupt/SystemExit, making sweeps "
+        "unkillable; name the exception types."
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler, ctx) -> Iterator[Finding]:
+        if node.type is None:
+            yield Finding(
+                self.id,
+                "bare except catches KeyboardInterrupt and SystemExit; name "
+                "the exception types (or use except Exception)",
+                node.lineno,
+                node.col_offset,
+            )
+
+
+@register_rule
+class SwallowedErrorRule(Rule):
+    id = "REP602"
+    name = "swallowed-error"
+    rationale = (
+        "except Exception: pass discards errors invisibly, so sweeps emit "
+        "wrong numbers instead of failing."
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler, ctx) -> Iterator[Finding]:
+        if node.type is None:
+            return  # REP601's finding; don't double-report
+        names = []
+        if isinstance(node.type, ast.Tuple):
+            names = [self.dotted(element) for element in node.type.elts]
+        else:
+            names = [self.dotted(node.type)]
+        if not any(name in _BROAD_TYPES for name in names):
+            return
+        if _is_silent(node.body):
+            yield Finding(
+                self.id,
+                "broad exception handler silently discards the error; handle "
+                "it, log it, or narrow the exception type",
+                node.lineno,
+                node.col_offset,
+            )

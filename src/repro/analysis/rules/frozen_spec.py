@@ -1,0 +1,83 @@
+"""Frozen-spec rule: REP501 (attribute mutation of frozen config objects).
+
+:class:`~repro.experiments.pipeline.ExperimentSpec`,
+:class:`~repro.simulation.simulator.SimulationConfig` and
+:class:`~repro.parallel.engine.SweepTask` are frozen dataclasses on
+purpose: a spec is hashed into seeds, serialised to JSON provenance blocks
+and shipped to workers, so mutating one after construction desynchronises
+those views.  The blessed way to vary a spec is ``dataclasses.replace``
+(which re-runs validation); the only legitimate direct writes are the
+``object.__setattr__(self, ...)`` coercions inside ``__post_init__``.
+
+Static type inference is out of scope for this linter, so the rule is
+name-based: it flags attribute assignment on variables that are
+conventionally specs/configs/tasks (``spec``, ``run_spec``, ``config``,
+``task`` …) and any ``object.__setattr__`` whose target is not ``self``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from .base import Finding, Rule, register_rule
+
+__all__ = ["FrozenSpecMutationRule"]
+
+#: Variable names that conventionally hold frozen spec/config/task objects.
+_SPEC_NAME = re.compile(r"(^|_)(spec|config|cfg|task)$")
+
+
+def _spec_target(target: ast.AST) -> Optional[str]:
+    """Name of the spec-like object if ``target`` is ``<specvar>.<attr>``."""
+    if not isinstance(target, ast.Attribute):
+        return None
+    obj = target.value
+    if isinstance(obj, ast.Name) and _SPEC_NAME.search(obj.id):
+        return obj.id
+    return None
+
+
+@register_rule
+class FrozenSpecMutationRule(Rule):
+    id = "REP501"
+    name = "frozen-spec-mutation"
+    rationale = (
+        "Specs/configs/tasks are frozen dataclasses hashed into seeds and "
+        "provenance; mutate them only via dataclasses.replace."
+    )
+    node_types = (ast.Assign, ast.AugAssign, ast.Call)
+
+    def visit(self, node: ast.AST, ctx) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._check_setattr(node)
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            name = _spec_target(target)
+            if name is not None:
+                yield Finding(
+                    self.id,
+                    f"attribute assignment on spec-like object {name!r}; "
+                    "frozen specs are varied with dataclasses.replace "
+                    f"(replace({name}, {target.attr}=...))",
+                    target.lineno,
+                    target.col_offset,
+                )
+
+    def _check_setattr(self, node: ast.Call) -> Iterator[Finding]:
+        if self.dotted(node.func) != "object.__setattr__" or not node.args:
+            return
+        target = node.args[0]
+        if isinstance(target, ast.Name) and target.id == "self":
+            return
+        described = self.dotted(target) or "<expression>"
+        yield Finding(
+            self.id,
+            f"object.__setattr__ on {described!r} bypasses a frozen "
+            "dataclass's immutability outside its own __post_init__; use "
+            "dataclasses.replace",
+            node.lineno,
+            node.col_offset,
+        )

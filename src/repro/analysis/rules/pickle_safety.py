@@ -1,0 +1,96 @@
+"""Pickle-safety rule: REP201 (unpicklable task functions).
+
+Every parallel backend except the in-process serial one ships
+:class:`~repro.parallel.engine.SweepTask` objects through :mod:`pickle`
+(process pools, the socket work queue, SSH workers).  Lambdas and functions
+defined inside another function cannot be pickled, so a sweep that works
+under ``--backend serial`` dies with an opaque ``PicklingError`` the moment
+it is scaled out — the exact bug fixed in PR 3.  This rule rejects such
+callables at the point they are handed to the sweep machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from .base import Finding, Rule, register_rule
+
+__all__ = ["UnpicklableTaskRule"]
+
+#: ``engine.map(...)`` / ``backend.submit(...)`` style receivers.
+_SWEEP_RECEIVER_HINTS = ("engine", "backend", "pool")
+#: Attribute methods that accept a task function on those receivers.
+_SWEEP_METHODS = frozenset({"map", "submit", "run", "imap", "starmap"})
+
+
+def _function_argument(node: ast.Call) -> Optional[ast.AST]:
+    """The task-function argument of a sweep call: first positional or ``fn=``."""
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "fn":
+            return keyword.value
+    return None
+
+
+@register_rule
+class UnpicklableTaskRule(Rule):
+    id = "REP201"
+    name = "unpicklable-task"
+    rationale = (
+        "Lambdas and nested functions cannot be pickled, so they break every "
+        "multi-process sweep backend (the PR 3 bug); pass a module-level "
+        "function."
+    )
+    node_types = (ast.Call,)
+
+    def start(self, ctx) -> None:
+        # Pre-pass: names of functions defined inside another function —
+        # these are closures and unpicklable just like lambdas.
+        self._nested_defs: Set[str] = set()
+        for outer in ast.walk(ctx.tree):
+            if isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for stmt in ast.walk(outer):
+                    if stmt is outer:
+                        continue
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._nested_defs.add(stmt.name)
+
+    def _is_sweep_call(self, node: ast.Call) -> bool:
+        name = self.call_name(node)
+        if name == "SweepTask":
+            return True
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _SWEEP_METHODS:
+            receiver = self.dotted(func.value).lower()
+            return any(hint in receiver for hint in _SWEEP_RECEIVER_HINTS)
+        return False
+
+    def visit(self, node: ast.Call, ctx) -> Iterator[Finding]:
+        if not self._is_sweep_call(node):
+            return
+        argument = _function_argument(node)
+        if argument is None:
+            return
+        if isinstance(argument, ast.Lambda):
+            yield Finding(
+                self.id,
+                "lambda passed as a sweep task function cannot be pickled by "
+                "the process/socket/ssh backends; use a module-level function",
+                argument.lineno,
+                argument.col_offset,
+            )
+            return
+        name = ""
+        if isinstance(argument, ast.Name):
+            name = argument.id
+        if name and name in self._nested_defs:
+            yield Finding(
+                self.id,
+                f"nested function {name!r} passed as a sweep task cannot be "
+                "pickled by the process/socket/ssh backends; move it to "
+                "module level",
+                argument.lineno,
+                argument.col_offset,
+            )

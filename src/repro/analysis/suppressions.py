@@ -1,0 +1,81 @@
+"""In-source suppression comments for ``repro lint``.
+
+A finding is silenced by a trailing comment on the flagged line::
+
+    value = seed + index  # repro: noqa REP103  -- pinned by golden fixtures
+
+``# repro: noqa`` with no identifiers silences *every* rule on that line;
+``# repro: noqa REP103`` (or a comma/space separated list,
+``# repro: noqa REP103, REP201``) silences only the named rules.  Anything
+after the identifier list is free-form justification text and is ignored.
+
+The namespaced marker deliberately differs from ruff/flake8's bare
+``# noqa`` so the two tools never swallow each other's findings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Optional
+
+__all__ = ["SuppressionIndex", "scan_suppressions"]
+
+#: Matches the marker and captures the (possibly empty) rule-id list.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\b"  # the namespaced marker
+    r"((?:[\s,]+REP\d+)*)",  # optional rule ids, comma/space separated
+    re.IGNORECASE,
+)
+_RULE_ID = re.compile(r"REP\d+", re.IGNORECASE)
+
+#: Suppress every rule on the line (blanket ``# repro: noqa``).
+_ALL: FrozenSet[str] = frozenset({"*"})
+
+
+class SuppressionIndex:
+    """Per-file map from line number to the rule ids suppressed there."""
+
+    __slots__ = ("_by_line",)
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]]) -> None:
+        self._by_line = by_line
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is silenced on ``line``."""
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return rules is _ALL or rule_id.upper() in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def _parse_marker(text: str) -> Optional[FrozenSet[str]]:
+    """Rule ids suppressed by the marker in ``text`` (one source line)."""
+    match = _NOQA.search(text)
+    if match is None:
+        return None
+    ids = _RULE_ID.findall(match.group(1))
+    if not ids:
+        return _ALL
+    return frozenset(rule_id.upper() for rule_id in ids)
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Build the :class:`SuppressionIndex` for one file's source text.
+
+    The scan is line-based: a marker anywhere on a physical line suppresses
+    findings reported *on that line*.  This matches how every rule reports
+    (at the offending node's ``lineno``) and keeps the scan independent of
+    the tokenizer, so even files with later syntax errors can carry
+    suppressions.
+    """
+    by_line: Dict[int, FrozenSet[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        if "#" not in text:
+            continue
+        rules = _parse_marker(text)
+        if rules is not None:
+            by_line[number] = rules
+    return SuppressionIndex(by_line)

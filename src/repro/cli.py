@@ -52,7 +52,8 @@ import argparse
 import os
 import shlex
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence
 
 from dataclasses import replace as dataclass_replace
 
@@ -94,7 +95,7 @@ from .parallel import (
 )
 from .simulation.runner import validate_against_analysis
 from .simulation.simulator import SimulationConfig
-from .stats.sinks import STATS_MODES
+from .stats.sinks import STATS_MODES, validate_histogram_range
 from .viz.tables import format_fixed_width_table, write_csv
 
 __all__ = [
@@ -106,6 +107,7 @@ __all__ = [
     "add_jobs_flag",
     "add_backend_flags",
     "add_stats_mode_flag",
+    "add_histogram_range_flag",
 ]
 
 
@@ -114,7 +116,7 @@ def jobs_count(text: str) -> int:
     try:
         value = int(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"must be >= 1 (or 0 for one worker per CPU core), got {value}"
@@ -129,6 +131,29 @@ def add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         help="worker processes for independent simulation runs "
              "(1 = in-process serial, 0 = one per CPU core); "
              "results are identical for every value",
+    )
+
+
+def histogram_range_spec(text: str) -> tuple:
+    """argparse type for ``--histogram-range``: parse ``LO:HI`` into floats."""
+    lo, sep, hi = text.partition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"expected LO:HI, got {text!r}")
+    try:
+        return validate_histogram_range((lo, hi))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def add_histogram_range_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--histogram-range LO:HI`` option to ``parser``."""
+    parser.add_argument(
+        "--histogram-range", type=histogram_range_spec, default=None,
+        metavar="LO:HI", dest="histogram_range",
+        help="explicit quantile-histogram range in seconds for "
+             "--stats-mode online (e.g. 0:0.5); a fixed range makes "
+             "online-mode quantile histograms exactly mergeable across "
+             "parallel backend shards (rejected with --stats-mode array)",
     )
 
 
@@ -196,7 +221,7 @@ def build_journal(args: argparse.Namespace) -> Optional[SweepJournal]:
     try:
         return SweepJournal(path)
     except OSError as exc:
-        raise SystemExit(f"could not open sweep journal {path!r}: {exc}")
+        raise SystemExit(f"could not open sweep journal {path!r}: {exc}") from exc
 
 
 def check_idle_journal(engine: SweepEngine) -> None:
@@ -240,7 +265,7 @@ def build_engine(args: argparse.Namespace, progress=None) -> SweepEngine:
         elif workers is not None:
             raise SystemExit("--workers requires --backend socket or --backend ssh")
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     return SweepEngine(
         jobs=args.jobs, progress=progress, backend=backend, journal=build_journal(args)
     )
@@ -270,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--replications", type=int, default=1,
                      help="independent simulation replications per point")
     add_stats_mode_flag(fig)
+    add_histogram_range_flag(fig)
     add_backend_flags(fig)
 
     ratio = sub.add_parser("ratio", help="blocking vs non-blocking latency ratio study")
@@ -332,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="use the scenario's tiny smoke spec (scenario-name form only)")
     runp.add_argument("--csv", type=str, default=None, help="write the points to a CSV file")
     add_stats_mode_flag(runp, default=None)
+    add_histogram_range_flag(runp)
     add_backend_flags(runp)
 
     scen = sub.add_parser("scenarios", help="list the registered experiment scenarios")
@@ -353,6 +380,18 @@ def build_parser() -> argparse.ArgumentParser:
     point.add_argument("--rate", type=float, default=PAPER_PARAMETERS.generation_rate)
 
     sub.add_parser("info", help="print the paper's parameters and scenarios")
+
+    lint = sub.add_parser("lint", help="run the repro domain linter (static analysis)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to scan (default: src)")
+    lint.add_argument("--format", choices=["text", "json", "github"], default="text",
+                      dest="lint_format", help="output format (default: text)")
+    lint.add_argument("--select", type=str, default=None,
+                      help="comma-separated rule-id prefixes to enable (e.g. REP1,REP301)")
+    lint.add_argument("--ignore", type=str, default=None,
+                      help="comma-separated rule-id prefixes to disable")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
     return parser
 
 
@@ -371,6 +410,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         replications=args.replications,
         engine=engine,
         stats_mode=args.stats_mode,
+        histogram_range=args.histogram_range,
     )
     check_idle_journal(engine)
     print(result.spec.title)
@@ -516,6 +556,8 @@ def _load_run_spec(args: argparse.Namespace) -> ExperimentSpec:
         overrides["seed"] = args.seed
     if args.stats_mode is not None:
         overrides["stats_mode"] = args.stats_mode
+    if args.histogram_range is not None:
+        overrides["histogram_range"] = args.histogram_range
     return dataclass_replace(spec, **overrides) if overrides else spec
 
 
@@ -660,6 +702,36 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis package is pure stdlib but entirely
+    # unrelated to the numeric pipeline the other verbs load.
+    from .analysis import format_report, lint_paths, rule_catalogue
+
+    if args.list_rules:
+        for row in rule_catalogue():
+            print(f"{row['id']}  {row['name']:<22} {row['rationale']}")
+        return 0
+
+    def split(text: Optional[str]) -> Optional[list]:
+        if text is None:
+            return None
+        return [part for part in text.split(",") if part.strip()]
+
+    try:
+        report = lint_paths(
+            [Path(p) for p in args.paths],
+            select=split(args.select),
+            ignore=split(args.ignore),
+        )
+    except ValueError as exc:  # unknown --select/--ignore prefix
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    output = format_report(report, args.lint_format)
+    if output:
+        print(output)
+    return report.exit_code()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -674,6 +746,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
         "analyze": _cmd_analyze,
         "info": _cmd_info,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)
@@ -681,13 +754,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # The designed user error of --resume (journal belongs to a
         # different campaign) deserves its one-line message, not a
         # traceback.
-        raise SystemExit(f"checkpoint error: {exc}")
+        raise SystemExit(f"checkpoint error: {exc}") from exc
     except (ExperimentError, ConfigurationError) as exc:
         # Spec/scenario/configuration mistakes (unknown scenario, invalid
         # spec JSON, analysis requested for a simulate-only scenario, a
         # cluster count a preset cannot be rescaled to) are user errors:
         # one line, no traceback.
-        raise SystemExit(f"error: {exc}")
+        raise SystemExit(f"error: {exc}") from exc
 
 
 if __name__ == "__main__":  # pragma: no cover

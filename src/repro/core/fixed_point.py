@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
 
 from ..errors import ConvergenceError, StabilityError
 from .service_centers import ServiceCenterModels

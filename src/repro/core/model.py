@@ -16,7 +16,7 @@ expression (Eqs. 9, 15–16) into a single call::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..cluster.system import MultiClusterSystem

@@ -28,7 +28,7 @@ from itertools import count
 from typing import Any, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
-from .events import AbsoluteTimeout, AllOf, AnyOf, Event, NORMAL, PENDING, Timeout, URGENT
+from .events import AbsoluteTimeout, AllOf, AnyOf, Event, NORMAL, Timeout, URGENT
 from .process import Process, ProcessGenerator
 
 __all__ = ["Environment", "EmptySchedule", "StopSimulation"]

@@ -267,7 +267,7 @@ class TimeWeightedMonitor:
         return f"<TimeWeightedMonitor {self.name!r} level={self._last_value!r}>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """A single structured trace entry."""
 

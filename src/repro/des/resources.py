@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import TYPE_CHECKING, Any, List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..errors import SimulationError
-from .events import Event, NORMAL, URGENT
+from .events import Event, URGENT
 from .process import Interrupt, Process
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

@@ -232,6 +232,7 @@ def run_figure(
     backend: Optional[Union[str, Backend]] = None,
     checkpoint: Optional[Union[str, SweepJournal]] = None,
     stats_mode: str = "array",
+    histogram_range: Optional[tuple] = None,
 ) -> FigureResult:
     """Reproduce one of the paper's Figures 4–7.
 
@@ -280,6 +281,10 @@ def run_figure(
         Observation sinks of the simulation pass: ``"array"`` (default,
         bit-identical legacy behaviour) or ``"online"`` (bounded-memory
         streaming accumulators; see :mod:`repro.stats.sinks`).
+    histogram_range:
+        Optional explicit ``(low, high)`` range (seconds) for the online
+        sink's quantile histogram so shard histograms merge exactly;
+        rejected when ``stats_mode="array"``.
     """
     if number not in FIGURE_SPECS:
         raise ExperimentError(f"unknown figure {number}; the paper has figures 4-7")
@@ -301,6 +306,7 @@ def run_figure(
         simulation_messages=sim_messages,
         seed=seed,
         stats_mode=stats_mode,
+        histogram_range=histogram_range,
     )
     plan = build_plan(
         experiment,

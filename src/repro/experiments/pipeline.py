@@ -46,7 +46,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.model import ModelConfig
 from ..core.vectorized import GridEvaluation, evaluate_latency_grid
-from ..errors import ExperimentError
+from ..errors import ConfigurationError, ExperimentError
 from ..parallel import (
     Backend,
     SweepEngine,
@@ -63,7 +63,7 @@ from ..simulation.runner import (
 )
 from ..simulation.simulator import SimulationConfig
 from ..stats.compare import ComparisonSummary, compare_series
-from ..stats.sinks import STATS_MODES
+from ..stats.sinks import STATS_MODES, validate_histogram_range
 from ..viz.tables import format_fixed_width_table, format_markdown_table
 from ..workload.destinations import DestinationPolicy
 from .scenarios import (
@@ -145,6 +145,14 @@ class ExperimentSpec:
         (:data:`repro.stats.sinks.STATS_MODES`): ``"array"`` retains every
         sample (bit-identical legacy behaviour), ``"online"`` streams
         through bounded-memory accumulators.
+    histogram_range:
+        Optional explicit ``(low, high)`` range (seconds) for the online
+        sink's quantile histogram.  Fixing the range makes online-mode
+        quantile histograms exactly mergeable across parallel-backend
+        shards (auto-calibrated ranges are data-dependent).  Rejected with
+        a :class:`~repro.errors.ConfigurationError` when
+        ``stats_mode="array"`` — the array sink has exact percentiles and
+        no histogram to configure.
     """
 
     scenario: str
@@ -159,6 +167,7 @@ class ExperimentSpec:
     switch_ports: Optional[int] = None
     switch_latency_us: Optional[float] = None
     stats_mode: str = "array"
+    histogram_range: Optional[Tuple[float, float]] = None
 
     def __post_init__(self) -> None:
         # Coerce JSON-borne lists into tuples so specs stay hashable and
@@ -194,6 +203,21 @@ class ExperimentSpec:
             raise ExperimentError(
                 f"stats_mode must be one of {STATS_MODES}, got {self.stats_mode!r}"
             )
+        if self.histogram_range is not None:
+            try:
+                object.__setattr__(
+                    self,
+                    "histogram_range",
+                    validate_histogram_range(self.histogram_range),
+                )
+            except ValueError as exc:
+                raise ExperimentError(str(exc)) from None
+            if self.stats_mode != "online":
+                raise ConfigurationError(
+                    "histogram_range configures the online sink's quantile "
+                    "histogram; it cannot be combined with stats_mode="
+                    f"{self.stats_mode!r} (set stats_mode='online')"
+                )
         if self.replications < 1:
             raise ExperimentError(f"replications must be >= 1, got {self.replications!r}")
         if self.simulation_messages < 1:
@@ -546,6 +570,7 @@ def build_plan(
                     num_messages=spec.simulation_messages,
                     seed=point_seed,
                     stats_mode=spec.stats_mode,
+                    histogram_range=spec.histogram_range,
                 ),
             )
             for point, point_seed in zip(points, point_seeds)

@@ -169,7 +169,9 @@ def generate_report(
             cluster_counts=cluster_counts,
             simulation_messages=simulation_messages,
             parameters=parameters,
-            seed=seed + number,
+            # Per-figure master seeds; each is SeedSequence-hashed downstream
+            # and the golden report fixtures pin these exact values.
+            seed=seed + number,  # repro: noqa REP103
             engine=engine,
             stats_mode=stats_mode,
         )

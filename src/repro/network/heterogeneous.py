@@ -11,7 +11,7 @@ endpoints, i.e. max α and max β — a store-and-forward bottleneck rule).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

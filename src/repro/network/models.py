@@ -17,8 +17,6 @@ simulator can be architecture-agnostic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Union
 
 from ..errors import ConfigurationError
 from ..topology.fattree import FatTreeTopology

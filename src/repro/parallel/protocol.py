@@ -65,7 +65,7 @@ def parse_address(text: str, default_host: str = "127.0.0.1") -> Tuple[str, int]
     try:
         port = int(port_text)
     except ValueError:
-        raise ValueError(f"invalid port in {text!r}")
+        raise ValueError(f"invalid port in {text!r}") from None
     if not 0 <= port <= 65535:
         raise ValueError(f"port must lie in [0, 65535], got {port}")
     return (host or default_host, port)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Tuple
 
 from ..des.rng import DEFAULT_BLOCK_SIZE, VariateGenerator
 

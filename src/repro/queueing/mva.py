@@ -11,7 +11,7 @@ the exact MVA solution provided here is used by the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -212,6 +212,7 @@ class LatencySink:
         warmup_messages: int = 0,
         stats_mode: str = "array",
         batch_count: int = 20,
+        histogram_range=None,
     ) -> None:
         if target_messages < 1:
             raise SimulationError(f"target_messages must be >= 1, got {target_messages!r}")
@@ -220,6 +221,11 @@ class LatencySink:
                 "warmup_messages must be non-negative and smaller than target_messages"
             )
         validate_stats_mode(stats_mode)
+        if histogram_range is not None and stats_mode != "online":
+            raise SimulationError(
+                "histogram_range only applies to the online sink, "
+                f"got stats_mode={stats_mode!r}"
+            )
         self.env = env
         self.target_messages = target_messages
         self.warmup_messages = warmup_messages
@@ -236,6 +242,7 @@ class LatencySink:
                 "latency",
                 batch_count=batch_count if measured >= batch_count else None,
                 expected_count=measured if measured >= batch_count else None,
+                histogram_range=histogram_range,
             )
             # The split sinks only ever report means; skip the histograms.
             self.local_latencies = OnlineMonitor("latency.local", track_quantiles=False)

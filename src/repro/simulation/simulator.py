@@ -22,18 +22,18 @@ extension is validated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from ..cluster.system import MultiClusterSystem
 from ..des.core import Environment
 from ..des.events import Event
 from ..des.rng import RandomStreams
 from ..errors import ConfigurationError, SimulationError
-from ..network.models import CommunicationNetworkModel, build_network_model
+from ..network.models import build_network_model
 from ..queueing.distributions import Deterministic, Distribution, Exponential
 from ..stats.intervals import ConfidenceInterval
-from ..stats.sinks import STATS_MODES
+from ..stats.sinks import STATS_MODES, validate_histogram_range
 from ..workload.arrivals import ArrivalProcess
 from ..workload.destinations import DestinationPolicy, UniformDestinations
 from .components import LatencySink, ServiceCenterSim
@@ -78,6 +78,15 @@ class SimulationConfig:
         behaviour, exact percentiles, per-message traces); ``"online"``
         streams everything through bounded-memory accumulators so run
         length is bounded by CPU rather than RAM.
+    histogram_range:
+        Optional explicit ``(low, high)`` range (seconds) of the online
+        sink's quantile histogram.  Fixing the range up front skips
+        auto-calibration and makes online-mode histograms *mergeable*
+        across backend shards (auto-calibrated ranges are data-dependent,
+        so two shards would bin differently).  Only meaningful with
+        ``stats_mode="online"`` — the array sink keeps every sample and
+        needs no histogram, so combining it with ``stats_mode="array"``
+        raises a :class:`~repro.errors.ConfigurationError`.
     """
 
     architecture: str = "non-blocking"
@@ -89,6 +98,7 @@ class SimulationConfig:
     exponential_service: bool = True
     batch_count: int = 20
     stats_mode: str = "array"
+    histogram_range: Optional[Tuple[float, float]] = None
 
     def __post_init__(self) -> None:
         if self.message_bytes <= 0:
@@ -109,6 +119,19 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"stats_mode must be one of {STATS_MODES}, got {self.stats_mode!r}"
             )
+        if self.histogram_range is not None:
+            try:
+                object.__setattr__(
+                    self, "histogram_range", validate_histogram_range(self.histogram_range)
+                )
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from None
+            if self.stats_mode != "online":
+                raise ConfigurationError(
+                    "histogram_range only applies to the online sink's quantile "
+                    "histogram; it cannot be combined with stats_mode="
+                    f"{self.stats_mode!r} (use stats_mode='online')"
+                )
 
 
 @dataclass(frozen=True)
@@ -191,6 +214,7 @@ class MultiClusterSimulator:
             warmup,
             stats_mode=self.config.stats_mode,
             batch_count=self.config.batch_count,
+            histogram_range=self.config.histogram_range,
         )
         self._message_counter = 0
         self._start_processors()

@@ -50,6 +50,7 @@ __all__ = [
     "StatsSink",
     "OnlineMonitor",
     "validate_stats_mode",
+    "validate_histogram_range",
 ]
 
 #: Valid values of the ``stats_mode`` knob threaded through
@@ -63,6 +64,32 @@ def validate_stats_mode(mode: str) -> str:
     if mode not in STATS_MODES:
         raise ValueError(f"stats_mode must be one of {STATS_MODES}, got {mode!r}")
     return mode
+
+
+def validate_histogram_range(value) -> Tuple[float, float]:
+    """Validate an explicit ``(low, high)`` histogram range; return a float pair.
+
+    The range fixes :class:`OnlineMonitor`'s quantile histogram up front,
+    which is what makes online-mode histograms mergeable across backend
+    shards (auto-calibrated ranges are data-dependent).  Raises
+    :class:`ValueError` on anything that is not a finite, increasing pair.
+    """
+    try:
+        low, high = value
+        low, high = float(low), float(high)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"histogram_range must be a (low, high) pair of numbers, got {value!r}"
+        ) from None
+    if not (math.isfinite(low) and math.isfinite(high)):
+        raise ValueError(
+            f"histogram_range bounds must be finite, got ({low!r}, {high!r})"
+        )
+    if not high > low:
+        raise ValueError(
+            f"histogram_range needs high > low, got ({low!r}, {high!r})"
+        )
+    return (low, high)
 
 
 try:  # pragma: no cover - typing affordance only

@@ -17,7 +17,7 @@ extension studies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..errors import TopologyError
 

@@ -9,7 +9,7 @@ Theorem 1 of the paper on the fat-tree's full bisection bandwidth).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

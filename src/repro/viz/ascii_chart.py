@@ -9,7 +9,7 @@ show the curve shapes without any plotting dependency.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 __all__ = ["line_chart", "bar_chart"]
 

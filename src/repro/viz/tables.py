@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 __all__ = ["format_markdown_table", "format_fixed_width_table", "write_csv", "rows_to_csv_text"]
 

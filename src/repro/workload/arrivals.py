@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable
 
 from ..des.rng import DEFAULT_BLOCK_SIZE, VariateGenerator
 from ..errors import ConfigurationError

@@ -10,7 +10,7 @@ that remark be tested quantitatively (ablation ``traffic_locality``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from ..des.rng import DEFAULT_BLOCK_SIZE, VariateGenerator
 from ..errors import ConfigurationError

@@ -10,7 +10,6 @@ from repro.cluster.presets import paper_evaluation_system
 from repro.core.fixed_point import queue_lengths_at, solve_effective_rate
 from repro.core.latency import WaitingTimes, mean_message_latency, waiting_time
 from repro.core.model import AnalyticalModel, ModelConfig
-from repro.core.routing import outgoing_probability
 from repro.core.service_centers import build_service_centers
 from repro.core.traffic import compute_traffic_rates
 from repro.errors import ConfigurationError, StabilityError

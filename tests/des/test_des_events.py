@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.des.core import Environment
-from repro.des.events import AllOf, AnyOf, ConditionValue, Event, Timeout
+from repro.des.events import ConditionValue
 from repro.errors import SimulationError
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.des.core import Environment
 from repro.des.process import Interrupt, Process
 from repro.errors import SimulationError
 
@@ -58,7 +57,7 @@ class TestProcessBasics:
 
     def test_yielding_non_event_fails_process(self, env):
         def bad(env):
-            yield 42  # not an Event
+            yield 42  # not an Event  # repro: noqa REP401 -- deliberately bad
 
         env.process(bad(env))
         with pytest.raises(SimulationError):

@@ -18,7 +18,6 @@ from repro.experiments.pipeline import (
 from repro.experiments.scenarios import (
     PAPER_PARAMETERS,
     SCENARIO_REGISTRY,
-    Scenario,
     build_scenario_system,
     get_scenario,
     register_scenario,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import (
-    AnalyticalModel,
     ModelConfig,
     MultiClusterSimulator,
     SimulationConfig,
@@ -14,7 +13,7 @@ from repro import (
     validate_against_analysis,
 )
 from repro.core.cluster_of_clusters import ClusterOfClustersModel, HeterogeneousModelConfig
-from repro.experiments.scenarios import CASE_1, CASE_2, build_scenario_system
+from repro.experiments.scenarios import CASE_1, build_scenario_system
 from repro.network import FAST_ETHERNET, GIGABIT_ETHERNET
 from repro.simulation.runner import run_replications
 

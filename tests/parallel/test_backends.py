@@ -22,7 +22,6 @@ import pytest
 from repro.cli import build_engine, build_parser
 from repro.errors import WorkerError
 from repro.parallel import (
-    Backend,
     ProcessPoolBackend,
     SerialBackend,
     SocketBackend,
@@ -138,7 +137,7 @@ class TestEngineBackendSelection:
 
     def test_explicit_serial_backend_instance(self):
         engine = SweepEngine(backend=SerialBackend())
-        assert engine.map(lambda x: x + 1, [1, 2]) == [2, 3]
+        assert engine.map(lambda x: x + 1, [1, 2]) == [2, 3]  # repro: noqa REP201 -- serial backend
 
     def test_explicit_pool_name_forces_pool(self):
         # With a forced pool backend even jobs=1 pickles tasks into a
@@ -283,7 +282,7 @@ class TestSocketExecution:
             engine.run(
                 [
                     SweepTask(fn=abs, args=(-1,)),
-                    SweepTask(fn=lambda x: x, args=(2,), label="unpicklable"),
+                    SweepTask(fn=lambda x: x, args=(2,), label="unpicklable"),  # repro: noqa REP201
                     SweepTask(fn=abs, args=(-3,)),
                 ]
             )

@@ -235,7 +235,7 @@ class TestJournalCorruption:
     def test_unpicklable_arguments_fall_back_to_label_fingerprint(self, tmp_path):
         journal_path = tmp_path / "sweep.journal"
         unpicklable = lambda x: -x  # noqa: E731 — serial tasks may be closures
-        tasks = [SweepTask(fn=(lambda f: f(3)), args=(unpicklable,), label="t")]
+        tasks = [SweepTask(fn=(lambda f: f(3)), args=(unpicklable,), label="t")]  # repro: noqa REP201
         first = SweepEngine(jobs=1, journal=SweepJournal(journal_path)).run(tasks)
         assert first == [-3]
         # A fresh incarnation with equivalent (still unpicklable) tasks

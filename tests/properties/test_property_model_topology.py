@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.presets import paper_evaluation_system
@@ -13,7 +13,7 @@ from repro.core.routing import outgoing_probability
 from repro.core.traffic import compute_traffic_rates
 from repro.network.models import BlockingNetworkModel, NonBlockingNetworkModel
 from repro.network.switch import SwitchFabric
-from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET, NetworkTechnology
+from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
 from repro.topology.fattree import FatTreeTopology, fat_tree_stages, fat_tree_switch_count
 from repro.topology.linear_array import LinearArrayTopology
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.presets import llnl_like_system, paper_evaluation_system
-from repro.core.model import AnalyticalModel, ModelConfig
+from repro.core.model import ModelConfig
 from repro.des.core import Environment
 from repro.des.rng import RandomStreams
 from repro.errors import ConfigurationError, SimulationError
