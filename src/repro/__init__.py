@@ -37,8 +37,19 @@ Subpackages
     Process-pool sweep engine and deterministic per-task seeding.
 ``repro.experiments``
     Scenario tables, figure drivers, the blocking-ratio study and ablations.
+``repro.stats``
+    Confidence intervals, series comparison and streaming observation sinks.
+``repro.cache``
+    Content-addressed result cache (spec + code-version → stored outcome).
+``repro.service``
+    The ``repro serve`` HTTP API: warm worker pool over the result cache.
+``repro.analysis``
+    The ``repro lint`` domain linter (reproducibility static analysis).
 ``repro.viz``
     ASCII charts and table/CSV writers.
+
+The rendered documentation lives in ``docs/`` (architecture map, spec
+reference, CLI guide and HTTP service reference).
 """
 
 from ._version import __version__

@@ -32,6 +32,13 @@ Usage examples::
     python -m repro figure 6 --simulate --jobs 4 --checkpoint fig6.journal
     python -m repro figure 6 --simulate --jobs 4 --resume fig6.journal
 
+    # content-addressed result cache: repeated campaigns are free
+    python -m repro run SPEC.json --cache ~/.cache/repro   # cold: computes + stores
+    python -m repro run SPEC.json --cache ~/.cache/repro   # warm: served from disk
+    python -m repro cache stats --cache ~/.cache/repro     # hit/miss counters
+    # simulation-as-a-service: a resident server with a warm worker pool
+    python -m repro serve --cache ~/.cache/repro --pool 4
+
 Simulation-heavy commands accept ``--jobs N`` to run the independent
 simulations of a sweep on ``N`` worker processes (``0`` = one per CPU
 core) via :class:`repro.parallel.SweepEngine`, plus ``--backend
@@ -44,6 +51,14 @@ file; ``--resume PATH`` restores it, re-executing only unfinished tasks
 ``REPRO_SSH_COMMAND``, ``REPRO_SSH_PYTHON`` and ``REPRO_SSH_PYTHONPATH``
 environment variables (ssh argv prefix, remote interpreter, remote
 ``PYTHONPATH``).
+
+``figure``, ``report`` and ``run`` also take ``--cache DIR`` (or the
+``REPRO_CACHE_DIR`` environment variable; ``--no-cache`` overrides it) to
+memoise whole campaigns in a content-addressed result store — a repeated
+invocation is served from disk, byte-identically.  ``repro cache`` inspects
+and maintains the store; ``repro serve`` exposes the same cache plus a warm
+worker pool as an HTTP API.  The full walk-through lives in ``docs/cli.md``
+and ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -101,11 +116,13 @@ from .viz.tables import format_fixed_width_table, write_csv
 __all__ = [
     "main",
     "build_parser",
+    "build_cache",
     "build_engine",
     "build_journal",
     "jobs_count",
     "add_jobs_flag",
     "add_backend_flags",
+    "add_cache_flags",
     "add_stats_mode_flag",
     "add_histogram_range_flag",
 ]
@@ -207,6 +224,43 @@ def add_backend_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--cache DIR`` / ``--no-cache`` options."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cache", type=str, default=None, metavar="DIR",
+        help="content-addressed result cache directory (default: the "
+             "REPRO_CACHE_DIR environment variable, if set): a campaign "
+             "whose (spec, code-version) key has an entry is served from "
+             "disk, byte-identically, instead of recomputed",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true", dest="no_cache",
+        help="ignore REPRO_CACHE_DIR and compute without the result cache",
+    )
+
+
+def build_cache(args: argparse.Namespace):
+    """Open the result cache requested by ``--cache``/``REPRO_CACHE_DIR``.
+
+    Returns ``None`` when no cache is configured, when ``--no-cache``
+    disables it, or when ``--resume`` is given — resuming a journal means
+    "finish the interrupted execution", which a cache hit would silently
+    skip (tripping the idle-journal check with a misleading error).
+    """
+    if getattr(args, "no_cache", False) or getattr(args, "resume", None) is not None:
+        return None
+    target = getattr(args, "cache", None) or os.environ.get("REPRO_CACHE_DIR")
+    if not target:
+        return None
+    from .cache import CacheError, ResultCache
+
+    try:
+        return ResultCache(target)
+    except CacheError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def build_journal(args: argparse.Namespace) -> Optional[SweepJournal]:
     """Open the journal requested by ``--checkpoint``/``--resume`` (if any)."""
     checkpoint = getattr(args, "checkpoint", None)
@@ -297,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_stats_mode_flag(fig)
     add_histogram_range_flag(fig)
     add_backend_flags(fig)
+    add_cache_flags(fig)
 
     ratio = sub.add_parser("ratio", help="blocking vs non-blocking latency ratio study")
     ratio.add_argument("--csv", type=str, default=None, help="write the points to a CSV file")
@@ -332,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the cluster-count sweep")
     add_stats_mode_flag(rep)
     add_backend_flags(rep)
+    add_cache_flags(rep)
 
     runp = sub.add_parser(
         "run", help="run a declarative experiment spec (SPEC.json) or a registered scenario"
@@ -360,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_stats_mode_flag(runp, default=None)
     add_histogram_range_flag(runp)
     add_backend_flags(runp)
+    add_cache_flags(runp)
 
     scen = sub.add_parser("scenarios", help="list the registered experiment scenarios")
     scen.add_argument("--names", action="store_true",
@@ -378,6 +435,52 @@ def build_parser() -> argparse.ArgumentParser:
                        default="non-blocking")
     point.add_argument("--message-bytes", type=float, default=1024.0)
     point.add_argument("--rate", type=float, default=PAPER_PARAMETERS.generation_rate)
+
+    cachep = sub.add_parser(
+        "cache", help="inspect or maintain the content-addressed result cache"
+    )
+    cachep.add_argument(
+        "action",
+        choices=["stats", "list", "show", "evict", "evict-stale", "clear"],
+        help="stats: hit/miss counters and sizes; list: every entry; "
+             "show KEY: one entry's metadata; evict KEY: remove one entry; "
+             "evict-stale: remove entries written by older code versions; "
+             "clear: remove everything",
+    )
+    cachep.add_argument("key", nargs="?", default=None,
+                        help="cache entry key (required by show/evict)")
+    cachep.add_argument(
+        "--cache", type=str, default=None, metavar="DIR",
+        help="cache directory (default: the REPRO_CACHE_DIR environment variable)",
+    )
+    cachep.add_argument("--json", action="store_true", help="machine-readable JSON output")
+
+    srv = sub.add_parser(
+        "serve", help="start the HTTP simulation service (see docs/service.md)"
+    )
+    srv.add_argument("--host", type=str, default="127.0.0.1",
+                     help="bind address (default: loopback; the API is unauthenticated, "
+                          "expose it only on trusted networks)")
+    srv.add_argument("--port", type=int, default=8765,
+                     help="bind port (default: 8765; 0 picks an ephemeral port)")
+    srv.add_argument(
+        "--pool", type=jobs_count, default=1, metavar="N",
+        help="warm worker-pool size: simulation processes kept alive across "
+             "requests (1 = one warm worker, 0 = one per CPU core)",
+    )
+    srv.add_argument(
+        "--cache", type=str, default=None, metavar="DIR",
+        help="result cache directory backing the service (default: the "
+             "REPRO_CACHE_DIR environment variable; required)",
+    )
+    srv.add_argument(
+        "--state-dir", type=str, default=None, metavar="DIR", dest="state_dir",
+        help="directory for in-flight job journals (default: <cache>/service); "
+             "a job interrupted by a crash resumes from its journal when the "
+             "same spec is resubmitted",
+    )
+    srv.add_argument("--verbose", action="store_true",
+                     help="log one line per HTTP request to stderr")
 
     sub.add_parser("info", help="print the paper's parameters and scenarios")
 
@@ -411,6 +514,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         engine=engine,
         stats_mode=args.stats_mode,
         histogram_range=args.histogram_range,
+        cache=build_cache(args),
     )
     check_idle_journal(engine)
     print(result.spec.title)
@@ -506,6 +610,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         simulation_messages=args.messages,
         engine=engine,
         stats_mode=args.stats_mode,
+        cache=build_cache(args),
     )
     check_idle_journal(engine)
     if args.output:
@@ -567,7 +672,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine = build_engine(
         args, progress=stderr_progress if spec.include_simulation else None
     )
-    result = ExperimentRunner(engine=engine).run(plan)
+    cache = build_cache(args)
+    if cache is not None:
+        # Stdout stays byte-identical between hit and miss (the bit-identity
+        # contract); the hit/miss note goes to stderr.
+        key = cache.key_for_plan(plan)
+        hit = key is not None and cache.get_entry(key) is not None
+        print(f"[cache {'hit' if hit else 'miss'}] {key}", file=sys.stderr)
+    result = ExperimentRunner(engine=engine, cache=cache).run(plan)
     check_idle_journal(engine)
     print(plan.scenario.describe())
     print(
@@ -702,6 +814,98 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_cli_cache(args: argparse.Namespace):
+    """Open the cache named by ``--cache``/``REPRO_CACHE_DIR`` (required)."""
+    from .cache import CacheError, ResultCache
+
+    target = args.cache or os.environ.get("REPRO_CACHE_DIR")
+    if not target:
+        raise SystemExit(
+            f"repro {args.command} needs a cache directory: pass --cache DIR "
+            "or set REPRO_CACHE_DIR"
+        )
+    try:
+        return ResultCache(target)
+    except CacheError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    store = _open_cli_cache(args)
+    if args.action in ("show", "evict") and not args.key:
+        raise SystemExit(f"repro cache {args.action} needs a KEY ('repro cache list' shows them)")
+    if args.action == "stats":
+        stats = store.stats().as_dict()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            print(f"cache: {store.root}")
+            for name, value in stats.items():
+                print(f"  {name:<15}: {value}")
+    elif args.action == "list":
+        entries = store.entries()
+        if args.json:
+            print(json.dumps([entry.as_dict() for entry in entries], indent=2))
+        elif not entries:
+            print("cache is empty")
+        else:
+            rows = [
+                {
+                    "key": entry.key,
+                    "scenario": entry.scenario,
+                    "mode": entry.mode,
+                    "hits": entry.hits,
+                    "bytes": entry.size_bytes,
+                    "stale": "yes" if entry.code_fingerprint != store.fingerprint else "no",
+                }
+                for entry in entries
+            ]
+            print(format_fixed_width_table(rows))
+    elif args.action == "show":
+        entry = store.get_entry(args.key)
+        if entry is None:
+            raise SystemExit(f"no cache entry {args.key!r}")
+        print(json.dumps(entry.as_dict(), indent=2))
+    elif args.action == "evict":
+        if not store.evict(args.key):
+            raise SystemExit(f"no cache entry {args.key!r}")
+        print(f"evicted {args.key}")
+    elif args.action == "evict-stale":
+        print(f"evicted {store.evict_stale()} stale entries")
+    else:  # clear
+        print(f"removed {store.clear()} entries")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from .service import JobManager, ReproService
+
+    cache = _open_cli_cache(args)
+    manager = JobManager(cache, jobs=args.pool, state_dir=args.state_dir)
+    service = ReproService(manager, host=args.host, port=args.port, verbose=args.verbose)
+    try:
+        service.start()
+    except OSError as exc:
+        manager.close()
+        raise SystemExit(f"could not bind {args.host}:{args.port}: {exc}") from exc
+    host, port = service.address
+    print(f"repro serve: http://{host}:{port}/v1 "
+          f"(pool={manager.jobs} warm workers, cache={cache.root})")
+    print("submit specs with: curl -X POST --data @SPEC.json "
+          f"http://{host}:{port}/v1/experiments   (Ctrl-C to stop)")
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.stop()
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: the analysis package is pure stdlib but entirely
     # unrelated to the numeric pipeline the other verbs load.
@@ -745,9 +949,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "scenarios": _cmd_scenarios,
         "analyze": _cmd_analyze,
+        "cache": _cmd_cache,
+        "serve": _cmd_serve,
         "info": _cmd_info,
         "lint": _cmd_lint,
     }
+    # Uniform --resume validation at the CLI boundary: every verb reports a
+    # missing journal with the same one-line error, before any work starts
+    # (historically each command surfaced it wherever its engine happened to
+    # be built — which for lazy engines could be after minutes of analysis).
+    resume = getattr(args, "resume", None)
+    if resume is not None and not os.path.exists(resume):
+        raise SystemExit(
+            f"--resume {resume}: no such journal (use --checkpoint to start one)"
+        )
     try:
         return handlers[args.command](args)
     except CheckpointError as exc:

@@ -17,7 +17,7 @@ benchmarks and the CLI print the same rows/series the paper plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..core.vectorized import evaluate_latency_grid
 from ..errors import ExperimentError
@@ -233,6 +233,7 @@ def run_figure(
     checkpoint: Optional[Union[str, SweepJournal]] = None,
     stats_mode: str = "array",
     histogram_range: Optional[tuple] = None,
+    cache: Optional[Any] = None,
 ) -> FigureResult:
     """Reproduce one of the paper's Figures 4–7.
 
@@ -285,6 +286,12 @@ def run_figure(
         Optional explicit ``(low, high)`` range (seconds) for the online
         sink's quantile histogram so shard histograms merge exactly;
         rejected when ``stats_mode="array"``.
+    cache:
+        Optional :class:`~repro.cache.ResultCache` (or cache directory
+        path): a figure whose (spec, code-version) key has an entry is
+        rendered from the stored outcome, bit-identically, without running
+        either pass.  Figures built against non-default ``parameters`` are
+        never cached (their spec under-describes them).
     """
     if number not in FIGURE_SPECS:
         raise ExperimentError(f"unknown figure {number}; the paper has figures 4-7")
@@ -316,6 +323,14 @@ def run_figure(
         ),
     )
 
+    from ..cache.store import coerce_cache
+
+    store = coerce_cache(cache)
+    if store is not None:
+        cached = store.get_outcome(plan)
+        if cached is not None:
+            return FigureCollector(spec, parameters).collect(cached)
+
     # Analysis pass — always computed, vectorized and bit-identical to
     # per-point AnalyticalModel calls.  The execution engine is resolved
     # only when a simulation pass actually runs (so an analysis-only call
@@ -329,4 +344,6 @@ def run_figure(
         replicated = runner.run_simulation_plan(plan.simulation)
 
     outcome = ExperimentOutcome(plan=plan, analysis=analysis, replicated=replicated)
+    if store is not None:
+        store.put_outcome(plan, outcome)
     return FigureCollector(spec, parameters).collect(outcome)

@@ -617,6 +617,11 @@ class ExperimentRunner:
     progress reporting behave identically for *every* driver built on the
     pipeline — including studies (like the ablations) that historically
     hand-rolled their own execution plumbing.
+
+    Pass ``cache`` (a :class:`~repro.cache.ResultCache` or a directory
+    path) to memoise whole campaigns by content address: a plan whose
+    (spec, code-version) key already has an entry is served from disk,
+    bit-identically, without executing either pass.
     """
 
     def __init__(
@@ -626,10 +631,14 @@ class ExperimentRunner:
         backend: Optional[Union[str, Backend]] = None,
         checkpoint: Optional[Union[str, SweepJournal]] = None,
         progress: Optional[Callable[[int, int, str], None]] = None,
+        cache: Optional[Any] = None,
     ) -> None:
         self.engine = resolve_engine(
             jobs, engine, backend, progress=progress, checkpoint=checkpoint
         )
+        from ..cache.store import coerce_cache
+
+        self.cache = coerce_cache(cache)
 
     # -- execution passes --------------------------------------------------
 
@@ -659,13 +668,30 @@ class ExperimentRunner:
 
     # -- the full pipeline -------------------------------------------------
 
-    def run(self, plan: ExperimentPlan, collector: Optional["Collector"] = None):
-        """Execute ``plan`` and fold it through ``collector`` (table default)."""
+    def run_outcome(self, plan: ExperimentPlan) -> "ExperimentOutcome":
+        """Execute ``plan``'s passes, or serve them from the result cache.
+
+        With a cache attached, a plan whose content-addressed key has an
+        entry skips both passes entirely; a miss computes as usual and then
+        fills the entry.  Plans the cache cannot key (non-default paper
+        parameters) always compute.
+        """
+        if self.cache is not None:
+            cached = self.cache.get_outcome(plan)
+            if cached is not None:
+                return cached
         analysis = self.run_plan_analysis(plan) if plan.include_analysis else None
         replicated = (
             self.run_simulation_plan(plan.simulation) if plan.include_simulation else None
         )
         outcome = ExperimentOutcome(plan=plan, analysis=analysis, replicated=replicated)
+        if self.cache is not None:
+            self.cache.put_outcome(plan, outcome)
+        return outcome
+
+    def run(self, plan: ExperimentPlan, collector: Optional["Collector"] = None):
+        """Execute ``plan`` and fold it through ``collector`` (table default)."""
+        outcome = self.run_outcome(plan)
         if collector is None:
             collector = TableCollector()
         return collector.collect(outcome)

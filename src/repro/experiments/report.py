@@ -15,7 +15,7 @@ ordering), plus the blocking-ratio study.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..parallel import Backend, SweepEngine, SweepJournal, resolve_engine
 from ..viz.tables import format_markdown_table
@@ -148,6 +148,7 @@ def generate_report(
     backend: Optional[Union[str, Backend]] = None,
     checkpoint: Optional[Union[str, SweepJournal]] = None,
     stats_mode: str = "array",
+    cache: Optional[Any] = None,
 ) -> ReproductionReport:
     """Regenerate every figure (and the ratio study) and bundle them.
 
@@ -158,8 +159,13 @@ def generate_report(
     figure's simulations out across workers without changing the numbers).
     ``checkpoint`` journals every figure's completed simulations (the
     campaign's runs are matched by order on resume), so an interrupted
-    report picks up where it was killed.
+    report picks up where it was killed.  ``cache`` (a
+    :class:`~repro.cache.ResultCache` or directory path) memoises each
+    figure by content address, so a repeated report is served from disk.
     """
+    from ..cache.store import coerce_cache
+
+    cache = coerce_cache(cache)
     engine = resolve_engine(jobs, engine, backend, checkpoint=checkpoint)
     numbers = list(figures) if figures is not None else sorted(FIGURE_SPECS)
     results = {
@@ -174,6 +180,7 @@ def generate_report(
             seed=seed + number,  # repro: noqa REP103
             engine=engine,
             stats_mode=stats_mode,
+            cache=cache,
         )
         for number in numbers
     }

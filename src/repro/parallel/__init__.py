@@ -12,7 +12,9 @@ backend, across machines:
 ``repro.parallel.backends``
     The :class:`Backend` interface and its implementations —
     :class:`SerialBackend` (in-process), :class:`ProcessPoolBackend`
-    (local process pool), :class:`SocketBackend` (TCP work queue
+    (local process pool), :class:`PersistentPoolBackend` (a process pool
+    kept warm across runs — the ``repro serve`` worker pool),
+    :class:`SocketBackend` (TCP work queue
     feeding ``python -m repro.parallel.worker`` processes, locally or on
     other hosts) and :class:`SSHBackend` (the socket work queue with
     workers the coordinator itself launches over ``ssh`` and tears down).
@@ -33,6 +35,7 @@ backend, across machines:
 
 from .backends import (
     Backend,
+    PersistentPoolBackend,
     ProcessPoolBackend,
     SerialBackend,
     SocketBackend,
@@ -55,6 +58,7 @@ from .seeding import spawn_seed_sequences, spawn_seeds
 __all__ = [
     "BACKEND_NAMES",
     "Backend",
+    "PersistentPoolBackend",
     "ProcessPoolBackend",
     "RunJournal",
     "SSHBackend",

@@ -68,6 +68,7 @@ __all__ = [
     "TaskOutcome",
     "SerialBackend",
     "ProcessPoolBackend",
+    "PersistentPoolBackend",
     "SocketBackend",
     "SSHBackend",
     "socket_backend_from_spec",
@@ -200,6 +201,106 @@ class ProcessPoolBackend(Backend):
 
     def __repr__(self) -> str:
         return f"<ProcessPoolBackend jobs={self.jobs} context={self.mp_context or 'default'}>"
+
+
+class PersistentPoolBackend(ProcessPoolBackend):
+    """A process-pool backend whose workers survive across ``execute`` calls.
+
+    :class:`ProcessPoolBackend` starts (and tears down) a fresh
+    :class:`ProcessPoolExecutor` per run — the right call for one-shot CLI
+    sweeps, but a long-lived server would pay worker start-up (process
+    spawn + interpreter boot + numpy import) on *every* request.  This
+    variant lazily creates one executor on first use and keeps it warm: the
+    second and every later run reuses the already-booted workers.
+    ``pools_created`` counts executor births, so tests (and the service's
+    stats endpoint) can assert that N requests shared one pool.
+
+    Concurrent ``execute`` calls from several threads share the pool safely
+    (``submit`` is thread-safe); an infrastructure failure
+    (:class:`BrokenExecutor` — a worker died) discards the broken pool so
+    the next run starts a fresh one instead of failing forever.  Call
+    :meth:`close` (or use the backend as a context manager) to release the
+    workers; results stay bit-identical to every other backend.
+    """
+
+    name = "persistent-pool"
+
+    def __init__(self, jobs: int, mp_context: Optional[str] = None) -> None:
+        super().__init__(jobs, mp_context)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self.pools_created = 0
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                context = (
+                    multiprocessing.get_context(self.mp_context) if self.mp_context else None
+                )
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=context)
+                self.pools_created += 1
+            return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a broken pool so the next run boots a fresh one."""
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def execute(self, tasks: Sequence) -> Iterator[TaskOutcome]:
+        # Same up-front pickling guard as ProcessPoolBackend: an unpicklable
+        # task must never reach the executor's queue-feeder thread (see the
+        # comment there) — doubly so here, where the poisoned pool would be
+        # reused by every later request.
+        for index, task in enumerate(tasks):
+            try:
+                pickle.dumps(task)
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                yield TaskOutcome(index, error=exc)
+                return
+        pool = self._ensure_pool()
+        future_index = {pool.submit(invoke_task, task): i for i, task in enumerate(tasks)}
+        pending = set(future_index)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for future in sorted(done, key=future_index.__getitem__):
+                    index = future_index[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        if isinstance(exc, BrokenExecutor):
+                            self._discard_pool(pool)
+                        yield TaskOutcome(
+                            index, error=exc, infrastructure=isinstance(exc, BrokenExecutor)
+                        )
+                        return
+                    yield TaskOutcome(index, value=future.result())
+        finally:
+            # On abandonment cancel this run's queued work, but keep the
+            # pool alive for the next request (unlike the per-run backend,
+            # which shuts the whole executor down here).
+            for future in pending:
+                future.cancel()
+
+    def close(self) -> None:
+        """Shut the warm pool down (idempotent; a later run re-creates it)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "PersistentPoolBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<PersistentPoolBackend jobs={self.jobs} "
+            f"context={self.mp_context or 'default'} pools={self.pools_created}>"
+        )
 
 
 class SocketBackend(Backend):

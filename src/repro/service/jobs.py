@@ -1,0 +1,261 @@
+"""Job lifecycle of the ``repro serve`` service.
+
+A *job* is one submitted :class:`~repro.experiments.pipeline.ExperimentSpec`
+making its way through ``queued → running → done`` (or ``failed``).  The
+:class:`JobManager` owns the two pieces of state that make the service
+cheap to hit twice:
+
+* the **result cache** — every finished campaign is stored by content
+  address, so resubmitting a spec (or submitting one ``repro run --cache``
+  already computed) is served without simulating anything; and
+* the **warm worker pool** — a
+  :class:`~repro.parallel.backends.PersistentPoolBackend` whose worker
+  processes survive across jobs, so only the first simulation request pays
+  process spawn + interpreter boot.
+
+Jobs run on a single dispatcher thread, one at a time, each fanned out
+across the pool's workers — submissions are accepted concurrently and
+queue up.  An active (queued or running) job is deduplicated by cache key:
+submitting the spec again returns the same job id instead of queuing the
+work twice.
+
+Crash tolerance reuses the sweep checkpoint journal: every running job
+journals its completed simulations under the manager's state directory,
+keyed by the job's cache key.  If the server dies mid-job, resubmitting
+the same spec resumes from the journal — only the unfinished simulations
+re-execute, bit-identically.  The journal is deleted once the result is
+safely in the cache.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..cache.store import ResultCache
+from ..experiments.pipeline import (
+    ExperimentRunner,
+    ExperimentSpec,
+    TableCollector,
+    build_plan,
+)
+from ..parallel import PersistentPoolBackend, SweepEngine, resolve_jobs
+
+__all__ = ["Job", "JobManager"]
+
+#: States a job moves through, in order (``failed`` replaces ``done``).
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted experiment campaign and its observable progress."""
+
+    id: str
+    spec: ExperimentSpec
+    cache_key: str
+    state: str = "queued"
+    error: Optional[str] = None
+    #: True when the job was answered from the result cache (no execution).
+    cached: bool = False
+    done_tasks: int = 0
+    total_tasks: int = 0
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: The collected table artefact (populated when ``state == "done"``).
+    result: Optional[Any] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe status view (what ``GET /v1/jobs/<id>`` returns)."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "cache_key": self.cache_key,
+            "cached": self.cached,
+            "error": self.error,
+            "progress": {"done": self.done_tasks, "total": self.total_tasks},
+            "spec": self.spec.to_json(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobManager:
+    """Run submitted specs through a warm pool, memoised by the cache.
+
+    Parameters
+    ----------
+    cache:
+        The :class:`~repro.cache.ResultCache` results are served from and
+        stored into.
+    jobs:
+        Worker processes in the warm pool (``0`` = one per CPU core).
+    state_dir:
+        Directory for in-flight job journals (default:
+        ``<cache root>/service``).
+    backend:
+        Override the execution backend (tests inject stubs here); by
+        default a :class:`~repro.parallel.backends.PersistentPoolBackend`
+        owned — and eventually closed — by the manager.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        jobs: Optional[int] = 1,
+        state_dir: Optional[str] = None,
+        backend: Optional[Any] = None,
+    ) -> None:
+        self.cache = cache
+        self.jobs = resolve_jobs(jobs)
+        self.state_dir = os.path.abspath(state_dir or os.path.join(cache.root, "service"))
+        os.makedirs(self.state_dir, exist_ok=True)
+        self._owns_backend = backend is None
+        self.backend = backend if backend is not None else PersistentPoolBackend(self.jobs)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._active_by_key: Dict[str, Job] = {}
+        self._queue: List[Job] = []
+        self._queued = threading.Condition(self._lock)
+        self._closing = False
+        self._job_counter = 0
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission and lookup ---------------------------------------------
+
+    def submit(self, spec: ExperimentSpec) -> Job:
+        """Queue ``spec`` (or join the active job already computing it).
+
+        Raises :class:`~repro.errors.ReproError` subclasses for invalid
+        specs — the HTTP layer maps those to 4xx responses.
+        """
+        # Building the plan up front validates the spec completely (unknown
+        # scenario, inconsistent mode, bad axes) before anything is queued.
+        plan = build_plan(spec)
+        key = self.cache.key_for_plan(plan)
+        assert key is not None  # service plans are pure functions of their spec
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("the job manager is shutting down")
+            active = self._active_by_key.get(key)
+            if active is not None:
+                return active
+            self._job_counter += 1
+            job = Job(id=f"job-{self._job_counter:06d}", spec=spec, cache_key=key)
+            if plan.include_simulation:
+                job.total_tasks = len(plan.simulation.tasks)
+            self._jobs[job.id] = job
+            self._active_by_key[key] = job
+            self._queue.append(job)
+            self._queued.notify_all()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job with ``job_id``, or ``None``."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> List[Job]:
+        """Every job this server has seen, oldest first."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> Optional[Job]:
+        """Block until ``job_id`` settles (done/failed) or ``timeout`` passes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.get(job_id)
+            if job is None or job.state in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                return job
+            time.sleep(0.02)
+
+    # -- execution ----------------------------------------------------------
+
+    def _journal_path(self, key: str) -> str:
+        return os.path.join(self.state_dir, f"{key}.journal")
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closing:
+                    self._queued.wait()
+                if self._closing and not self._queue:
+                    return
+                job = self._queue.pop(0)
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        job.started_at = time.time()
+        try:
+            plan = build_plan(job.spec)
+            cached = self.cache.get_outcome(plan)
+            if cached is not None:
+                job.cached = True
+                job.done_tasks = job.total_tasks
+                outcome = cached
+            else:
+                outcome = self._execute(job, plan)
+            job.result = TableCollector().collect(outcome)
+            job.state = "done"
+        except Exception as exc:
+            # A failed job must never take the dispatcher thread (and with
+            # it the whole server) down; the failure is surfaced verbatim
+            # through the job's status instead.
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+        finally:
+            job.finished_at = time.time()
+            with self._lock:
+                if self._active_by_key.get(job.cache_key) is job:
+                    del self._active_by_key[job.cache_key]
+
+    def _execute(self, job: Job, plan) -> Any:
+        """Run the campaign on the warm pool, journaled for crash tolerance."""
+
+        def progress(done: int, total: int, label: str) -> None:
+            del label
+            job.done_tasks = done
+            job.total_tasks = total
+
+        journal = self._journal_path(job.cache_key) if plan.include_simulation else None
+        engine = SweepEngine(
+            jobs=self.jobs, backend=self.backend, journal=journal, progress=progress
+        )
+        outcome = ExperimentRunner(engine=engine).run_outcome(plan)
+        self.cache.put_outcome(plan, outcome)
+        if journal is not None:
+            # The result is durable in the cache now; the journal has
+            # nothing left to protect.
+            try:
+                os.remove(journal)
+            except OSError:
+                pass
+        return outcome
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Finish the queue, stop the dispatcher, release the warm pool."""
+        with self._lock:
+            self._closing = True
+            self._queued.notify_all()
+        self._dispatcher.join(timeout=timeout)
+        if self._owns_backend and hasattr(self.backend, "close"):
+            self.backend.close()
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

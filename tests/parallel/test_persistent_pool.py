@@ -1,0 +1,74 @@
+"""Tests for the warm-pool backend behind `repro serve`.
+
+`PersistentPoolBackend` must reuse one worker pool across `execute` calls
+(the whole point of its existence), survive task failures without
+poisoning the pool, and release workers cleanly on `close`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import PersistentPoolBackend, SerialBackend, SweepEngine, SweepTask
+
+
+def _square(x):
+    return x * x
+
+
+def _explode(x):
+    raise ValueError(f"task payload {x} is cursed")
+
+
+def _tasks(n, fn=_square):
+    return [SweepTask(fn=fn, args=(i,)) for i in range(n)]
+
+
+class TestPoolReuse:
+    def test_one_pool_across_many_executes(self):
+        with PersistentPoolBackend(jobs=1) as backend:
+            assert backend.pools_created == 0  # lazy: no workers before first use
+            for _ in range(3):
+                outcomes = list(backend.execute(_tasks(4)))
+                assert {o.index: o.value for o in outcomes} == {i: i * i for i in range(4)}
+            assert backend.pools_created == 1
+
+    def test_close_is_idempotent_and_pool_restarts_after(self):
+        backend = PersistentPoolBackend(jobs=1)
+        assert [o.value for o in backend.execute(_tasks(2))] == [0, 1]
+        backend.close()
+        backend.close()
+        # A later run transparently boots a fresh pool.
+        assert [o.value for o in backend.execute(_tasks(2))] == [0, 1]
+        assert backend.pools_created == 2
+        backend.close()
+
+    def test_task_error_does_not_poison_the_pool(self):
+        with PersistentPoolBackend(jobs=1) as backend:
+            outcomes = list(backend.execute(_tasks(1, fn=_explode)))
+            assert isinstance(outcomes[0].error, ValueError)
+            assert not outcomes[0].infrastructure
+            # The same warm pool serves the next (healthy) run.
+            assert [o.value for o in backend.execute(_tasks(3))] == [0, 1, 4]
+            assert backend.pools_created == 1
+
+    def test_unpicklable_task_rejected_before_reaching_the_pool(self):
+        with PersistentPoolBackend(jobs=1) as backend:
+            bad = [SweepTask(fn=lambda x: x, args=(1,))]  # repro: noqa REP201
+            outcomes = list(backend.execute(bad))
+            assert len(outcomes) == 1
+            assert outcomes[0].error is not None
+            assert backend.pools_created == 0  # never even booted workers
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            PersistentPoolBackend(jobs=0)
+
+
+class TestEngineIntegration:
+    def test_engine_results_bit_identical_to_serial(self):
+        tasks = _tasks(5)
+        serial = SweepEngine(backend=SerialBackend()).run(tasks)
+        with PersistentPoolBackend(jobs=2) as backend:
+            warm = SweepEngine(backend=backend).run(tasks)
+        assert warm == serial

@@ -1,0 +1,311 @@
+"""Tests for the `repro serve` HTTP service (jobs, cache, warm pool).
+
+The HTTP tests run a real :class:`ReproService` on an ephemeral loopback
+port and speak to it with :mod:`http.client` — the same wire a curl user
+hits.  Execution backends are injected per test: a serial backend keeps
+the round-trip tests fast, a blocking stub makes queue-order tests
+deterministic, and the real :class:`PersistentPoolBackend` proves the
+warm-pool contract.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.experiments.pipeline import (
+    ExperimentRunner,
+    ExperimentSpec,
+    TableCollector,
+    build_plan,
+)
+from repro.parallel import PersistentPoolBackend, SerialBackend
+from repro.service import JobManager, ReproService
+from repro.viz.tables import rows_to_csv_text
+
+FP = "c" * 64
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    fields = dict(
+        scenario="case-1",
+        mode="both",
+        cluster_counts=[2],
+        message_sizes=[512.0],
+        replications=1,
+        simulation_messages=120,
+        seed=0,
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+class _Client:
+    """Tiny JSON-over-HTTP helper bound to one running service."""
+
+    def __init__(self, service: ReproService) -> None:
+        self.host, self.port = service.address
+
+    def request(self, method: str, path: str, body=None, headers=None):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = response.read()
+        finally:
+            conn.close()
+        return response.status, payload
+
+    def json(self, method: str, path: str, body=None):
+        status, payload = self.request(method, path, body=body)
+        return status, json.loads(payload)
+
+    def submit(self, spec: ExperimentSpec):
+        return self.json("POST", "/v1/experiments", body=spec.to_json_text())
+
+
+@pytest.fixture()
+def serial_service(tmp_path):
+    cache = ResultCache(tmp_path / "cache", fingerprint=FP)
+    manager = JobManager(cache, jobs=1, backend=SerialBackend())
+    with ReproService(manager) as service:
+        yield service
+
+
+class TestRoundTrip:
+    def test_submit_poll_fetch_matches_direct_run(self, serial_service, tmp_path):
+        client = _Client(serial_service)
+        spec = small_spec()
+        status, submitted = client.submit(spec)
+        assert status == 202
+        assert submitted["state"] in ("queued", "running")
+        assert len(submitted["cache_key"]) == 64
+
+        job = serial_service.manager.wait(submitted["id"])
+        assert job.state == "done"
+
+        status, body = client.json("GET", submitted["status_url"])
+        assert status == 200
+        assert body["state"] == "done"
+        assert body["progress"] == {"done": 1, "total": 1}
+        assert body["spec"]["scenario"] == "case-1"
+
+        status, result = client.json("GET", submitted["result_url"])
+        assert status == 200
+        # The service's rows are exactly what the pipeline computes directly.
+        direct = ExperimentRunner().run(build_plan(spec), TableCollector())
+        assert result["rows"] == direct.to_rows()
+        assert result["accuracy"] == direct.accuracy_summary().as_dict()
+        assert result["cached"] is False
+
+        status, csv_bytes = client.request("GET", submitted["result_url"] + ".csv")
+        assert status == 200
+        assert csv_bytes.decode("utf-8") == rows_to_csv_text(direct.to_rows())
+
+    def test_resubmission_is_served_from_cache(self, serial_service):
+        client = _Client(serial_service)
+        spec = small_spec()
+        _, first = client.submit(spec)
+        serial_service.manager.wait(first["id"])
+        _, csv_cold = client.request("GET", first["result_url"] + ".csv")
+
+        _, second = client.submit(spec)
+        assert second["id"] != first["id"]
+        assert second["cache_key"] == first["cache_key"]
+        serial_service.manager.wait(second["id"])
+        status, body = client.json("GET", second["status_url"])
+        assert body["cached"] is True
+        _, csv_warm = client.request("GET", second["result_url"] + ".csv")
+        assert csv_warm == csv_cold
+
+    def test_health_reports_cache_and_jobs(self, serial_service):
+        client = _Client(serial_service)
+        status, health = client.json("GET", "/v1/health")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["jobs"] == 0
+        assert health["cache"]["entries"] == 0
+
+    def test_cache_endpoints(self, serial_service):
+        client = _Client(serial_service)
+        _, submitted = client.submit(small_spec(mode="analysis"))
+        serial_service.manager.wait(submitted["id"])
+        key = submitted["cache_key"]
+
+        status, listing = client.json("GET", "/v1/cache")
+        assert status == 200
+        assert [entry["key"] for entry in listing["entries"]] == [key]
+        status, stats = client.json("GET", "/v1/cache/stats")
+        assert stats["entries"] == 1
+        status, entry = client.json("GET", f"/v1/cache/{key}")
+        assert entry["spec"]["scenario"] == "case-1"
+        status, body = client.json("DELETE", f"/v1/cache/{key}")
+        assert status == 200 and body == {"evicted": key}
+        status, _ = client.json("DELETE", f"/v1/cache/{key}")
+        assert status == 404
+
+
+class TestErrors:
+    def test_malformed_submissions_are_4xx(self, serial_service):
+        client = _Client(serial_service)
+        cases = [
+            "this is not json",
+            json.dumps({"scenario": "no-such-scenario"}),
+            json.dumps({"scenario": "case-1", "warp_factor": 9}),
+            json.dumps({"scenario": "case-1", "mode": "telepathy"}),
+            json.dumps({"scenario": "case-1", "replications": 0}),
+        ]
+        for body in cases:
+            status, response = client.json("POST", "/v1/experiments", body=body)
+            assert status == 400, body
+            assert response["error"]
+        # Nothing was queued by any of them.
+        assert serial_service.manager.list_jobs() == []
+
+    def test_empty_body_is_400(self, serial_service):
+        status, body = _Client(serial_service).json("POST", "/v1/experiments")
+        assert status == 400
+
+    def test_oversized_body_is_413(self, serial_service):
+        from repro.service.http import MAX_BODY_BYTES
+
+        client = _Client(serial_service)
+        status, _ = client.request(
+            "POST", "/v1/experiments", body=b"",
+            headers={"Content-Length": str(MAX_BODY_BYTES + 1)},
+        )
+        assert status == 413
+
+    def test_unknown_paths_are_404(self, serial_service):
+        client = _Client(serial_service)
+        for method, path in [
+            ("GET", "/nope"),
+            ("GET", "/v1/nope"),
+            ("GET", "/v1/jobs/job-999999"),
+            ("GET", "/v1/jobs/job-999999/result"),
+            ("GET", "/v1/cache/" + "0" * 64),
+            ("POST", "/v1/jobs"),
+            ("DELETE", "/v1/jobs"),
+        ]:
+            status, _ = client.request(method, path, body=b"{}" if method == "POST" else None)
+            assert status == 404, (method, path)
+
+    def test_failed_job_is_500_with_error(self, tmp_path):
+        class ExplodingBackend(SerialBackend):
+            def execute(self, tasks):
+                raise RuntimeError("worker fleet on fire")
+
+        cache = ResultCache(tmp_path / "cache", fingerprint=FP)
+        manager = JobManager(cache, jobs=1, backend=ExplodingBackend())
+        with ReproService(manager) as service:
+            client = _Client(service)
+            _, submitted = client.submit(small_spec())
+            job = manager.wait(submitted["id"])
+            assert job.state == "failed"
+            status, body = client.json("GET", submitted["result_url"])
+            assert status == 500
+            assert "worker fleet on fire" in body["error"]
+            # The dispatcher survived: an analysis-only job still completes.
+            _, ok = client.submit(small_spec(mode="analysis"))
+            assert manager.wait(ok["id"]).state == "done"
+
+
+class _GatedBackend(SerialBackend):
+    """A serial backend that waits for an event before executing."""
+
+    def __init__(self, gate: threading.Event) -> None:
+        super().__init__()
+        self.gate = gate
+
+    def execute(self, tasks):
+        assert self.gate.wait(timeout=30)
+        return super().execute(tasks)
+
+
+class TestConcurrency:
+    def test_concurrent_submissions_queue_and_dedup(self, tmp_path):
+        gate = threading.Event()
+        cache = ResultCache(tmp_path / "cache", fingerprint=FP)
+        manager = JobManager(cache, jobs=1, backend=_GatedBackend(gate))
+        with ReproService(manager) as service:
+            client = _Client(service)
+            _, first = client.submit(small_spec(seed=0))
+            _, second = client.submit(small_spec(seed=1))
+            # While both are active, resubmitting either joins the live job.
+            _, dup = client.submit(small_spec(seed=1))
+            assert dup["id"] == second["id"]
+            # A queued/running job's result is a 409, not an error page.
+            status, _ = client.json("GET", second["result_url"])
+            assert status == 409
+
+            gate.set()
+            assert manager.wait(first["id"]).state == "done"
+            assert manager.wait(second["id"]).state == "done"
+            # Different seeds are different campaigns with different keys.
+            assert first["cache_key"] != second["cache_key"]
+            status, body = client.json("GET", "/v1/jobs")
+            assert {job["state"] for job in body["jobs"]} == {"done"}
+
+    def test_parallel_clients_all_get_answers(self, serial_service):
+        client = _Client(serial_service)
+        results = {}
+
+        def submit(seed: int) -> None:
+            results[seed] = client.submit(small_spec(mode="analysis", seed=seed))
+
+        threads = [threading.Thread(target=submit, args=(seed,)) for seed in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert {status for status, _ in results.values()} == {202}
+        ids = {body["id"] for _, body in results.values()}
+        assert len(ids) == 4
+        for _, body in results.values():
+            assert serial_service.manager.wait(body["id"]).state == "done"
+
+
+class TestWarmPool:
+    def test_two_simulation_jobs_share_one_pool(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", fingerprint=FP)
+        backend = PersistentPoolBackend(jobs=1)
+        manager = JobManager(cache, jobs=1, backend=backend)
+        with ReproService(manager) as service:
+            client = _Client(service)
+            for seed in (0, 1):
+                _, submitted = client.submit(small_spec(seed=seed))
+                assert manager.wait(submitted["id"], timeout=120).state == "done"
+            status, health = client.json("GET", "/v1/health")
+            assert health["pools_created"] == 1
+        backend.close()
+
+    def test_journal_removed_after_completed_job(self, serial_service):
+        import os
+
+        client = _Client(serial_service)
+        _, submitted = client.submit(small_spec())
+        serial_service.manager.wait(submitted["id"])
+        journal = os.path.join(
+            serial_service.manager.state_dir, f"{submitted['cache_key']}.journal"
+        )
+        assert not os.path.exists(journal)
+
+
+class TestShutdown:
+    def test_submissions_after_close_are_503(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", fingerprint=FP)
+        manager = JobManager(cache, jobs=1, backend=SerialBackend())
+        service = ReproService(manager).start()
+        client = _Client(service)
+        manager.close()
+        try:
+            status, body = client.json(
+                "POST", "/v1/experiments", body=small_spec().to_json_text()
+            )
+            assert status == 503
+        finally:
+            service.stop()
