@@ -17,6 +17,7 @@ REP401   des-yield-protocol     processes yielding non-events / registered uncal
 REP501   frozen-spec-mutation   attribute writes on frozen specs/configs/tasks
 REP601   bare-except            handlers that catch KeyboardInterrupt/SystemExit
 REP602   swallowed-error        broad handlers that silently discard errors
+REP701   constant-retry-sleep   retry loops sleeping a fixed delay (no backoff)
 =======  =====================  ==================================================
 
 ``REP000`` marks files that fail to parse.  Findings are silenced in

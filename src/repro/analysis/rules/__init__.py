@@ -8,10 +8,19 @@ Rule families (the leading digit of the id):
 4. DES protocol — :mod:`.des_protocol` (REP401)
 5. frozen specs — :mod:`.frozen_spec` (REP501)
 6. error hygiene — :mod:`.error_hygiene` (REP601, REP602)
+7. robustness — :mod:`.robustness` (REP701)
 """
 
 from .base import RULE_REGISTRY, Finding, Rule, register_rule, rule_catalogue
-from . import determinism, pickle_safety, slots, des_protocol, frozen_spec, error_hygiene
+from . import (
+    determinism,
+    pickle_safety,
+    slots,
+    des_protocol,
+    frozen_spec,
+    error_hygiene,
+    robustness,
+)
 
 __all__ = [
     "RULE_REGISTRY",
@@ -25,4 +34,5 @@ __all__ = [
     "des_protocol",
     "frozen_spec",
     "error_hygiene",
+    "robustness",
 ]

@@ -16,7 +16,8 @@ Register a rule with :func:`register_rule`; the engine instantiates every
 registered rule whose :meth:`Rule.applies_to` accepts the module under
 scan.  Rule identifiers are ``REP<family><nn>`` — family 1 determinism,
 2 pickle safety, 3 slots integrity, 4 DES protocol, 5 frozen specs,
-6 error hygiene.  ``REP000`` is reserved for unparseable files.
+6 error hygiene, 7 robustness.  ``REP000`` is reserved for unparseable
+files.
 """
 
 from __future__ import annotations

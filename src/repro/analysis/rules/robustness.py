@@ -1,0 +1,98 @@
+"""Robustness rule: REP701 (constant-delay retry loop).
+
+A retry loop that sleeps a fixed delay between attempts hammers a dead
+peer on a fixed period, synchronises every worker into retry convoys, and
+never backs off under sustained failure — the exact failure mode the
+chaos harness provokes by killing workers mid-run.  The distributed layer
+(``repro.parallel``) and the service (``repro.service``) therefore route
+every retry wait through :func:`repro.parallel.retry.backoff_delays`
+(capped exponential backoff with deterministic jitter), and this rule
+keeps it that way:
+
+* ``time.sleep(0.5)`` inside a loop — a literal constant delay — is
+  flagged;
+* ``time.sleep(delay)`` is flagged when ``delay`` is never (re)assigned
+  anywhere in the loop: a name that does not change between iterations is
+  a constant delay wearing a variable's name;
+* ``time.sleep(delays[attempt])``, ``for delay in delays: ...
+  time.sleep(delay)`` and other per-iteration values stay legal — the
+  delay genuinely varies, which is what backoff looks like.
+
+Only the innermost loop around a sleep is inspected, so one offending
+sleep produces one finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Union
+
+from .base import Finding, Rule, register_rule
+
+__all__ = ["ConstantRetrySleepRule"]
+
+_LOOP_TYPES = (ast.While, ast.For, ast.AsyncFor)
+_SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _own_nodes(loop: Union[ast.While, ast.For]) -> Iterator[ast.AST]:
+    """Nodes belonging to ``loop`` itself: nested loops and functions pruned.
+
+    Nested loops are visited on their own dispatch (innermost wins), and a
+    function defined inside a loop runs on its own schedule — neither
+    belongs to this loop's per-iteration control flow.
+    """
+    stack: List[ast.AST] = list(loop.body) + list(loop.orelse)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _LOOP_TYPES + _SCOPE_TYPES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class ConstantRetrySleepRule(Rule):
+    id = "REP701"
+    name = "constant-retry-sleep"
+    rationale = (
+        "a retry loop sleeping a fixed delay hammers dead peers in sync; "
+        "use capped exponential backoff with jitter "
+        "(repro.parallel.retry.backoff_delays)"
+    )
+    node_types = _LOOP_TYPES
+
+    def applies_to(self, ctx) -> bool:
+        # Scoped to the layers that talk to unreliable peers; a fixture
+        # sleep in a test or a benchmark pacing loop is not a retry.
+        return ctx.in_package("repro.parallel", "repro.service")
+
+    def visit(self, node: ast.AST, ctx) -> Iterator[Finding]:
+        assigned: Set[str] = set()
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    assigned.add(target.id)
+        sleeps: List[ast.Call] = []
+        for child in _own_nodes(node):
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store):
+                assigned.add(child.id)
+            elif isinstance(child, ast.Call) and self.dotted(child.func) == "time.sleep":
+                if child.args:
+                    sleeps.append(child)
+        for call in sleeps:
+            arg = call.args[0]
+            if isinstance(arg, ast.Constant):
+                detail = f"time.sleep({arg.value!r})"
+            elif isinstance(arg, ast.Name) and arg.id not in assigned:
+                detail = f"time.sleep({arg.id}) with {arg.id!r} never reassigned in the loop"
+            else:
+                continue
+            yield Finding(
+                self.id,
+                f"retry loop sleeps a constant delay ({detail}); use capped "
+                "exponential backoff with jitter "
+                "(repro.parallel.retry.backoff_delays)",
+                call.lineno,
+                call.col_offset,
+            )

@@ -479,6 +479,12 @@ def build_parser() -> argparse.ArgumentParser:
              "a job interrupted by a crash resumes from its journal when the "
              "same spec is resubmitted",
     )
+    srv.add_argument(
+        "--max-queued", type=int, default=16, metavar="N", dest="max_queued",
+        help="load-shedding bound: refuse submissions (HTTP 503 with a "
+             "Retry-After header) once this many jobs are queued; 0 removes "
+             "the bound (default: 16)",
+    )
     srv.add_argument("--verbose", action="store_true",
                      help="log one line per HTTP request to stderr")
 
@@ -885,7 +891,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import JobManager, ReproService
 
     cache = _open_cli_cache(args)
-    manager = JobManager(cache, jobs=args.pool, state_dir=args.state_dir)
+    manager = JobManager(
+        cache, jobs=args.pool, state_dir=args.state_dir, max_queued=args.max_queued
+    )
     service = ReproService(manager, host=args.host, port=args.port, verbose=args.verbose)
     try:
         service.start()

@@ -32,6 +32,7 @@ distribution) pair.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -177,6 +178,21 @@ class VariateGenerator:
         if sigma < 0:
             raise ValueError(f"sigma must be non-negative, got {sigma!r}")
         return float(self._rng.lognormal(mean, sigma))
+
+    def weibull(self, shape: float, mean: float) -> float:
+        """Draw a Weibull variate with the given shape and *mean*.
+
+        numpy's ``weibull(shape)`` is the scale-1 form with mean
+        ``Γ(1 + 1/shape)``; rescaling by ``mean / Γ(1 + 1/shape)`` gives a
+        mean-parameterised family consistent with :meth:`exponential`
+        (``shape == 1`` degenerates to the exponential with that mean).
+        """
+        if shape <= 0:
+            raise ValueError(f"shape must be positive, got {shape!r}")
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean!r}")
+        scale = mean / math.gamma(1.0 + 1.0 / shape)
+        return float(self._rng.weibull(shape)) * scale
 
     # -- discrete -------------------------------------------------------------
 

@@ -17,6 +17,7 @@ __all__ = [
     "ExperimentError",
     "WorkerError",
     "CheckpointError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -89,3 +90,16 @@ class WorkerError(ReproError, RuntimeError):
         self.task_index = task_index
         self.label = label
         self.original = original
+
+
+class ServiceOverloadedError(ReproError, RuntimeError):
+    """The service refused a submission because its job queue is full.
+
+    Load shedding, not failure: the submitter should retry after
+    :attr:`retry_after` seconds.  The HTTP layer maps this to ``503`` with
+    a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 5.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)

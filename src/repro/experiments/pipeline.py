@@ -55,6 +55,7 @@ from ..parallel import (
     resolve_engine,
     spawn_seeds,
 )
+from ..simulation.faults import FaultSpec
 from ..simulation.runner import (
     ReplicatedResult,
     aggregate_replications,
@@ -153,6 +154,15 @@ class ExperimentSpec:
         a :class:`~repro.errors.ConfigurationError` when
         ``stats_mode="array"`` — the array sink has exact percentiles and
         no histogram to configure.
+    failures:
+        Optional :class:`~repro.simulation.faults.FaultSpec` (or its JSON
+        object form) attaching seeded failure/repair schedules to links
+        and/or nodes of every simulated point.  ``None`` (the default)
+        keeps the always-up model *unless* the scenario declares its own
+        ``default_failures`` (the failure-prone scenarios do); a spec-level
+        block always wins over the scenario default.  Omitted from the
+        JSON form when ``None``, so existing specs and cache keys are
+        untouched.
     """
 
     scenario: str
@@ -168,6 +178,7 @@ class ExperimentSpec:
     switch_latency_us: Optional[float] = None
     stats_mode: str = "array"
     histogram_range: Optional[Tuple[float, float]] = None
+    failures: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         # Coerce JSON-borne lists into tuples so specs stay hashable and
@@ -253,6 +264,8 @@ class ExperimentSpec:
             raise ExperimentError(
                 f"switch_latency_us must be non-negative, got {self.switch_latency_us!r}"
             )
+        if self.failures is not None and not isinstance(self.failures, FaultSpec):
+            object.__setattr__(self, "failures", FaultSpec.from_json(self.failures))
 
     @property
     def include_analysis(self) -> bool:
@@ -273,7 +286,11 @@ class ExperimentSpec:
             value = getattr(self, spec_field.name)
             if value is None:
                 continue
-            out[spec_field.name] = list(value) if isinstance(value, tuple) else value
+            if isinstance(value, FaultSpec):
+                value = value.to_json()
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[spec_field.name] = value
         return out
 
     def to_json_text(self, indent: int = 2) -> str:
@@ -559,6 +576,10 @@ def build_plan(
     simulation: Optional[SimulationPlan] = None
     if spec.include_simulation:
         point_seeds = spawn_seeds(spec.seed, len(points))
+        # A spec-level failures block beats the scenario default; both are
+        # carried inside the per-point SimulationConfig, so replication
+        # seeding and remote workers see exactly the same fault model.
+        failures = spec.failures if spec.failures is not None else scenario.default_failures
         point_runs = [
             (
                 point,
@@ -571,6 +592,7 @@ def build_plan(
                     seed=point_seed,
                     stats_mode=spec.stats_mode,
                     histogram_range=spec.histogram_range,
+                    failures=failures,
                 ),
             )
             for point, point_seed in zip(points, point_seeds)
@@ -726,6 +748,10 @@ class ExperimentPointResult:
     simulation_latency_ms: Optional[float] = None
     simulation_ci_half_width_ms: Optional[float] = None
     replications: int = 0
+    #: Fault-run columns (None on always-up runs, keeping legacy row shape).
+    availability: Optional[float] = None
+    throughput_msg_s: Optional[float] = None
+    dropped_messages: Optional[int] = None
 
     @property
     def relative_error(self) -> Optional[float]:
@@ -749,6 +775,12 @@ class ExperimentPointResult:
             row["simulation_ms"] = self.simulation_latency_ms
             if self.relative_error is not None:
                 row["rel_error"] = self.relative_error
+        if self.availability is not None:
+            row["availability"] = self.availability
+        if self.throughput_msg_s is not None:
+            row["throughput_msg_s"] = self.throughput_msg_s
+        if self.dropped_messages is not None:
+            row["dropped"] = self.dropped_messages
         return row
 
 
@@ -805,6 +837,9 @@ class TableCollector(Collector):
             sim_ms: Optional[float] = None
             ci_ms: Optional[float] = None
             replications = 0
+            availability: Optional[float] = None
+            throughput: Optional[float] = None
+            dropped: Optional[int] = None
             if outcome.analysis is not None:
                 analysis_ms = float(outcome.analysis.mean_latency_ms[point.index])
             if outcome.replicated is not None:
@@ -813,6 +848,20 @@ class TableCollector(Collector):
                 replications = agg.replications
                 if agg.latency_interval is not None:
                     ci_ms = agg.latency_interval.half_width * 1e3
+                # Fault runs carry availability on every replication; the
+                # columns average (availability, throughput) and sum (drops)
+                # across replications, and stay absent on always-up runs.
+                fault_reps = [
+                    rep for rep in agg.per_replication if rep.availability is not None
+                ]
+                if fault_reps:
+                    availability = sum(
+                        rep.mean_availability or 0.0 for rep in fault_reps
+                    ) / len(fault_reps)
+                    throughput = sum(
+                        rep.throughput_msg_s for rep in fault_reps
+                    ) / len(fault_reps)
+                    dropped = sum(rep.dropped_messages for rep in fault_reps)
             result.points.append(
                 ExperimentPointResult(
                     num_clusters=point.num_clusters,
@@ -822,6 +871,9 @@ class TableCollector(Collector):
                     simulation_latency_ms=sim_ms,
                     simulation_ci_half_width_ms=ci_ms,
                     replications=replications,
+                    availability=availability,
+                    throughput_msg_s=throughput,
+                    dropped_messages=dropped,
                 )
             )
         return result

@@ -42,6 +42,7 @@ from ..network.technologies import (
     MYRINET,
     NetworkTechnology,
 )
+from ..simulation.faults import FaultSpec
 from ..workload.arrivals import ArrivalProcess, ErlangArrivals, HyperexponentialArrivals
 from ..workload.destinations import (
     DestinationPolicy,
@@ -198,6 +199,11 @@ class Scenario:
     #: provides the scenario's analytical curve when the §4 homogeneous
     #: model does not apply (unequal clusters, per-cluster technologies).
     heterogeneous_analysis: bool = False
+    #: Failure/repair block applied to every simulated point unless the
+    #: spec carries its own ``failures`` (failure-prone scenarios set this;
+    #: the analytical models assume always-up targets, so such scenarios
+    #: are simulation-only).
+    default_failures: Optional[FaultSpec] = None
 
     @property
     def analysis_capable(self) -> bool:
@@ -437,4 +443,55 @@ register_scenario(Scenario(
     heterogeneous_analysis=True,
     default_cluster_counts=(4,),
     smoke_cluster_counts=(4,),
+))
+
+
+# -- failure-prone scenarios (simulation-only: the analytical models assume
+#    always-up nodes and links, so their curves would be meaningless) --------
+
+register_scenario(Scenario(
+    name="das2-churn",
+    description=(
+        "DAS-2-like platform under node churn: every processor alternates "
+        "up/down (exponential MTBF 30 s, MTTR 3 s) and pauses generation "
+        "while failed"
+    ),
+    build_system=_build_das2,
+    supports_analysis=False,
+    default_cluster_counts=(5,),
+    smoke_cluster_counts=(5,),
+    default_failures=FaultSpec(mtbf_s=30.0, mttr_s=3.0, targets="nodes", policy="stall"),
+))
+
+register_scenario(Scenario(
+    name="llnl-failures",
+    description=(
+        "LLNL-like Cluster-of-Clusters with wear-out link outages "
+        "(Weibull shape 1.5, MTBF 8 s, MTTR 1 s, preemptive-resume)"
+    ),
+    build_system=_build_llnl,
+    supports_analysis=False,
+    default_cluster_counts=(4,),
+    smoke_cluster_counts=(4,),
+    default_failures=FaultSpec(
+        mtbf_s=8.0,
+        mttr_s=1.0,
+        failure_distribution="weibull",
+        failure_shape=1.5,
+        targets="links",
+        policy="stall",
+    ),
+))
+
+register_scenario(Scenario(
+    name="case-1-lossy",
+    description=(
+        "Table 1 Case 1 platform with lossy links: messages hitting a "
+        "failed network (exponential MTBF 15 s, MTTR 1.5 s) are dropped "
+        "and counted"
+    ),
+    build_system=partial(build_scenario_system, CASE_1),
+    supports_analysis=False,
+    smoke_cluster_counts=(4,),
+    default_failures=FaultSpec(mtbf_s=15.0, mttr_s=1.5, targets="links", policy="drop"),
 ))

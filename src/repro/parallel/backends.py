@@ -61,7 +61,9 @@ from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import WorkerError
+from ..testing import chaos
 from .protocol import ProtocolError, parse_address, recv_message, send_message
+from .retry import backoff_delays
 
 __all__ = [
     "Backend",
@@ -95,7 +97,15 @@ class TaskOutcome:
 
 def invoke_task(task) -> Any:
     """Run one task — the unit of work every backend ultimately executes."""
-    return task.fn(*task.args, **task.kwargs)
+    value = task.fn(*task.args, **task.kwargs)
+    injector = chaos.controller()
+    if injector is not None:
+        # Chaos harness: a scheduled pool-worker kill fires here, after the
+        # work but before the result reaches the executor (the pool breaks,
+        # surfacing as a clean infrastructure WorkerError).  In-scope only
+        # for worker processes, so serial runs are never killed in place.
+        injector.maybe_kill()
+    return value
 
 
 class Backend(ABC):
@@ -327,6 +337,20 @@ class SocketBackend(Backend):
     :class:`~repro.errors.WorkerError`.  Results are bit-identical to the
     serial and pool backends because tasks carry their own seeds.
 
+    Robustness knobs (all optional):
+
+    * ``connect_timeout`` bounds each dial to a worker daemon, and
+      ``dial_attempts`` retries failed dials with capped exponential
+      backoff and jitter (:mod:`repro.parallel.retry`) before surfacing a
+      :class:`~repro.errors.WorkerError` that names the unreachable host.
+    * ``heartbeat_interval`` is passed to spawned workers (they ping
+      ``("heartbeat", pid)`` while a task runs); ``dead_peer_timeout`` is
+      how long the coordinator tolerates *total* frame silence from a
+      worker with a task in flight before presuming it dead and requeueing
+      (default: ``max(4 × heartbeat_interval, 20 s)``; heartbeats disabled
+      also disable the dead-peer timer, since a long simulation would
+      otherwise be indistinguishable from a hang).
+
     Every :meth:`execute` call establishes its own fleet, so a campaign
     that issues many separate runs (e.g. ``report --simulate``: one per
     figure plus the ratio study) pays worker start-up per run in
@@ -344,6 +368,10 @@ class SocketBackend(Backend):
         expected_workers: int = 0,
         accept_timeout: float = 30.0,
         max_task_attempts: int = 3,
+        connect_timeout: float = 10.0,
+        dial_attempts: int = 3,
+        heartbeat_interval: float = 5.0,
+        dead_peer_timeout: Optional[float] = None,
     ) -> None:
         if spawn_workers is not None and spawn_workers < 1:
             raise ValueError(f"spawn_workers must be >= 1, got {spawn_workers!r}")
@@ -351,6 +379,17 @@ class SocketBackend(Backend):
             raise ValueError(f"expected_workers must be >= 0, got {expected_workers!r}")
         if max_task_attempts < 1:
             raise ValueError(f"max_task_attempts must be >= 1, got {max_task_attempts!r}")
+        if connect_timeout <= 0:
+            raise ValueError(f"connect_timeout must be positive, got {connect_timeout!r}")
+        if dial_attempts < 1:
+            raise ValueError(f"dial_attempts must be >= 1, got {dial_attempts!r}")
+        if heartbeat_interval < 0:
+            raise ValueError(f"heartbeat_interval must be >= 0, got {heartbeat_interval!r}")
+        if dead_peer_timeout is not None and dead_peer_timeout <= 0:
+            raise ValueError(
+                f"dead_peer_timeout must be positive (or None for the default), "
+                f"got {dead_peer_timeout!r}"
+            )
         addresses = [
             parse_address(a) if isinstance(a, str) else (str(a[0]), int(a[1]))
             for a in (worker_addresses or [])
@@ -363,6 +402,26 @@ class SocketBackend(Backend):
         self.expected_workers = int(expected_workers)
         self.accept_timeout = float(accept_timeout)
         self.max_task_attempts = int(max_task_attempts)
+        self.connect_timeout = float(connect_timeout)
+        self.dial_attempts = int(dial_attempts)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.dead_peer_timeout = dead_peer_timeout if dead_peer_timeout is None else float(
+            dead_peer_timeout
+        )
+
+    @property
+    def effective_dead_peer_timeout(self) -> float:
+        """Frame-silence budget for a worker with a task in flight (0 = off).
+
+        Without heartbeats a long-running simulation is indistinguishable
+        from a hung worker, so the timer is only armed when the keepalive
+        is on.
+        """
+        if self.heartbeat_interval <= 0:
+            return 0.0
+        if self.dead_peer_timeout is not None:
+            return self.dead_peer_timeout
+        return max(4.0 * self.heartbeat_interval, 20.0)
 
     def execute(self, tasks: Sequence) -> Iterator[TaskOutcome]:
         return _SocketRun(self, tasks).outcomes()
@@ -386,6 +445,7 @@ class SocketBackend(Backend):
         argv = [
             sys.executable, "-m", "repro.parallel.worker",
             "--connect", f"{connect_host}:{connect_port}",
+            "--heartbeat-interval", str(self.heartbeat_interval),
         ]
         return [(list(argv), env) for _ in range(self.spawn_workers)]
 
@@ -473,6 +533,9 @@ class SSHBackend(SocketBackend):
         bind: Union[str, Tuple[str, int]] = ("0.0.0.0", 0),
         accept_timeout: float = 30.0,
         max_task_attempts: int = 3,
+        connect_timeout: float = 10.0,
+        heartbeat_interval: float = 5.0,
+        dead_peer_timeout: Optional[float] = None,
     ) -> None:
         hosts = [str(h) for h in hosts]
         if not hosts:
@@ -501,6 +564,9 @@ class SSHBackend(SocketBackend):
             bind=bind,
             accept_timeout=accept_timeout,
             max_task_attempts=max_task_attempts,
+            connect_timeout=connect_timeout,
+            heartbeat_interval=heartbeat_interval,
+            dead_peer_timeout=dead_peer_timeout,
         )
         self.hosts = stripped
         self.ssh_command = [str(part) for part in ssh_command]
@@ -522,7 +588,8 @@ class SSHBackend(SocketBackend):
         # shell), so the interpreter/path go through shlex.quote.
         remote = (
             f"{shlex.quote(self.remote_python)} -m repro.parallel.worker "
-            f"--connect {shlex.quote(f'{connect_host}:{connect_port}')}"
+            f"--connect {shlex.quote(f'{connect_host}:{connect_port}')} "
+            f"--heartbeat-interval {self.heartbeat_interval}"
         )
         if self.remote_pythonpath:
             remote = f"PYTHONPATH={shlex.quote(self.remote_pythonpath)} {remote}"
@@ -612,14 +679,37 @@ class _SocketRun:
 
     def _dial(self, address: Tuple[str, int]) -> socket.socket:
         try:
-            conn = socket.create_connection(address, timeout=self._backend.accept_timeout)
+            return self._connect_with_retry(address)
         except OSError as exc:
             raise WorkerError(
                 self._first_unfinished(),
                 self._label(self._first_unfinished()),
-                ConnectionError(f"could not reach socket worker at {address[0]}:{address[1]}: {exc}"),
+                ConnectionError(
+                    f"could not reach socket worker at {address[0]}:{address[1]} "
+                    f"after {self._backend.dial_attempts} attempt(s): {exc}"
+                ),
             ) from exc
-        return conn
+
+    def _connect_with_retry(self, address: Tuple[str, int]) -> socket.socket:
+        """Dial a worker daemon with capped, jittered backoff between attempts.
+
+        Each attempt is bounded by the backend's ``connect_timeout``;
+        exhausting ``dial_attempts`` re-raises the last :class:`OSError`.
+        """
+        backend = self._backend
+        delays = backoff_delays(backend.dial_attempts - 1, salt=os.getpid() ^ address[1])
+        last_error: Optional[OSError] = None
+        for attempt in range(backend.dial_attempts):
+            if self._closing:
+                raise ConnectionError("run is shutting down")
+            try:
+                return socket.create_connection(address, timeout=backend.connect_timeout)
+            except OSError as exc:
+                last_error = exc
+                if attempt < len(delays):
+                    time.sleep(delays[attempt])
+        assert last_error is not None
+        raise last_error
 
     def _accept_loop(self) -> None:
         """Accept inbound workers for the whole run (late joins welcome)."""
@@ -712,12 +802,14 @@ class _SocketRun:
                     break
                 self._cond.wait(timeout=0.1)
             if self._workers_joined == 0:
+                detail = f"no socket worker connected within {backend.accept_timeout:.1f}s"
+                hosts = getattr(backend, "hosts", None)
+                if hosts:
+                    detail += f"; ssh hosts: {', '.join(hosts)}"
                 raise WorkerError(
                     self._first_unfinished(),
                     self._label(self._first_unfinished()),
-                    ConnectionError(
-                        f"no socket worker connected within {backend.accept_timeout:.1f}s"
-                    ),
+                    ConnectionError(detail),
                 )
 
     def _shutdown(self) -> None:
@@ -783,8 +875,9 @@ class _SocketRun:
                             return
                         redials -= 1
                         continue
+                    silence = self._backend.effective_dead_peer_timeout
                     try:
-                        reply = recv_message(conn)
+                        reply = self._recv_reply(conn, silence)
                     except ProtocolError as exc:
                         # The reply arrived but would not deserialise (e.g.
                         # version skew between hosts): re-running the task
@@ -798,6 +891,23 @@ class _SocketRun:
                         except OSError:
                             pass
                         return
+                    except TimeoutError:
+                        # Not even a heartbeat arrived within the silence
+                        # budget: presume the worker dead, requeue the task.
+                        conn = self._handle_loss(
+                            conn,
+                            index,
+                            ConnectionError(
+                                f"worker sent no frame for {silence:.1f}s with a "
+                                f"task in flight (presumed dead)"
+                            ),
+                            address,
+                            redials,
+                        )
+                        if conn is None:
+                            return
+                        redials -= 1
+                        continue
                     except (OSError, ConnectionError) as exc:
                         conn = self._handle_loss(conn, index, exc, address, redials)
                         if conn is None:
@@ -839,6 +949,28 @@ class _SocketRun:
                 self._live_workers -= 1
                 self._cond.notify_all()
 
+    def _recv_reply(self, conn: socket.socket, silence: float):
+        """Receive the next non-heartbeat frame for an in-flight task.
+
+        With a positive ``silence`` budget the socket read is bounded:
+        every frame — including a keepalive heartbeat — resets the timer,
+        so only *total* silence raises :class:`TimeoutError`.
+        """
+        if silence > 0:
+            conn.settimeout(silence)
+        try:
+            while True:
+                reply = recv_message(conn)
+                if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "heartbeat":
+                    continue
+                return reply
+        finally:
+            if silence > 0:
+                try:
+                    conn.settimeout(None)
+                except OSError:
+                    pass
+
     def _handle_loss(
         self,
         conn: socket.socket,
@@ -863,7 +995,7 @@ class _SocketRun:
         if address is None or redials <= 0 or self._closing:
             return None
         try:
-            replacement = socket.create_connection(address, timeout=5.0)
+            replacement = self._connect_with_retry(address)
         except OSError:
             return None
         if not self._handshake(replacement):

@@ -38,6 +38,8 @@ import socket
 import struct
 from typing import Any, Tuple
 
+from ..testing import chaos
+
 __all__ = [
     "MAX_FRAME_BYTES",
     "ProtocolError",
@@ -74,7 +76,11 @@ def parse_address(text: str, default_host: str = "127.0.0.1") -> Tuple[str, int]
 def send_message(sock: socket.socket, message: Any) -> None:
     """Serialise ``message`` and write it as one length-prefixed frame."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
+    data = _HEADER.pack(len(payload)) + payload
+    injector = chaos.controller()
+    if injector is not None:
+        injector.before_send(sock, data)
+    sock.sendall(data)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:

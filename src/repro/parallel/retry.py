@@ -1,0 +1,66 @@
+"""Capped exponential backoff with deterministic jitter.
+
+Every reconnection loop in the distributed layer (worker dial-in,
+coordinator dial-out, daemon redial) shares this one policy, so retry
+behaviour is uniform and — unlike the constant-delay loops it replaced —
+backs off under sustained failure instead of hammering a dead peer on a
+fixed period (see lint rule REP701).
+
+The jitter is *deterministic*: a SplitMix64-style integer hash of
+``(salt, attempt)`` scales each delay into ``[(1 - jitter) * d, d]``.
+Determinism keeps retry schedules reproducible under the chaos harness
+and keeps this module clean under the REP101 no-global-RNG rule, while
+still de-synchronising workers that dial the same coordinator (each
+passes its own ``salt``, e.g. its PID).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["backoff_delays", "DEFAULT_BASE_DELAY", "DEFAULT_CAP_DELAY"]
+
+#: Default first-retry delay (seconds).
+DEFAULT_BASE_DELAY = 0.2
+#: Default ceiling on any single delay (seconds).
+DEFAULT_CAP_DELAY = 5.0
+
+_MASK = (1 << 64) - 1
+
+
+def _mix(value: int) -> float:
+    """SplitMix64 finaliser: map an integer to a uniform float in [0, 1)."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK
+    value ^= value >> 31
+    return value / 2**64
+
+
+def backoff_delays(
+    attempts: int,
+    base: float = DEFAULT_BASE_DELAY,
+    cap: float = DEFAULT_CAP_DELAY,
+    jitter: float = 0.5,
+    salt: int = 0,
+) -> List[float]:
+    """Delays for ``attempts`` retries: capped doubling with jittered shrink.
+
+    Delay ``i`` is ``min(cap, base * 2**i)`` scaled by a deterministic
+    factor in ``[1 - jitter, 1]`` derived from ``(salt, i)``.  ``attempts``
+    of 0 returns an empty list (no retries).
+    """
+    if attempts < 0:
+        raise ValueError(f"attempts must be non-negative, got {attempts!r}")
+    if base <= 0:
+        raise ValueError(f"base delay must be positive, got {base!r}")
+    if cap < base:
+        raise ValueError(f"cap ({cap!r}) must be >= base ({base!r})")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must lie in [0, 1), got {jitter!r}")
+    delays = []
+    for attempt in range(attempts):
+        delay = min(cap, base * (2.0**attempt))
+        factor = 1.0 - jitter * _mix((salt << 20) ^ attempt)
+        delays.append(delay * factor)
+    return delays

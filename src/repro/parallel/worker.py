@@ -8,7 +8,9 @@ both connection directions:
     Dial a coordinator that is already listening (this is also the command
     line the coordinator itself uses for locally spawned workers).  The
     worker serves one session and exits when the coordinator sends
-    ``shutdown`` or closes the connection.
+    ``shutdown`` or closes the connection.  Failed dials are retried with
+    capped exponential backoff (:mod:`repro.parallel.retry`), the first
+    delay set by ``--retry-delay``.
 
 ``--listen HOST:PORT``
     Run as a daemon: bind the address, print ``listening on HOST:PORT``
@@ -27,6 +29,11 @@ worker's Python environment must be able to import the task functions (for
 this package: a checkout with ``PYTHONPATH=src`` or an installed ``repro``).
 Results — or the task's exception, pickled with its original type — are
 streamed back one frame per task.
+
+While a task runs, a background thread sends ``("heartbeat", pid)`` frames
+every ``--heartbeat-interval`` seconds so the coordinator can tell a slow
+simulation from a hung worker (its dead-peer timeout only fires when the
+heartbeats stop too).  ``--heartbeat-interval 0`` disables the keepalive.
 """
 
 from __future__ import annotations
@@ -36,10 +43,13 @@ import os
 import pickle
 import socket
 import sys
+import threading
 import time
 from typing import Optional, Sequence
 
+from ..testing import chaos
 from .protocol import ProtocolError, parse_address, recv_message, send_message
+from .retry import DEFAULT_BASE_DELAY, DEFAULT_CAP_DELAY, backoff_delays
 
 __all__ = ["serve_session", "main"]
 
@@ -48,68 +58,154 @@ def _hello() -> tuple:
     return ("hello", {"pid": os.getpid(), "host": socket.gethostname()})
 
 
-def _send_reply(conn: socket.socket, kind: str, index: int, payload: object) -> None:
+class _Heartbeat:
+    """Keepalive pinger: ``("heartbeat", pid)`` frames while a task runs.
+
+    All frame sends on the session socket go through :attr:`lock` so a
+    heartbeat can never interleave with a reply frame mid-stream.  With a
+    non-positive interval no thread is started and the lock is the only
+    thing this class provides.
+    """
+
+    def __init__(self, conn: socket.socket, interval: float) -> None:
+        self.conn = conn
+        self.interval = interval
+        self.lock = threading.Lock()
+        self._busy = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        if interval > 0:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-worker-heartbeat", daemon=True
+            )
+            self._thread.start()
+
+    def busy(self) -> None:
+        """A task started: begin pinging after each interval."""
+        self._busy.set()
+
+    def idle(self) -> None:
+        """The task finished: go quiet until the next one."""
+        self._busy.clear()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._busy.set()  # unblock an idle wait so the thread sees _stop
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            if not self._busy.wait(timeout=0.2):
+                continue
+            if self._stop.wait(timeout=self.interval):
+                return
+            if not self._busy.is_set():
+                continue
+            try:
+                with self.lock:
+                    send_message(self.conn, ("heartbeat", os.getpid()))
+            except (ConnectionError, OSError):
+                return
+
+
+def _send_reply(
+    conn: socket.socket, lock: threading.Lock, kind: str, index: int, payload: object
+) -> None:
     """Send a reply frame, degrading unpicklable payloads to a description."""
-    try:
-        send_message(conn, (kind, index, payload))
-    except (pickle.PicklingError, TypeError, AttributeError) as exc:
-        send_message(
-            conn,
-            ("error", index, RuntimeError(f"task produced an unpicklable {kind}: {exc!r}")),
-        )
+    with lock:
+        try:
+            send_message(conn, (kind, index, payload))
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            send_message(
+                conn,
+                ("error", index, RuntimeError(f"task produced an unpicklable {kind}: {exc!r}")),
+            )
 
 
-def serve_session(conn: socket.socket) -> int:
+def serve_session(conn: socket.socket, heartbeat_interval: float = 0.0) -> int:
     """Serve one coordinator session; returns the number of tasks executed."""
     executed = 0
-    send_message(conn, _hello())
-    while True:
-        try:
-            message = recv_message(conn)
-        except (ConnectionError, OSError):
-            return executed
-        if not isinstance(message, tuple) or not message:
-            raise ProtocolError(f"coordinator sent an invalid frame: {message!r}")
-        kind = message[0]
-        if kind == "shutdown":
-            return executed
-        if kind != "task" or len(message) != 3:
-            raise ProtocolError(f"coordinator sent an unexpected frame: {message!r}")
-        _kind, index, task = message
-        try:
-            value = task.fn(*task.args, **task.kwargs)
-        except Exception as exc:
-            _send_reply(conn, "error", index, exc)
-        else:
-            _send_reply(conn, "result", index, value)
-        executed += 1
+    injector = chaos.controller()
+    heartbeat = _Heartbeat(conn, heartbeat_interval)
+    try:
+        with heartbeat.lock:
+            send_message(conn, _hello())
+        while True:
+            try:
+                message = recv_message(conn)
+            except (ConnectionError, OSError):
+                return executed
+            if not isinstance(message, tuple) or not message:
+                raise ProtocolError(f"coordinator sent an invalid frame: {message!r}")
+            kind = message[0]
+            if kind == "shutdown":
+                return executed
+            if kind != "task" or len(message) != 3:
+                raise ProtocolError(f"coordinator sent an unexpected frame: {message!r}")
+            _kind, index, task = message
+            heartbeat.busy()
+            try:
+                value = task.fn(*task.args, **task.kwargs)
+            except Exception as exc:
+                reply = ("error", index, exc)
+            else:
+                reply = ("result", index, value)
+            finally:
+                heartbeat.idle()
+            if injector is not None:
+                # The chaos hook fires between computing the result and
+                # delivering it: a killed worker loses the reply frame, so
+                # the coordinator must requeue the task for bit-identity.
+                action = injector.after_task()
+                if action == "kill":
+                    os._exit(137)
+                if action == "hang":
+                    heartbeat.stop()
+                    injector.hang()
+                    return executed
+            _send_reply(conn, heartbeat.lock, *reply)
+            executed += 1
+    finally:
+        heartbeat.stop()
 
 
-def _run_connect(address: str, retries: int, retry_delay: float) -> int:
+def _run_connect(
+    address: str, retries: int, retry_delay: float, heartbeat_interval: float
+) -> int:
     host, port = parse_address(address)
+    attempts = max(retries, 1)
+    base = retry_delay if retry_delay > 0 else DEFAULT_BASE_DELAY
+    delays = backoff_delays(
+        attempts - 1, base=base, cap=max(DEFAULT_CAP_DELAY, base), salt=os.getpid()
+    )
     last_error: Optional[OSError] = None
-    for attempt in range(max(retries, 1)):
+    for attempt in range(attempts):
         try:
             conn = socket.create_connection((host, port), timeout=10.0)
         except OSError as exc:
             last_error = exc
-            if attempt + 1 < max(retries, 1):
-                time.sleep(retry_delay)
+            if attempt < len(delays):
+                time.sleep(delays[attempt])
             continue
         with conn:
             try:
-                serve_session(conn)
+                serve_session(conn, heartbeat_interval=heartbeat_interval)
             except (ProtocolError, ConnectionError, OSError) as exc:
                 # Same one-line diagnostic as the --listen path instead of
                 # an unhandled traceback.
                 print(f"worker: dropped session from {host}:{port}: {exc}", file=sys.stderr)
                 return 1
         return 0
-    print(f"worker: could not reach coordinator at {host}:{port}: {last_error}", file=sys.stderr)
+    print(
+        f"worker: could not reach coordinator at {host}:{port} "
+        f"after {attempts} attempt(s): {last_error}",
+        file=sys.stderr,
+    )
     return 1
 
 
-def _run_listen(address: str, max_sessions: Optional[int]) -> int:
+def _run_listen(address: str, max_sessions: Optional[int], heartbeat_interval: float) -> int:
     host, port = parse_address(address, default_host="0.0.0.0")
     with socket.create_server((host, port), backlog=4) as server:
         actual_host, actual_port = server.getsockname()[:2]
@@ -119,7 +215,7 @@ def _run_listen(address: str, max_sessions: Optional[int]) -> int:
             conn, peer = server.accept()
             with conn:
                 try:
-                    executed = serve_session(conn)
+                    executed = serve_session(conn, heartbeat_interval=heartbeat_interval)
                 except (ProtocolError, ConnectionError, OSError) as exc:
                     print(f"worker: dropped session from {peer}: {exc}", file=sys.stderr)
                 else:
@@ -142,13 +238,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--retries", type=int, default=5,
                         help="connection attempts in --connect mode (default: 5)")
     parser.add_argument("--retry-delay", type=float, default=0.5,
-                        help="seconds between connection attempts (default: 0.5)")
+                        help="first retry delay in seconds; later retries back off "
+                             "exponentially with jitter (default: 0.5)")
     parser.add_argument("--max-sessions", type=int, default=None,
                         help="exit after serving this many sessions in --listen mode")
+    parser.add_argument("--heartbeat-interval", type=float, default=5.0,
+                        help="seconds between keepalive frames while a task runs; "
+                             "0 disables heartbeats (default: 5)")
     args = parser.parse_args(list(argv) if argv is not None else None)
+    chaos.set_role("worker")
     if args.connect:
-        return _run_connect(args.connect, args.retries, args.retry_delay)
-    return _run_listen(args.listen, args.max_sessions)
+        return _run_connect(args.connect, args.retries, args.retry_delay,
+                            args.heartbeat_interval)
+    return _run_listen(args.listen, args.max_sessions, args.heartbeat_interval)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -34,7 +34,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
-from ..errors import ReproError
+from ..errors import ReproError, ServiceOverloadedError
 from ..experiments.pipeline import ExperimentSpec
 from ..viz.tables import rows_to_csv_text
 from .jobs import JobManager
@@ -60,11 +60,15 @@ class _Handler(BaseHTTPRequestHandler):
         if self.service.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+    def _send_json(
+        self, status: int, body: Dict[str, Any], headers: Optional[Dict[str, str]] = None
+    ) -> None:
         data = json.dumps(body, indent=2).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -172,6 +176,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             spec = ExperimentSpec.from_json_text(body.decode("utf-8", errors="replace"))
             job = self.service.manager.submit(spec)
+        except ServiceOverloadedError as exc:
+            # Load shedding: the queue is full.  Tell the client when to
+            # come back rather than letting submissions pile up unbounded.
+            self._send_json(
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": str(max(1, round(exc.retry_after)))},
+            )
+            return
         except ReproError as exc:
             # Invalid spec (bad JSON, unknown scenario/field, inconsistent
             # mode): the submitter's fault, with the CLI's exact message.
@@ -243,6 +256,8 @@ class ReproService:
         body: Dict[str, Any] = {
             "status": "ok",
             "jobs": len(manager.list_jobs()),
+            "queued": manager.queue_depth(),
+            "max_queued": manager.max_queued,
             "pool_jobs": manager.jobs,
             "cache_root": manager.cache.root,
             "cache": manager.cache.stats().as_dict(),

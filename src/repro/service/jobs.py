@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..cache.store import ResultCache
+from ..errors import ServiceOverloadedError
 from ..experiments.pipeline import (
     ExperimentRunner,
     ExperimentSpec,
@@ -68,6 +69,11 @@ class Job:
     finished_at: Optional[float] = None
     #: The collected table artefact (populated when ``state == "done"``).
     result: Optional[Any] = None
+    #: Set once the job settles (done/failed) — what :meth:`JobManager.wait`
+    #: blocks on instead of polling.
+    settled: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-safe status view (what ``GET /v1/jobs/<id>`` returns)."""
@@ -102,6 +108,12 @@ class JobManager:
         Override the execution backend (tests inject stubs here); by
         default a :class:`~repro.parallel.backends.PersistentPoolBackend`
         owned — and eventually closed — by the manager.
+    max_queued:
+        Load-shedding bound on jobs waiting to run: a submission that
+        would push the queue past this raises
+        :class:`~repro.errors.ServiceOverloadedError` (HTTP 503 with
+        ``Retry-After``) instead of accepting unbounded work.  ``None``
+        or ``0`` leaves the queue unbounded.
     """
 
     def __init__(
@@ -110,9 +122,13 @@ class JobManager:
         jobs: Optional[int] = 1,
         state_dir: Optional[str] = None,
         backend: Optional[Any] = None,
+        max_queued: Optional[int] = None,
     ) -> None:
         self.cache = cache
         self.jobs = resolve_jobs(jobs)
+        if max_queued is not None and max_queued < 0:
+            raise ValueError(f"max_queued must be >= 0, got {max_queued!r}")
+        self.max_queued = int(max_queued) if max_queued else 0
         self.state_dir = os.path.abspath(state_dir or os.path.join(cache.root, "service"))
         os.makedirs(self.state_dir, exist_ok=True)
         self._owns_backend = backend is None
@@ -148,6 +164,16 @@ class JobManager:
             active = self._active_by_key.get(key)
             if active is not None:
                 return active
+            if self.max_queued and len(self._queue) >= self.max_queued:
+                # Load shedding: refuse new work instead of queueing without
+                # bound.  Deduplicated resubmissions (above) still join
+                # their active job even when the queue is full.
+                depth = len(self._queue)
+                raise ServiceOverloadedError(
+                    f"job queue is full ({depth} queued, limit {self.max_queued}); "
+                    "retry later",
+                    retry_after=min(60.0, 2.0 * depth),
+                )
             self._job_counter += 1
             job = Job(id=f"job-{self._job_counter:06d}", spec=spec, cache_key=key)
             if plan.include_simulation:
@@ -170,14 +196,16 @@ class JobManager:
 
     def wait(self, job_id: str, timeout: float = 30.0) -> Optional[Job]:
         """Block until ``job_id`` settles (done/failed) or ``timeout`` passes."""
-        deadline = time.monotonic() + timeout
-        while True:
-            job = self.get(job_id)
-            if job is None or job.state in ("done", "failed"):
-                return job
-            if time.monotonic() >= deadline:
-                return job
-            time.sleep(0.02)
+        job = self.get(job_id)
+        if job is None:
+            return None
+        job.settled.wait(timeout)
+        return job
+
+    def queue_depth(self) -> int:
+        """Jobs waiting for the dispatcher (excludes the one running)."""
+        with self._lock:
+            return len(self._queue)
 
     # -- execution ----------------------------------------------------------
 
@@ -219,6 +247,7 @@ class JobManager:
             with self._lock:
                 if self._active_by_key.get(job.cache_key) is job:
                     del self._active_by_key[job.cache_key]
+            job.settled.set()
 
     def _execute(self, job: Job, plan) -> Any:
         """Run the campaign on the warm pool, journaled for crash tolerance."""

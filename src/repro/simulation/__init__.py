@@ -1,6 +1,7 @@
 """Validation simulator: event-driven HMSCS model matching the paper's §6 setup."""
 
 from .components import LatencySink, ServiceCenterSim
+from .faults import FaultInjector, FaultSchedule, FaultSpec, FaultyServiceCenterSim
 from .message import Message
 from .runner import (
     ReplicatedResult,
@@ -23,6 +24,10 @@ __all__ = [
     "Message",
     "ServiceCenterSim",
     "LatencySink",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultInjector",
+    "FaultyServiceCenterSim",
     "MultiClusterSimulator",
     "SimulationConfig",
     "SimulationResult",

@@ -121,6 +121,15 @@ class ServiceCenterSim:
         event.callbacks.append(self._departed)
         return event
 
+    def try_begin(self, message: Message) -> Optional[AbsoluteTimeout]:
+        """Admit ``message`` unconditionally (the always-up centre never drops).
+
+        Uniform admission interface shared with
+        :class:`~repro.simulation.faults.FaultyServiceCenterSim`, whose drop
+        policy may return ``None`` instead of a departure event.
+        """
+        return self.begin(message)
+
     def serve(self, message: Message) -> Generator[Event, None, None]:
         """Process generator: pass ``message`` through this service centre.
 

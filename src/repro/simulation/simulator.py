@@ -37,6 +37,7 @@ from ..stats.sinks import STATS_MODES, validate_histogram_range
 from ..workload.arrivals import ArrivalProcess
 from ..workload.destinations import DestinationPolicy, UniformDestinations
 from .components import LatencySink, ServiceCenterSim
+from .faults import FaultInjector, FaultSpec, FaultyServiceCenterSim
 from .message import Message
 
 #: Signature of the optional per-processor arrival-process factory: it maps
@@ -87,6 +88,11 @@ class SimulationConfig:
         ``stats_mode="online"`` — the array sink keeps every sample and
         needs no histogram, so combining it with ``stats_mode="array"``
         raises a :class:`~repro.errors.ConfigurationError`.
+    failures:
+        Optional :class:`~repro.simulation.faults.FaultSpec` (or its JSON
+        mapping) attaching seeded failure/repair schedules to links and/or
+        nodes.  ``None`` (the default) keeps the always-up model and draws
+        from exactly the same streams as every earlier release.
     """
 
     architecture: str = "non-blocking"
@@ -99,6 +105,7 @@ class SimulationConfig:
     batch_count: int = 20
     stats_mode: str = "array"
     histogram_range: Optional[Tuple[float, float]] = None
+    failures: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.message_bytes <= 0:
@@ -132,6 +139,8 @@ class SimulationConfig:
                     "histogram; it cannot be combined with stats_mode="
                     f"{self.stats_mode!r} (use stats_mode='online')"
                 )
+        if self.failures is not None and not isinstance(self.failures, FaultSpec):
+            object.__setattr__(self, "failures", FaultSpec.from_json(self.failures))
 
 
 @dataclass(frozen=True)
@@ -157,14 +166,37 @@ class SimulationResult:
     seed: int
     stats_mode: str = "array"
     latency_summary: Optional[Dict[str, float]] = None
+    #: Per-target availability over the run (``None`` unless faults were on).
+    availability: Optional[Dict[str, float]] = None
+    #: Messages lost to the ``"drop"`` fault policy.
+    dropped_messages: int = 0
 
     @property
     def mean_latency_ms(self) -> float:
         """Mean message latency in milliseconds (the figures' unit)."""
         return self.mean_latency_s * 1e3
 
+    @property
+    def mean_availability(self) -> Optional[float]:
+        """Unweighted mean availability across fault targets (``None`` without faults)."""
+        if not self.availability:
+            return None
+        return sum(self.availability.values()) / len(self.availability)
+
+    @property
+    def throughput_msg_s(self) -> float:
+        """Completed messages per simulated second (degraded under faults)."""
+        if self.simulated_time_s <= 0:
+            return 0.0
+        return self.completed_messages / self.simulated_time_s
+
     def as_dict(self) -> Dict[str, float]:
-        """Headline metrics as a flat dictionary."""
+        """Headline metrics as a flat dictionary.
+
+        The fault columns (availability, throughput, drops) only appear on
+        fault-enabled runs so fixtures of the always-up model keep their
+        historical byte-exact shape.
+        """
         out = {
             "mean_latency_ms": self.mean_latency_ms,
             "mean_local_latency_ms": self.mean_local_latency_s * 1e3,
@@ -175,6 +207,10 @@ class SimulationResult:
         }
         if self.confidence_interval is not None:
             out["ci_half_width_ms"] = self.confidence_interval.half_width * 1e3
+        if self.availability is not None:
+            out["availability"] = self.mean_availability or 0.0
+            out["throughput_msg_s"] = self.throughput_msg_s
+            out["dropped_messages"] = float(self.dropped_messages)
         return out
 
 
@@ -204,6 +240,13 @@ class MultiClusterSimulator:
         # stateful processes (e.g. MMPP) never share state across sources.
         self.arrival_factory = arrival_factory
         self._streams = RandomStreams(self.config.seed)
+        # Fault schedules draw from their own "fault-*" named streams, so a
+        # run with failures=None is bit-identical to every earlier release.
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(self.config.failures, self._streams)
+            if self.config.failures is not None
+            else None
+        )
 
         self.env = Environment()
         self._build_service_centers()
@@ -226,6 +269,21 @@ class MultiClusterSimulator:
             return Exponential(mean)
         return Deterministic(mean)
 
+    def _make_center(self, name: str, mean_service: float, stream_name: str) -> ServiceCenterSim:
+        """One service centre, fault-wrapped when link faults are enabled."""
+        distribution = self._service_distribution(mean_service)
+        rng = self._streams.stream(stream_name)
+        if self.faults is not None and self.faults.spec.on_links:
+            return FaultyServiceCenterSim(
+                self.env,
+                name,
+                distribution,
+                rng,
+                schedule=self.faults.link_schedule(name),
+                policy=self.faults.spec.policy,
+            )
+        return ServiceCenterSim(self.env, name, distribution, rng)
+
     def _build_service_centers(self) -> None:
         cfg = self.config
         switch = self.system.switch
@@ -241,19 +299,13 @@ class MultiClusterSimulator:
                 cfg.architecture, cluster.ecn_technology, switch, cluster.num_processors
             )
             self.icn1.append(
-                ServiceCenterSim(
-                    self.env,
-                    f"icn1[{idx}]",
-                    self._service_distribution(icn_model.service_time(m)),
-                    self._streams.stream(f"service-icn1-{idx}"),
+                self._make_center(
+                    f"icn1[{idx}]", icn_model.service_time(m), f"service-icn1-{idx}"
                 )
             )
             self.ecn1.append(
-                ServiceCenterSim(
-                    self.env,
-                    f"ecn1[{idx}]",
-                    self._service_distribution(ecn_model.service_time(m)),
-                    self._streams.stream(f"service-ecn1-{idx}"),
+                self._make_center(
+                    f"ecn1[{idx}]", ecn_model.service_time(m), f"service-ecn1-{idx}"
                 )
             )
         icn2_model = build_network_model(
@@ -262,17 +314,13 @@ class MultiClusterSimulator:
             switch,
             max(self.system.num_clusters, 1),
         )
-        self.icn2 = ServiceCenterSim(
-            self.env,
-            "icn2",
-            self._service_distribution(icn2_model.service_time(m)),
-            self._streams.stream("service-icn2"),
-        )
+        self.icn2 = self._make_center("icn2", icn2_model.service_time(m), "service-icn2")
 
     def _start_processors(self) -> None:
+        make = self._processor if self.faults is None else self._processor_faulty
         for cluster_idx, size in enumerate(self.cluster_sizes):
             for proc_idx in range(size):
-                self.env.process(self._processor(cluster_idx, proc_idx))
+                self.env.process(make(cluster_idx, proc_idx))
 
     # -- processes ---------------------------------------------------------------------
 
@@ -331,6 +379,82 @@ class MultiClusterSimulator:
             message.completed_at = env._now
             record(message)
 
+    def _processor_faulty(self, cluster_idx: int, proc_idx: int) -> Generator[Event, None, None]:
+        """Fault-aware twin of :meth:`_processor` (used only when faults are on).
+
+        Kept separate so the always-up hot path stays byte-identical; the
+        extra per-message work is the node-churn wait and per-hop admission,
+        which under the ``"drop"`` policy may lose the message mid-path (the
+        closed-loop source then simply starts its next think time).
+        """
+        cluster = self.system.clusters[cluster_idx]
+        rate = cluster.processor_type.scaled_rate(self.config.generation_rate)
+        arrival_rng = self._streams.stream(f"arrivals-{cluster_idx}-{proc_idx}")
+        dest_rng = self._streams.stream(f"destination-{cluster_idx}-{proc_idx}")
+        source = (cluster_idx, proc_idx)
+
+        if self.arrival_factory is None:
+            next_interarrival = arrival_rng.exponential_rate_stream(rate)
+        else:
+            next_interarrival = self.arrival_factory(rate).sampler(arrival_rng)
+        choose = self.destination_policy.chooser(source, dest_rng)
+        env = self.env
+        timeout = env.timeout
+        faults = self.faults
+        spec = faults.spec
+        drop = spec.policy == "drop"
+        node_sched = faults.node_schedule(cluster_idx, proc_idx) if spec.on_nodes else None
+        icn1 = self.icn1[cluster_idx]
+        ecn1_src = self.ecn1[cluster_idx]
+        icn2 = self.icn2
+        ecn1 = self.ecn1
+        message_bytes = self.config.message_bytes
+        record = self.sink.record
+
+        while True:
+            yield timeout(next_interarrival())
+            if node_sched is not None:
+                now = env._now
+                up = node_sched.next_up(now)
+                if up > now:
+                    # Churn: a down node generates nothing until repaired.
+                    yield timeout(up - now)
+            destination = choose()
+            if drop and spec.on_nodes and destination != source:
+                if faults.node_schedule(*destination).is_down(env._now):
+                    faults.node_dropped += 1
+                    continue
+            message = Message(
+                ident=self._message_counter,
+                source=source,
+                destination=destination,
+                size_bytes=message_bytes,
+                created_at=env._now,
+            )
+            self._message_counter += 1
+
+            if destination[0] == cluster_idx:
+                event = icn1.try_begin(message)
+                if event is None:
+                    continue
+                yield event
+            else:
+                event = ecn1_src.try_begin(message)
+                if event is None:
+                    continue
+                yield event
+                event = icn2.try_begin(message)
+                if event is None:
+                    continue
+                yield event
+                event = ecn1[destination[0]].try_begin(message)
+                if event is None:
+                    continue
+                yield event
+
+            message.completed_at = env._now
+            record(message)
+
     # -- running -----------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
@@ -360,6 +484,15 @@ class MultiClusterSimulator:
             utilizations[center.name] = center.utilization(now)
             occupancies[center.name] = center.mean_occupancy(now)
 
+        availability: Optional[Dict[str, float]] = None
+        dropped = 0
+        if self.faults is not None:
+            availability = self.faults.availability(now)
+            dropped = self.faults.node_dropped
+            for center in [*self.icn1, *self.ecn1, self.icn2]:
+                if isinstance(center, FaultyServiceCenterSim):
+                    dropped += center.dropped
+
         return SimulationResult(
             mean_latency_s=sink.latencies.mean(),
             confidence_interval=ci,
@@ -378,4 +511,6 @@ class MultiClusterSimulator:
             seed=self.config.seed,
             stats_mode=self.config.stats_mode,
             latency_summary=sink.latencies.summary(),
+            availability=availability,
+            dropped_messages=dropped,
         )

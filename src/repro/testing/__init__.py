@@ -1,0 +1,12 @@
+"""Deterministic test harnesses for the distributed execution layer."""
+
+from .chaos import ChaosController, ChaosSpec, controller, parse_chaos_spec, reset, set_role
+
+__all__ = [
+    "ChaosSpec",
+    "ChaosController",
+    "parse_chaos_spec",
+    "controller",
+    "set_role",
+    "reset",
+]

@@ -1,0 +1,317 @@
+"""Deterministic chaos harness for the distributed backends and service.
+
+Activated by the ``REPRO_CHAOS`` environment variable, which carries a
+comma-separated ``key=value`` schedule, e.g.::
+
+    REPRO_CHAOS="seed=7,kill-after=1,kill-limit=1,state=/tmp/chaos" \\
+        python -m repro run SPEC.json --backend socket --workers 2
+
+The schedule injects faults at three hook points:
+
+* **task hooks** (worker task loop, pool ``invoke_task``): ``kill-after=N``
+  exits the process with status 137 right after its N-th task *before* the
+  result is delivered (socket workers lose the result frame, pool workers
+  break the executor); ``hang-after=N`` makes a socket worker stop
+  heartbeating and go silent instead, exercising dead-peer detection.
+* **frame hooks** (:mod:`repro.parallel.protocol`): ``drop-send=P`` closes
+  the connection instead of sending a frame with probability ``P``;
+  ``truncate-send=P`` sends half the frame then closes (a torn write);
+  ``delay-send-ms=MS`` sleeps before every send.
+* **limits**: ``kill-limit`` / ``drop-limit`` / ``truncate-limit`` cap how
+  many times each event fires.  With ``state=DIR`` the caps are *fleet
+  global* — events claim ``O_EXCL`` token files in ``DIR``, so "exactly
+  one worker dies" holds across any number of processes; without a state
+  directory the caps are per process.
+
+``scope`` selects which processes inject (``worker`` — the default —
+``coordinator``, or ``all``).  Worker-ness is explicit for socket workers
+(:func:`set_role` in ``repro.parallel.worker.main``) and inferred for pool
+workers (they have a ``multiprocessing`` parent process); everything else
+counts as the coordinator.
+
+Determinism: each process draws its schedule from a ``random.Random``
+seeded with ``"{seed}:{role}"`` — reproducible per (seed, role), and, with
+the token-file limits, reproducible fleet-wide.  The harness asserts
+nothing itself; the contract under test is that every chaos run still
+produces **bit-identical results or a clean, typed error**.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import socket
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ENV_VAR",
+    "ChaosSpec",
+    "ChaosController",
+    "parse_chaos_spec",
+    "controller",
+    "set_role",
+    "reset",
+]
+
+#: Environment variable carrying the chaos schedule.
+ENV_VAR = "REPRO_CHAOS"
+
+_SCOPES = ("worker", "coordinator", "all")
+
+#: How long a hung worker sleeps (the coordinator's dead-peer timeout fires
+#: long before this; the leftover process is reaped at backend shutdown).
+HANG_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parsed ``REPRO_CHAOS`` schedule."""
+
+    seed: int = 0
+    scope: str = "worker"
+    kill_after: Optional[int] = None
+    kill_limit: Optional[int] = None
+    hang_after: Optional[int] = None
+    hang_limit: Optional[int] = None
+    drop_send: float = 0.0
+    drop_limit: Optional[int] = None
+    truncate_send: float = 0.0
+    truncate_limit: Optional[int] = None
+    delay_send_ms: float = 0.0
+    state_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scope not in _SCOPES:
+            raise ConfigurationError(f"chaos scope must be one of {_SCOPES}, got {self.scope!r}")
+        for name in ("kill_after", "kill_limit", "hang_after", "hang_limit",
+                     "drop_limit", "truncate_limit"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigurationError(f"chaos {name} must be >= 1, got {value!r}")
+        for name in ("drop_send", "truncate_send"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"chaos {name} must be a probability in [0, 1], got {value!r}"
+                )
+        if self.delay_send_ms < 0:
+            raise ConfigurationError(
+                f"chaos delay_send_ms must be non-negative, got {self.delay_send_ms!r}"
+            )
+
+
+_KEYS = {
+    "seed": ("seed", int),
+    "scope": ("scope", str),
+    "kill-after": ("kill_after", int),
+    "kill-limit": ("kill_limit", int),
+    "hang-after": ("hang_after", int),
+    "hang-limit": ("hang_limit", int),
+    "drop-send": ("drop_send", float),
+    "drop-limit": ("drop_limit", int),
+    "truncate-send": ("truncate_send", float),
+    "truncate-limit": ("truncate_limit", int),
+    "delay-send-ms": ("delay_send_ms", float),
+    "state": ("state_dir", str),
+}
+
+
+def parse_chaos_spec(text: str) -> ChaosSpec:
+    """Parse a ``key=value,key=value`` chaos schedule."""
+    values: Dict[str, object] = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ConfigurationError(
+                f"chaos schedule items must be key=value, got {item!r} "
+                f"(known keys: {', '.join(sorted(_KEYS))})"
+            )
+        key, _, raw = item.partition("=")
+        key = key.strip()
+        if key not in _KEYS:
+            raise ConfigurationError(
+                f"unknown chaos key {key!r}; known keys: {', '.join(sorted(_KEYS))}"
+            )
+        field, convert = _KEYS[key]
+        try:
+            values[field] = convert(raw.strip())
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid value {raw.strip()!r} for chaos key {key!r}"
+            ) from None
+    return ChaosSpec(**values)
+
+
+class ChaosController:
+    """Per-process fault injector driving one parsed schedule."""
+
+    def __init__(self, spec: ChaosSpec, role: str) -> None:
+        self.spec = spec
+        self.role = role
+        self.tasks_executed = 0
+        self._used: Dict[str, int] = {}
+        # repro.testing is outside the REP101 runtime scope: a seeded
+        # instance keyed by (seed, role) is deterministic per process kind
+        # (string seeds hash via SHA-512, not the randomised str hash).
+        self._rng = random.Random(f"{spec.seed}:{role}")
+
+    # -- limit claims ------------------------------------------------------
+
+    def _claim(self, kind: str, limit: Optional[int]) -> bool:
+        """Claim one firing of ``kind`` against its (optional) cap.
+
+        With a state directory the claim is an ``O_EXCL`` token file, so
+        the cap holds across the whole process fleet.
+        """
+        if limit is None:
+            return True
+        if self.spec.state_dir:
+            for index in range(limit):
+                token = os.path.join(self.spec.state_dir, f"{kind}-{index}.token")
+                try:
+                    handle = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    continue
+                except OSError:
+                    return False
+                os.close(handle)
+                return True
+            return False
+        used = self._used.get(kind, 0)
+        if used >= limit:
+            return False
+        self._used[kind] = used + 1
+        return True
+
+    # -- task hooks --------------------------------------------------------
+
+    def after_task(self) -> Optional[str]:
+        """Record one executed task; returns ``"kill"``/``"hang"`` to enact."""
+        self.tasks_executed += 1
+        spec = self.spec
+        if (
+            spec.kill_after is not None
+            and self.tasks_executed >= spec.kill_after
+            and self._claim("kill", spec.kill_limit)
+        ):
+            return "kill"
+        if (
+            spec.hang_after is not None
+            and self.tasks_executed >= spec.hang_after
+            and self._claim("hang", spec.hang_limit)
+        ):
+            return "hang"
+        return None
+
+    def maybe_kill(self) -> None:
+        """Task hook for pool workers: enact a scheduled kill in place."""
+        if self.after_task() == "kill":
+            os._exit(137)
+
+    def hang(self) -> None:  # pragma: no cover - exercised via subprocesses
+        """Go silent (the coordinator's dead-peer timeout reaps us)."""
+        time.sleep(HANG_SECONDS)
+
+    # -- frame hooks -------------------------------------------------------
+
+    def before_send(self, sock: socket.socket, data: bytes) -> None:
+        """Maybe delay, drop or truncate an outgoing frame.
+
+        Dropping and truncating close the socket and raise
+        :class:`ConnectionError` — exactly what a real torn connection
+        looks like to the caller.
+        """
+        spec = self.spec
+        if spec.delay_send_ms > 0:
+            time.sleep(spec.delay_send_ms / 1000.0)
+        if spec.drop_send > 0 and self._rng.random() < spec.drop_send:
+            if self._claim("drop", spec.drop_limit):
+                sock.close()
+                raise ConnectionError("chaos: connection dropped before send")
+        if spec.truncate_send > 0 and self._rng.random() < spec.truncate_send:
+            if self._claim("truncate", spec.truncate_limit):
+                try:
+                    sock.sendall(data[: max(1, len(data) // 2)])
+                finally:
+                    sock.close()
+                raise ConnectionError("chaos: frame truncated mid-send")
+
+
+# -- process-global activation ------------------------------------------------
+
+_role_override: Optional[str] = None
+_cache: Dict[str, Optional[ChaosController]] = {}
+_parsed: Optional[ChaosSpec] = None
+_parsed_text: Optional[str] = None
+
+
+def set_role(role: str) -> None:
+    """Declare this process's role explicitly (socket workers do)."""
+    global _role_override
+    if role not in ("worker", "coordinator"):
+        raise ConfigurationError(f"role must be 'worker' or 'coordinator', got {role!r}")
+    _role_override = role
+
+
+def current_role() -> str:
+    """This process's role: explicit override, else inferred.
+
+    Pool workers are child processes of a ``multiprocessing`` executor, so
+    a non-``None`` parent process means "worker"; the main process (and
+    anything else) is the coordinator.
+    """
+    if _role_override is not None:
+        return _role_override
+    import multiprocessing
+
+    return "worker" if multiprocessing.parent_process() is not None else "coordinator"
+
+
+def controller() -> Optional[ChaosController]:
+    """The process's injector, or ``None`` when chaos is off or out of scope.
+
+    The ``REPRO_CHAOS`` text is parsed once per value and controllers are
+    cached per role, so this is cheap enough for per-frame hook sites.
+    """
+    global _parsed, _parsed_text
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    if text != _parsed_text:
+        _parsed = parse_chaos_spec(text)
+        _parsed_text = text
+        _cache.clear()
+    role = current_role()
+    if role not in _cache:
+        spec = _parsed
+        in_scope = spec.scope == "all" or spec.scope == role
+        _cache[role] = ChaosController(spec, role) if in_scope else None
+    return _cache[role]
+
+
+def reset() -> None:
+    """Forget parsed state and controllers (tests flip the env between runs)."""
+    global _parsed, _parsed_text, _role_override
+    _parsed = None
+    _parsed_text = None
+    _role_override = None
+    _cache.clear()
+
+
+def describe(spec: ChaosSpec) -> str:
+    """One-line schedule summary for logs."""
+    parts = [f"seed={spec.seed}", f"scope={spec.scope}"]
+    for field in dataclasses.fields(spec):
+        if field.name in ("seed", "scope"):
+            continue
+        value = getattr(spec, field.name)
+        if value not in (None, 0, 0.0):
+            parts.append(f"{field.name}={value}")
+    return ", ".join(parts)

@@ -352,6 +352,98 @@ class TestErrorHygiene:
         assert rule_ids(source, PIPE_PATH) == []
 
 
+# ---------------------------------------------------------------- REP701
+
+
+PAR_PATH = "src/repro/parallel/snippet.py"
+SVC_PATH = "src/repro/service/snippet.py"
+
+
+class TestConstantRetrySleep:
+    def test_bad_literal_delay(self):
+        source = (
+            "import time\n"
+            "def dial(connect):\n"
+            "    for attempt in range(5):\n"
+            "        try:\n"
+            "            return connect()\n"
+            "        except OSError:\n"
+            "            time.sleep(0.5)\n"
+        )
+        assert rule_ids(source, PAR_PATH) == ["REP701"]
+
+    def test_bad_unchanging_name(self):
+        source = (
+            "import time\n"
+            "def poll(ready, retry_delay):\n"
+            "    while not ready():\n"
+            "        time.sleep(retry_delay)\n"
+        )
+        assert rule_ids(source, SVC_PATH) == ["REP701"]
+
+    def test_good_backoff_iteration(self):
+        source = (
+            "import time\n"
+            "def dial(connect, delays):\n"
+            "    for delay in delays:\n"
+            "        if connect():\n"
+            "            return\n"
+            "        time.sleep(delay)\n"
+        )
+        assert rule_ids(source, PAR_PATH) == []
+
+    def test_good_indexed_backoff(self):
+        source = (
+            "import time\n"
+            "def dial(connect, delays):\n"
+            "    for attempt in range(len(delays)):\n"
+            "        if connect():\n"
+            "            return\n"
+            "        time.sleep(delays[attempt])\n"
+        )
+        assert rule_ids(source, PAR_PATH) == []
+
+    def test_good_delay_reassigned_in_loop(self):
+        source = (
+            "import time\n"
+            "def dial(connect):\n"
+            "    delay = 0.2\n"
+            "    while not connect():\n"
+            "        time.sleep(delay)\n"
+            "        delay = min(delay * 2, 5.0)\n"
+        )
+        assert rule_ids(source, PAR_PATH) == []
+
+    def test_innermost_loop_flagged_once(self):
+        source = (
+            "import time\n"
+            "def spin():\n"
+            "    while True:\n"
+            "        for _ in range(3):\n"
+            "            time.sleep(1.0)\n"
+        )
+        assert rule_ids(source, PAR_PATH) == ["REP701"]
+
+    def test_out_of_scope_module_not_flagged(self):
+        source = (
+            "import time\n"
+            "def pace():\n"
+            "    while True:\n"
+            "        time.sleep(0.5)\n"
+        )
+        assert rule_ids(source, DES_PATH) == []
+        assert rule_ids(source, TOOL_PATH) == []
+
+    def test_suppression_honored(self):
+        source = (
+            "import time\n"
+            "def dial(connect):\n"
+            "    while not connect():\n"
+            "        time.sleep(0.5)  # repro: noqa REP701\n"
+        )
+        assert rule_ids(source, PAR_PATH) == []
+
+
 # ---------------------------------------------------------------- blanket noqa
 
 

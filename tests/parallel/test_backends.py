@@ -207,6 +207,40 @@ class TestSocketBackendSpec:
         with pytest.raises(ValueError):
             SocketBackend(max_task_attempts=0)
 
+    def test_robustness_knob_validation(self):
+        with pytest.raises(ValueError, match="connect_timeout"):
+            SocketBackend(spawn_workers=1, connect_timeout=0.0)
+        with pytest.raises(ValueError, match="dial_attempts"):
+            SocketBackend(spawn_workers=1, dial_attempts=0)
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            SocketBackend(spawn_workers=1, heartbeat_interval=-1.0)
+        with pytest.raises(ValueError, match="dead_peer_timeout"):
+            SocketBackend(spawn_workers=1, dead_peer_timeout=0.0)
+
+    def test_effective_dead_peer_timeout(self):
+        # Explicit setting wins; else 4x the heartbeat with a 20 s floor;
+        # disabling heartbeats disables dead-peer detection entirely.
+        assert SocketBackend(
+            spawn_workers=1, dead_peer_timeout=7.0
+        ).effective_dead_peer_timeout == 7.0
+        assert SocketBackend(
+            spawn_workers=1, heartbeat_interval=10.0
+        ).effective_dead_peer_timeout == 40.0
+        assert SocketBackend(
+            spawn_workers=1, heartbeat_interval=1.0
+        ).effective_dead_peer_timeout == 20.0
+        assert SocketBackend(
+            spawn_workers=1, heartbeat_interval=0.0
+        ).effective_dead_peer_timeout == 0.0
+
+    def test_launch_commands_carry_heartbeat_interval(self):
+        backend = SocketBackend(spawn_workers=2, heartbeat_interval=2.5)
+        commands = backend.worker_launch_commands("127.0.0.1", 7777)
+        assert len(commands) == 2
+        for argv, _env in commands:
+            flag = argv.index("--heartbeat-interval")
+            assert argv[flag + 1] == "2.5"
+
 
 class TestCliBackendSelection:
     def test_backend_and_workers_flags_parse(self):

@@ -1,0 +1,244 @@
+"""Tests for the deterministic chaos harness (`repro.testing.chaos`).
+
+The integration tests assert the harness's core contract: a fixed-seed
+chaos schedule — worker kills, dropped/truncated connections, silent hangs
+— leaves every backend's results **bit-identical** to the undisturbed
+serial run, or fails with a clean, typed error.
+"""
+
+from __future__ import annotations
+
+import math
+import socket
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerError
+from repro.parallel import PersistentPoolBackend, SerialBackend, SocketBackend, SweepEngine
+from repro.testing import chaos
+
+#: Generous handshake budget for the 1-CPU CI box (workers import numpy).
+ACCEPT_TIMEOUT = 60.0
+
+ITEMS = [4.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0, 81.0]
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos(monkeypatch):
+    """Isolate every test from ambient REPRO_CHAOS and cached controllers."""
+    monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+# ---------------------------------------------------------------- parsing
+
+
+class TestParseChaosSpec:
+    def test_defaults(self):
+        spec = chaos.parse_chaos_spec("")
+        assert spec == chaos.ChaosSpec()
+        assert spec.scope == "worker" and spec.seed == 0
+
+    def test_full_schedule(self):
+        spec = chaos.parse_chaos_spec(
+            "seed=7, scope=all, kill-after=2, kill-limit=1, drop-send=0.25,"
+            " truncate-send=0.1, truncate-limit=3, delay-send-ms=5, state=/tmp/x"
+        )
+        assert spec.seed == 7
+        assert spec.scope == "all"
+        assert spec.kill_after == 2 and spec.kill_limit == 1
+        assert spec.drop_send == 0.25
+        assert spec.truncate_send == 0.1 and spec.truncate_limit == 3
+        assert spec.delay_send_ms == 5.0
+        assert spec.state_dir == "/tmp/x"
+
+    def test_empty_items_are_skipped(self):
+        assert chaos.parse_chaos_spec("seed=3,,") == chaos.ChaosSpec(seed=3)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos key"):
+            chaos.parse_chaos_spec("kill=1")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            chaos.parse_chaos_spec("seed")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid value"):
+            chaos.parse_chaos_spec("kill-after=soon")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "scope=everyone",
+            "kill-after=0",
+            "drop-limit=0",
+            "drop-send=1.5",
+            "truncate-send=-0.1",
+            "delay-send-ms=-1",
+        ],
+    )
+    def test_spec_validation(self, text):
+        with pytest.raises(ConfigurationError):
+            chaos.parse_chaos_spec(text)
+
+    def test_describe_lists_active_knobs(self):
+        text = chaos.describe(chaos.ChaosSpec(seed=7, kill_after=1, drop_send=0.5))
+        assert "seed=7" in text and "kill_after=1" in text and "drop_send=0.5" in text
+        assert "truncate" not in text
+
+
+# ---------------------------------------------------------------- activation
+
+
+class TestActivation:
+    def test_off_without_env(self):
+        assert chaos.controller() is None
+
+    def test_default_scope_skips_coordinator(self, monkeypatch):
+        monkeypatch.setenv(chaos.ENV_VAR, "seed=1,kill-after=1")
+        chaos.set_role("coordinator")
+        assert chaos.controller() is None
+
+    def test_worker_role_gets_controller(self, monkeypatch):
+        monkeypatch.setenv(chaos.ENV_VAR, "seed=1,kill-after=1")
+        chaos.set_role("worker")
+        injector = chaos.controller()
+        assert injector is not None and injector.role == "worker"
+        assert chaos.controller() is injector  # cached
+
+    def test_scope_all_reaches_coordinator(self, monkeypatch):
+        monkeypatch.setenv(chaos.ENV_VAR, "seed=1,scope=all,delay-send-ms=1")
+        chaos.set_role("coordinator")
+        assert chaos.controller() is not None
+
+    def test_env_change_reparses(self, monkeypatch):
+        monkeypatch.setenv(chaos.ENV_VAR, "seed=1")
+        chaos.set_role("worker")
+        first = chaos.controller()
+        monkeypatch.setenv(chaos.ENV_VAR, "seed=2")
+        second = chaos.controller()
+        assert second is not first and second.spec.seed == 2
+
+    def test_set_role_validates(self):
+        with pytest.raises(ConfigurationError):
+            chaos.set_role("bystander")
+
+    def test_main_process_defaults_to_coordinator(self):
+        assert chaos.current_role() == "coordinator"
+
+
+# ---------------------------------------------------------------- controller
+
+
+class TestController:
+    def test_kill_fires_after_threshold_once(self):
+        spec = chaos.ChaosSpec(kill_after=2, kill_limit=1)
+        injector = chaos.ChaosController(spec, "worker")
+        assert injector.after_task() is None
+        assert injector.after_task() == "kill"
+        assert injector.after_task() is None  # per-process cap exhausted
+
+    def test_hang_fires_after_threshold(self):
+        injector = chaos.ChaosController(chaos.ChaosSpec(hang_after=1), "worker")
+        assert injector.after_task() == "hang"
+
+    def test_kill_takes_precedence_over_hang(self):
+        spec = chaos.ChaosSpec(kill_after=1, hang_after=1)
+        assert chaos.ChaosController(spec, "worker").after_task() == "kill"
+
+    def test_state_dir_caps_are_fleet_global(self, tmp_path):
+        spec = chaos.ChaosSpec(kill_after=1, kill_limit=2, state_dir=str(tmp_path))
+        fleet = [chaos.ChaosController(spec, "worker") for _ in range(4)]
+        fired = [injector.after_task() for injector in fleet]
+        assert fired.count("kill") == 2
+        assert len(list(tmp_path.glob("kill-*.token"))) == 2
+
+    def test_drop_closes_and_raises(self):
+        spec = chaos.ChaosSpec(drop_send=1.0, drop_limit=1)
+        injector = chaos.ChaosController(spec, "worker")
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ConnectionError, match="dropped"):
+                injector.before_send(a, b"frame")
+            assert a.fileno() == -1  # closed
+            injector.before_send(b, b"frame")  # limit spent: passes through
+        finally:
+            for sock in (a, b):
+                if sock.fileno() != -1:
+                    sock.close()
+
+    def test_truncate_sends_half_then_raises(self):
+        spec = chaos.ChaosSpec(truncate_send=1.0, truncate_limit=1)
+        injector = chaos.ChaosController(spec, "worker")
+        a, b = socket.socketpair()
+        try:
+            payload = b"0123456789abcdef"
+            with pytest.raises(ConnectionError, match="truncated"):
+                injector.before_send(a, payload)
+            assert b.recv(1024) == payload[:8]
+            assert b.recv(1024) == b""  # peer closed after the torn write
+        finally:
+            b.close()
+
+    def test_schedule_is_seed_deterministic(self):
+        spec = chaos.ChaosSpec(seed=3, drop_send=0.5)
+        a = chaos.ChaosController(spec, "worker")
+        b = chaos.ChaosController(spec, "worker")
+        assert [a._rng.random() for _ in range(32)] == [b._rng.random() for _ in range(32)]
+
+
+# ------------------------------------------------------------- integration
+
+
+def _socket_engine(**kwargs) -> SweepEngine:
+    backend = SocketBackend(spawn_workers=2, accept_timeout=ACCEPT_TIMEOUT, **kwargs)
+    return SweepEngine(backend=backend)
+
+
+class TestChaosIntegration:
+    """Fixed-seed chaos runs are bit-identical to the undisturbed serial run."""
+
+    @pytest.fixture
+    def baseline(self):
+        return SweepEngine(backend=SerialBackend()).map(math.sqrt, ITEMS)
+
+    def test_worker_kill_is_bit_identical(self, monkeypatch, tmp_path, baseline):
+        monkeypatch.setenv(
+            chaos.ENV_VAR, f"seed=7,kill-after=1,kill-limit=1,state={tmp_path}"
+        )
+        assert _socket_engine().map(math.sqrt, ITEMS) == baseline
+        assert len(list(tmp_path.glob("kill-*.token"))) == 1
+
+    def test_dropped_connection_is_bit_identical(self, monkeypatch, tmp_path, baseline):
+        monkeypatch.setenv(
+            chaos.ENV_VAR, f"seed=7,drop-send=1.0,drop-limit=1,state={tmp_path}"
+        )
+        assert _socket_engine().map(math.sqrt, ITEMS) == baseline
+
+    def test_truncated_frame_is_bit_identical(self, monkeypatch, tmp_path, baseline):
+        monkeypatch.setenv(
+            chaos.ENV_VAR, f"seed=7,truncate-send=1.0,truncate-limit=1,state={tmp_path}"
+        )
+        assert _socket_engine().map(math.sqrt, ITEMS) == baseline
+
+    def test_hung_worker_is_reaped_and_bit_identical(self, monkeypatch, tmp_path, baseline):
+        monkeypatch.setenv(
+            chaos.ENV_VAR, f"seed=7,hang-after=1,hang-limit=1,state={tmp_path}"
+        )
+        engine = _socket_engine(heartbeat_interval=0.2, dead_peer_timeout=1.5)
+        assert engine.map(math.sqrt, ITEMS) == baseline
+
+    def test_pool_kill_fails_clean_then_recovers(self, monkeypatch, tmp_path, baseline):
+        monkeypatch.setenv(
+            chaos.ENV_VAR, f"seed=7,kill-after=1,kill-limit=1,state={tmp_path}"
+        )
+        with PersistentPoolBackend(jobs=2) as backend:
+            engine = SweepEngine(backend=backend)
+            with pytest.raises(WorkerError):
+                engine.map(math.sqrt, ITEMS)
+            # The kill token is spent: the rebuilt pool finishes undisturbed.
+            assert engine.map(math.sqrt, ITEMS) == baseline
+            assert backend.pools_created == 2

@@ -1,0 +1,49 @@
+"""Tests for the shared retry policy (`repro.parallel.retry`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.retry import DEFAULT_BASE_DELAY, DEFAULT_CAP_DELAY, backoff_delays
+
+
+class TestBackoffDelays:
+    def test_no_retries_is_empty(self):
+        assert backoff_delays(0) == []
+
+    def test_delays_are_deterministic(self):
+        assert backoff_delays(6, salt=42) == backoff_delays(6, salt=42)
+
+    def test_salt_desynchronises_peers(self):
+        assert backoff_delays(6, salt=1) != backoff_delays(6, salt=2)
+
+    def test_jitter_bounds(self):
+        for salt in range(20):
+            for attempt, delay in enumerate(backoff_delays(8, jitter=0.5, salt=salt)):
+                nominal = min(DEFAULT_CAP_DELAY, DEFAULT_BASE_DELAY * 2.0**attempt)
+                assert 0.5 * nominal <= delay <= nominal
+
+    def test_zero_jitter_is_pure_capped_doubling(self):
+        delays = backoff_delays(6, base=1.0, cap=8.0, jitter=0.0)
+        assert delays == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_cap_bounds_every_delay(self):
+        assert all(d <= 0.5 for d in backoff_delays(12, base=0.1, cap=0.5))
+
+    def test_nominal_schedule_doubles_until_cap(self):
+        nominal = [min(5.0, 0.2 * 2.0**i) for i in range(6)]
+        assert nominal[:5] == [0.2, 0.4, 0.8, 1.6, 3.2] and nominal[5] == 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"attempts": -1}, "non-negative"),
+            ({"attempts": 3, "base": 0.0}, "positive"),
+            ({"attempts": 3, "base": 1.0, "cap": 0.5}, "cap"),
+            ({"attempts": 3, "jitter": 1.0}, "jitter"),
+            ({"attempts": 3, "jitter": -0.1}, "jitter"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            backoff_delays(**kwargs)

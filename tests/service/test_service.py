@@ -295,6 +295,83 @@ class TestWarmPool:
         assert not os.path.exists(journal)
 
 
+class TestLoadShedding:
+    def test_negative_queue_bound_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", fingerprint=FP)
+        with pytest.raises(ValueError, match="max_queued"):
+            JobManager(cache, jobs=1, backend=SerialBackend(), max_queued=-1)
+
+    def test_wait_on_unknown_job_returns_none(self, serial_service):
+        assert serial_service.manager.wait("job-999999") is None
+
+    def test_full_queue_is_503_with_retry_after(self, tmp_path):
+        import time
+
+        gate = threading.Event()
+        cache = ResultCache(tmp_path / "cache", fingerprint=FP)
+        manager = JobManager(cache, jobs=1, backend=_GatedBackend(gate), max_queued=1)
+        try:
+            with ReproService(manager) as service:
+                client = _Client(service)
+                _, first = client.submit(small_spec(seed=0))
+                # Wait for the dispatcher to pick job 1 up so the queue is empty.
+                deadline = time.monotonic() + 30
+                while manager.queue_depth() > 0:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                _, second = client.submit(small_spec(seed=1))
+
+                # The queue is at its bound: a third campaign is shed.
+                host, port = service.address
+                conn = http.client.HTTPConnection(host, port, timeout=30)
+                try:
+                    conn.request(
+                        "POST", "/v1/experiments", body=small_spec(seed=2).to_json_text()
+                    )
+                    response = conn.getresponse()
+                    body = json.loads(response.read())
+                finally:
+                    conn.close()
+                assert response.status == 503
+                assert "queue is full" in body["error"]
+                assert body["retry_after"] > 0
+                assert int(response.getheader("Retry-After")) >= 1
+
+                # Resubmitting a queued campaign still joins the live job
+                # (dedup wins over the bound).
+                _, dup = client.submit(small_spec(seed=1))
+                assert dup["id"] == second["id"]
+
+                # Health shows the pressure while the queue is full.
+                _, health = client.json("GET", "/v1/health")
+                assert health["queued"] == 1
+                assert health["max_queued"] == 1
+
+                gate.set()
+                assert manager.wait(first["id"]).state == "done"
+                assert manager.wait(second["id"]).state == "done"
+                # With the queue drained, submissions are accepted again.
+                status, third = client.submit(small_spec(seed=2))
+                assert status == 202
+                assert manager.wait(third["id"]).state == "done"
+        finally:
+            gate.set()
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", fingerprint=FP)
+        manager = JobManager(cache, jobs=1, backend=SerialBackend())
+        assert manager.max_queued == 0
+        with ReproService(manager) as service:
+            client = _Client(service)
+            statuses = [
+                client.submit(small_spec(mode="analysis", seed=seed))[0]
+                for seed in range(8)
+            ]
+            assert statuses == [202] * 8
+            for job in manager.list_jobs():
+                manager.wait(job.id)
+
+
 class TestShutdown:
     def test_submissions_after_close_are_503(self, tmp_path):
         cache = ResultCache(tmp_path / "cache", fingerprint=FP)
