@@ -36,6 +36,7 @@ HOT_MODULES = frozenset(
         "repro.des.rng",
         "repro.simulation.components",
         "repro.simulation.message",
+        "repro.simulation.vectorized_replay",
     }
 )
 

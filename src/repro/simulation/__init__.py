@@ -19,6 +19,14 @@ from .trace_simulator import (
     TraceSimulationConfig,
     TraceSimulationResult,
 )
+from .vectorized_replay import (
+    VectorizedClosedLoopSimulator,
+    can_vectorize,
+    replay_trace,
+    run_vectorized_point,
+    run_vectorized_simulation_task,
+    vectorization_blockers,
+)
 
 __all__ = [
     "Message",
@@ -42,4 +50,10 @@ __all__ = [
     "TraceDrivenSimulator",
     "TraceSimulationConfig",
     "TraceSimulationResult",
+    "replay_trace",
+    "VectorizedClosedLoopSimulator",
+    "vectorization_blockers",
+    "can_vectorize",
+    "run_vectorized_simulation_task",
+    "run_vectorized_point",
 ]

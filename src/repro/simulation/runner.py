@@ -31,6 +31,7 @@ from ..parallel import Backend, SweepEngine, SweepJournal, spawn_seeds
 from ..stats.compare import relative_error
 from ..stats.intervals import ConfidenceInterval, mean_confidence_interval
 from ..workload.destinations import DestinationPolicy
+from .components import LatencySink
 from .simulator import MultiClusterSimulator, SimulationConfig, SimulationResult
 
 __all__ = [
@@ -121,6 +122,30 @@ def run_simulation_task(
     return MultiClusterSimulator(system, config, destination_policy, arrival_factory).run()
 
 
+class _TraceRecordingSink(LatencySink):
+    """Online-mode sink that still captures per-message timing rows.
+
+    The online sink deliberately does not retain :class:`Message` objects;
+    this subclass appends each measured message's ``(ident, created.hex(),
+    completed.hex())`` row as it is recorded, so ``run_message_trace_task``
+    can serve trace rows from bounded-memory runs too.  Statistics and event
+    flow are untouched — the rows match the array path's exactly.
+    """
+
+    __slots__ = ("trace_rows",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.trace_rows: List[tuple] = []
+
+    def record(self, message) -> None:
+        super().record(message)
+        if self.completed > self.warmup_messages:
+            self.trace_rows.append(
+                (message.ident, message.created_at.hex(), message.completed_at.hex())
+            )
+
+
 def run_message_trace_task(
     system: MultiClusterSystem,
     config: SimulationConfig,
@@ -136,13 +161,28 @@ def run_message_trace_task(
     backends, not just equality of means); being a library function, it is
     importable by socket/SSH worker daemons that cannot unpickle
     test-module closures.
+
+    Both stats modes are supported: ``"array"`` reads the rows from the
+    sink's retained messages (bit-identical legacy path); ``"online"``
+    swaps in a :class:`_TraceRecordingSink` that captures the rows as they
+    stream past without retaining the messages.  The sink never influences
+    event ordering or random draws, so the rows are identical either way.
     """
-    if config.stats_mode != "array":
-        raise ConfigurationError(
-            "per-message traces require stats_mode='array' (the online sink "
-            f"does not retain messages), got {config.stats_mode!r}"
-        )
     simulator = MultiClusterSimulator(system, config, destination_policy, arrival_factory)
+    if config.stats_mode != "array":
+        # The processors bind ``self.sink.record`` lazily (at their first
+        # resume inside run()), so replacing the sink here — constructing it
+        # consumes no event ids — keeps the run byte-identical.
+        simulator.sink = _TraceRecordingSink(
+            simulator.env,
+            config.num_messages,
+            int(config.num_messages * config.warmup_fraction),
+            stats_mode=config.stats_mode,
+            batch_count=config.batch_count,
+            histogram_range=config.histogram_range,
+        )
+        simulator.run()
+        return simulator.sink.trace_rows
     simulator.run()
     return [
         (m.ident, m.created_at.hex(), m.completed_at.hex()) for m in simulator.sink.messages

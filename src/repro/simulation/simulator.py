@@ -23,7 +23,7 @@ extension is validated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..cluster.system import MultiClusterSystem
 from ..des.core import Environment
@@ -44,7 +44,12 @@ from .message import Message
 #: the processor's (speed-scaled) request rate to an :class:`ArrivalProcess`.
 ArrivalFactory = Callable[[float], ArrivalProcess]
 
-__all__ = ["SimulationConfig", "SimulationResult", "MultiClusterSimulator"]
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "MultiClusterSimulator",
+    "collect_simulation_result",
+]
 
 
 @dataclass(frozen=True)
@@ -214,6 +219,72 @@ class SimulationResult:
         return out
 
 
+def collect_simulation_result(
+    sink: LatencySink,
+    centers: Sequence,
+    now: float,
+    config: SimulationConfig,
+    faults: Optional[FaultInjector] = None,
+) -> SimulationResult:
+    """Fold a finished run's sink and service centres into a result.
+
+    Shared by :class:`MultiClusterSimulator` and the lean engine in
+    :mod:`repro.simulation.vectorized_replay`; ``centers`` is any sequence
+    of objects exposing ``name``/``utilization(now)``/``mean_occupancy(now)``
+    in the canonical ``[*icn1, *ecn1, icn2]`` order (dict insertion order is
+    part of the golden fixtures).
+    """
+    if sink.measured == 0:
+        raise SimulationError("simulation finished without measuring any messages")
+
+    # Both sink implementations expose the StatsSink protocol; in array
+    # mode batch_means_interval delegates to the historical batch_means
+    # call on the full value array, keeping the result bit-identical.
+    ci: Optional[ConfidenceInterval] = None
+    if sink.latencies.count >= config.batch_count:
+        ci = sink.latencies.batch_means_interval(config.batch_count)
+
+    remote_count = sink.remote_latencies.count
+    measured = sink.measured
+
+    utilizations: Dict[str, float] = {}
+    occupancies: Dict[str, float] = {}
+    for center in centers:
+        utilizations[center.name] = center.utilization(now)
+        occupancies[center.name] = center.mean_occupancy(now)
+
+    availability: Optional[Dict[str, float]] = None
+    dropped = 0
+    if faults is not None:
+        availability = faults.availability(now)
+        dropped = faults.node_dropped
+        for center in centers:
+            if isinstance(center, FaultyServiceCenterSim):
+                dropped += center.dropped
+
+    return SimulationResult(
+        mean_latency_s=sink.latencies.mean(),
+        confidence_interval=ci,
+        mean_local_latency_s=(
+            sink.local_latencies.mean() if sink.local_latencies.count else 0.0
+        ),
+        mean_remote_latency_s=(
+            sink.remote_latencies.mean() if sink.remote_latencies.count else 0.0
+        ),
+        measured_messages=measured,
+        completed_messages=sink.completed,
+        remote_fraction=remote_count / measured if measured else 0.0,
+        simulated_time_s=now,
+        utilizations=utilizations,
+        mean_occupancies=occupancies,
+        seed=config.seed,
+        stats_mode=config.stats_mode,
+        latency_summary=sink.latencies.summary(),
+        availability=availability,
+        dropped_messages=dropped,
+    )
+
+
 class MultiClusterSimulator:
     """Discrete-event simulator of an HMSCS system."""
 
@@ -355,6 +426,26 @@ class MultiClusterSimulator:
         message_bytes = self.config.message_bytes
         record = self.sink.record
 
+        # Flattened remote chain: the two intermediate hops run as plain
+        # event callbacks instead of generator resumes, so a remote message
+        # costs one process resume (at the final hop) instead of three.  The
+        # closed loop has at most one outstanding message per processor, so
+        # the chain state lives in these cells; ``proxy`` is a never-scheduled
+        # Event the generator parks on — creating it consumes no event id and
+        # each hop's AbsoluteTimeout is still created at exactly the same
+        # point as the generator version, so the (time, priority, eid) pop
+        # order — and therefore every golden trace — is byte-identical.
+        chain: List = [None, 0]
+        proxy = Event(env)
+
+        def _hop3(_event: Event) -> None:
+            final = ecn1[chain[1]].begin(chain[0])
+            final.callbacks.extend(proxy.callbacks)
+
+        def _hop2(_event: Event) -> None:
+            hop = icn2_begin(chain[0])
+            hop.callbacks.append(_hop3)
+
         while True:
             yield timeout(next_interarrival())
             destination = choose()
@@ -372,9 +463,12 @@ class MultiClusterSimulator:
                 yield icn1_begin(message)
             else:
                 # Inter-cluster: source ECN1 -> ICN2 -> destination ECN1.
-                yield ecn1_begin(message)
-                yield icn2_begin(message)
-                yield ecn1[destination[0]].begin(message)
+                chain[0] = message
+                chain[1] = destination[0]
+                proxy.callbacks = []
+                first = ecn1_begin(message)
+                first.callbacks.append(_hop2)
+                yield proxy
 
             message.completed_at = env._now
             record(message)
@@ -463,54 +557,10 @@ class MultiClusterSimulator:
         return self._collect_result()
 
     def _collect_result(self) -> SimulationResult:
-        sink = self.sink
-        if sink.measured == 0:
-            raise SimulationError("simulation finished without measuring any messages")
-        now = self.env.now
-
-        # Both sink implementations expose the StatsSink protocol; in array
-        # mode batch_means_interval delegates to the historical batch_means
-        # call on the full value array, keeping the result bit-identical.
-        ci: Optional[ConfidenceInterval] = None
-        if sink.latencies.count >= self.config.batch_count:
-            ci = sink.latencies.batch_means_interval(self.config.batch_count)
-
-        remote_count = sink.remote_latencies.count
-        measured = sink.measured
-
-        utilizations: Dict[str, float] = {}
-        occupancies: Dict[str, float] = {}
-        for center in [*self.icn1, *self.ecn1, self.icn2]:
-            utilizations[center.name] = center.utilization(now)
-            occupancies[center.name] = center.mean_occupancy(now)
-
-        availability: Optional[Dict[str, float]] = None
-        dropped = 0
-        if self.faults is not None:
-            availability = self.faults.availability(now)
-            dropped = self.faults.node_dropped
-            for center in [*self.icn1, *self.ecn1, self.icn2]:
-                if isinstance(center, FaultyServiceCenterSim):
-                    dropped += center.dropped
-
-        return SimulationResult(
-            mean_latency_s=sink.latencies.mean(),
-            confidence_interval=ci,
-            mean_local_latency_s=(
-                sink.local_latencies.mean() if sink.local_latencies.count else 0.0
-            ),
-            mean_remote_latency_s=(
-                sink.remote_latencies.mean() if sink.remote_latencies.count else 0.0
-            ),
-            measured_messages=measured,
-            completed_messages=sink.completed,
-            remote_fraction=remote_count / measured if measured else 0.0,
-            simulated_time_s=now,
-            utilizations=utilizations,
-            mean_occupancies=occupancies,
-            seed=self.config.seed,
-            stats_mode=self.config.stats_mode,
-            latency_summary=sink.latencies.summary(),
-            availability=availability,
-            dropped_messages=dropped,
+        return collect_simulation_result(
+            self.sink,
+            [*self.icn1, *self.ecn1, self.icn2],
+            self.env.now,
+            self.config,
+            faults=self.faults,
         )

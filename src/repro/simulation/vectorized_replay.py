@@ -1,0 +1,663 @@
+"""Event-loop-free evaluation of fixed traces and eligible closed-loop runs.
+
+The virtual-FIFO insight behind :class:`~repro.simulation.components.ServiceCenterSim`
+(``depart = max(arrival, previous depart) + service``) means that once a
+centre's arrival sequence is known, its departures are a Lindley recurrence
+over a plain array — no event loop required.  This module exploits that twice:
+
+* :func:`replay_trace` evaluates a fixed :class:`~repro.workload.messages.WorkloadTrace`
+  without the DES kernel.  Every local (single-hop) message's departure is
+  computed by a vectorized whole-array recurrence (:func:`_fifo_departures`);
+  the remote three-hop pipeline, whose per-centre arrival order is coupled
+  through the shared ECN1 centres, runs through a *lean* heap of plain
+  tuples that reproduces the kernel's ``(time, priority, event-id)`` pop
+  order exactly.  Service times come from whole-run NumPy pool draws that
+  consume the identical generator bit streams as the DES's per-message
+  draws, so the result — per-message latencies included — is
+  ``float.hex()``-exact against :class:`~repro.simulation.trace_simulator.TraceDrivenSimulator`.
+
+* :class:`VectorizedClosedLoopSimulator` evaluates a closed-loop run
+  (the :class:`~repro.simulation.simulator.MultiClusterSimulator` workload)
+  when the workload is *state independent*: renewal arrivals, no
+  ``failures`` block, default uniform destinations.  It pre-binds the
+  identical batched :class:`~repro.des.rng.VariateStream` draws and drives
+  the real service centres and latency sink from a flat event loop with no
+  generator/process machinery, producing bit-identical
+  :class:`~repro.simulation.simulator.SimulationResult` objects.
+
+Eligibility is explicit — :func:`vectorization_blockers` /
+:func:`can_vectorize` — and the task entry point
+(:func:`run_vectorized_simulation_task`) *refuses* ineligible workloads
+with a :class:`~repro.errors.ConfigurationError` instead of silently
+computing something else; the pipeline's ``engine_mode="auto"`` falls back
+to the DES task in that case.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.system import MultiClusterSystem
+from ..des.core import Environment
+from ..des.events import Timeout
+from ..des.rng import RandomStreams
+from ..errors import ConfigurationError, SimulationError
+from ..queueing.distributions import Deterministic, Distribution, Exponential
+from ..stats.intervals import ConfidenceInterval, batch_means
+from ..stats.sinks import OnlineMonitor
+from ..workload.destinations import DestinationPolicy, UniformDestinations
+from ..workload.messages import WorkloadTrace
+from .components import LatencySink
+from .message import Message
+from .simulator import (
+    MultiClusterSimulator,
+    SimulationConfig,
+    SimulationResult,
+    collect_simulation_result,
+)
+from .trace_simulator import (
+    TraceDrivenSimulator,
+    TraceSimulationConfig,
+    TraceSimulationResult,
+)
+
+__all__ = [
+    "replay_trace",
+    "VectorizedClosedLoopSimulator",
+    "vectorization_blockers",
+    "can_vectorize",
+    "run_vectorized_simulation_task",
+    "run_vectorized_point",
+]
+
+
+# ---------------------------------------------------------------------------
+# The vectorized FIFO recurrence
+# ---------------------------------------------------------------------------
+
+
+def _fifo_departures_scalar(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
+    """Reference scalar Lindley recurrence (exact DES arithmetic)."""
+    departures = np.empty(len(arrivals))
+    next_free = 0.0
+    out = departures.tolist()
+    for i, (arrival, service) in enumerate(zip(arrivals.tolist(), services.tolist())):
+        start = next_free
+        if start < arrival:
+            start = arrival
+        next_free = start + service
+        out[i] = next_free
+    return np.asarray(out)
+
+
+def _fifo_departures(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
+    """Whole-array FIFO departure times, bit-exact to the scalar recurrence.
+
+    The busy-period *segmentation* is found with a vectorized cummax over
+    the arrival-minus-cumulative-service slack; each segment's departures
+    are then an ``np.cumsum`` seeded with the segment's opening arrival.
+    ``cumsum`` on a 1-D float64 array accumulates sequentially, so within a
+    segment the additions associate exactly as the DES's
+    ``depart = prev_depart + service`` chain.  Because the cummax slack
+    comparison itself regroups additions (and is therefore only *almost*
+    always the true segmentation), the boundaries are verified afterwards
+    against the computed departures: a restart at ``i`` is valid iff
+    ``arrivals[i] >= departures[i-1]`` and a continuation iff
+    ``arrivals[i] <= departures[i-1]`` (a tie yields the same float either
+    way).  On the rare verification failure the exact scalar recurrence is
+    used instead — the fast path is never silently wrong.
+    """
+    n = arrivals.shape[0]
+    if n == 0:
+        return np.empty(0)
+    prefix = np.empty(n)
+    prefix[0] = 0.0
+    np.cumsum(services[:-1], out=prefix[1:])
+    slack = arrivals - prefix
+    peaks = np.maximum.accumulate(slack)
+    restart = np.empty(n, dtype=bool)
+    restart[0] = True
+    # A new busy period starts where the arrival overtakes every earlier
+    # departure, i.e. where the slack reaches a new running maximum.
+    restart[1:] = slack[1:] >= peaks[:-1]
+
+    departures = np.empty(n)
+    starts = np.flatnonzero(restart)
+    bounds = np.append(starts, n)
+    seg_len = np.diff(bounds)
+    single = starts[seg_len == 1]
+    departures[single] = arrivals[single] + services[single]
+    for seg_start, seg_end in zip(starts[seg_len > 1], bounds[1:][seg_len > 1]):
+        chain = np.empty(seg_end - seg_start + 1)
+        chain[0] = arrivals[seg_start]
+        chain[1:] = services[seg_start:seg_end]
+        departures[seg_start:seg_end] = np.cumsum(chain)[1:]
+
+    if n > 1:
+        prev = departures[:-1]
+        valid = np.where(restart[1:], arrivals[1:] >= prev, arrivals[1:] <= prev)
+        if not valid.all():
+            return _fifo_departures_scalar(arrivals, services)
+    return departures
+
+
+# ---------------------------------------------------------------------------
+# Trace replay
+# ---------------------------------------------------------------------------
+
+# Lean-heap event kinds.  Entries are plain ``(time, eid, kind, index)``
+# tuples; ``eid`` replicates the DES kernel's event-id counter, so ties in
+# time resolve exactly as they do in the event queue.  (Every scheduled
+# event of a trace replay is NORMAL priority — the URGENT Initialize events
+# pop back-to-back and are folded into their creating pop — so the
+# priority column of the kernel's ``(time, priority, eid)`` key is constant
+# and can be dropped from the heap tuples.)
+_LOCAL_DONE = 1  # precomputed ICN1 departure: local message completes
+_HOP1 = 2  # source-ECN1 departure of a remote message
+_HOP2 = 3  # ICN2 departure of a remote message
+_HOP3 = 4  # destination-ECN1 departure: remote message completes
+
+
+def _service_pool(
+    distribution: Distribution, rng, count: int
+) -> Tuple[np.ndarray, List[float]]:
+    """Pre-draw a centre's entire service-time sequence in one NumPy call.
+
+    A block draw of ``n`` exponentials consumes the identical generator bit
+    stream as ``n`` successive scalar draws (the invariant
+    :class:`~repro.des.rng.VariateStream` is built on), so the pool equals
+    the sequence the DES would have served.  Returns the array (for the
+    vectorized recurrence / busy-time cumsum) and its ``tolist()`` (for the
+    scalar hop loop).
+    """
+    if isinstance(distribution, Exponential):
+        pool = rng.rng.exponential(distribution.mean_value, count)
+    elif isinstance(distribution, Deterministic):
+        pool = np.full(count, float(distribution.value))
+    else:  # pragma: no cover - trace configs only build the two above
+        pool = np.asarray([distribution.sample(rng) for _ in range(count)])
+    return pool, pool.tolist()
+
+
+def _sequential_sum(pool: np.ndarray) -> float:
+    """Left-to-right float sum, matching repeated ``+=`` accumulation."""
+    if pool.shape[0] == 0:
+        return 0.0
+    return float(np.cumsum(pool)[-1])
+
+
+def replay_trace(
+    system: MultiClusterSystem,
+    trace: WorkloadTrace,
+    config: Optional[TraceSimulationConfig] = None,
+) -> TraceSimulationResult:
+    """Evaluate a trace replay without running the event loop.
+
+    Takes exactly the inputs of
+    :class:`~repro.simulation.trace_simulator.TraceDrivenSimulator` and
+    returns a ``float.hex()``-identical
+    :class:`~repro.simulation.trace_simulator.TraceSimulationResult` —
+    same per-message latencies in the same completion order, same
+    batch-means interval, same utilizations and makespan — for every seed,
+    architecture and stats mode (the golden-trace suite pins this).
+    """
+    # Constructing the simulator reuses its validation and centre/stream
+    # setup; VariateStreams are lazy, so no random bits are consumed.
+    sim = TraceDrivenSimulator(system, trace, config)
+    cfg = sim.config
+    entries = trace.entries  # read-only view; the trace is never mutated
+    n = len(entries)
+    num_clusters = len(sim.icn1)
+
+    times = np.asarray([entry.time for entry in entries])
+    delays = np.empty(n)
+    delays[0] = times[0]
+    delays[1:] = np.diff(times)
+    if np.any(delays < 0):
+        raise SimulationError("trace entries must be sorted by time")
+    # Message creation times accumulate exactly as the injector's clock
+    # does: the DES advances by ``delay`` per wave, so created_at is the
+    # sequential cumsum of deltas, not the raw entry time.
+    created = np.cumsum(delays)
+
+    src = np.asarray([entry.source[0] for entry in entries])
+    dst = np.asarray([entry.destination[0] for entry in entries])
+    is_local = src == dst
+
+    # Per-centre whole-run service pools, in begin (= draw) order.
+    icn1_pools: List[np.ndarray] = []
+    # Per-message ICN1 departure time (meaningful for local messages only):
+    # flattened so the hot loop does one list lookup per local completion.
+    ldone_time = np.zeros(n)
+    ecn1_pools: List[np.ndarray] = []
+    ecn1_serve: List[List[float]] = []
+    for c in range(num_clusters):
+        local_mask = is_local & (src == c)
+        pool, _ = _service_pool(
+            sim.icn1[c].service_distribution, sim.icn1[c].rng, int(local_mask.sum())
+        )
+        icn1_pools.append(pool)
+        # Local messages hit their cluster's ICN1 in trace order at their
+        # creation times — a fully static arrival sequence, evaluated with
+        # the whole-array recurrence.
+        ldone_time[local_mask] = _fifo_departures(created[local_mask], pool)
+        remote_count = int(((~is_local) & ((src == c) | (dst == c))).sum())
+        pool, serve = _service_pool(
+            sim.ecn1[c].service_distribution, sim.ecn1[c].rng, remote_count
+        )
+        ecn1_pools.append(pool)
+        ecn1_serve.append(serve)
+    remote_total = int((~is_local).sum())
+    icn2_pool, icn2_serve = _service_pool(
+        sim.icn2.service_distribution, sim.icn2.rng, remote_total
+    )
+
+    # Injector waves: a wave is a maximal run of entries at one clock value.
+    wave_starts = np.flatnonzero(delays > 0)
+    if delays[0] <= 0:
+        wave_starts = np.concatenate(([0], wave_starts))
+    wave_bounds = np.append(wave_starts, n).tolist()
+    num_waves = len(wave_starts)
+
+    created_list = created.tolist()
+    src_list = src.tolist()
+    dst_list = dst.tolist()
+    local_list = is_local.tolist()
+    ldone_list = ldone_time.tolist()
+
+    # Mutable per-centre virtual-queue state for the remote pipeline.
+    ecn1_next_free = [0.0] * num_clusters
+    ecn1_cursor = [0] * num_clusters
+    icn2_next_free = 0.0
+    icn2_cursor = 0
+
+    heap: List[Tuple[float, int, int, int]] = []
+    push = heappush
+    pop = heappop
+
+    latencies: List[float] = []
+    lat_append = latencies.append
+    monitor = sim._monitor  # OnlineMonitor in online mode, else None
+    record = None if monitor is None else monitor.record
+    now = 0.0
+
+    # Injector wave cursor.  Each wave's timeout heap key is fully known one
+    # wave ahead (its event id is assigned while the previous wave is
+    # processed) and the timeouts are totally ordered, so instead of flowing
+    # through the heap they are merged against its top — the comparison is
+    # the kernel's ``(time, priority, eid)`` order with the constant
+    # priority dropped.
+    eid = 1  # eid 0: the injector process's Initialize event
+    next_wave = 0
+    next_wave_time = created_list[0]
+    if delays[0] > 0:
+        next_wave_eid = eid
+        eid = 2
+    else:
+        # No timeout precedes wave 0: the injector begins it directly at its
+        # own Initialize pop.  The sentinel id only ever orders against an
+        # empty heap, so no real event id is consumed.
+        next_wave_eid = 0
+
+    while heap or next_wave >= 0:
+        if next_wave >= 0 and (
+            not heap
+            or next_wave_time < heap[0][0]
+            or (next_wave_time == heap[0][0] and next_wave_eid < heap[0][1])
+        ):
+            at = now = next_wave_time
+            start_idx = wave_bounds[next_wave]
+            end_idx = wave_bounds[next_wave + 1]
+            # The injector first creates one Initialize per same-time entry,
+            # then either the next wave's timeout or its own finish event;
+            # only the counter order matters for the unscheduled ids, so
+            # they are plain increments.
+            eid += end_idx - start_idx
+            next_wave += 1
+            if next_wave < num_waves:
+                next_wave_time = created_list[end_idx]
+                next_wave_eid = eid
+            else:
+                next_wave = -1
+            eid += 1  # next-wave timeout, or the injector's process-finish
+            # The Initializes (URGENT) then pop back-to-back, each consuming
+            # one first-hop event id and beginning its message.
+            for index in range(start_idx, end_idx):
+                hop_eid = eid
+                eid += 1
+                if local_list[index]:
+                    push(heap, (ldone_list[index], hop_eid, _LOCAL_DONE, index))
+                else:
+                    cluster = src_list[index]
+                    start = ecn1_next_free[cluster]
+                    if start < at:
+                        start = at
+                    cursor = ecn1_cursor[cluster]
+                    ecn1_cursor[cluster] = cursor + 1
+                    depart = start + ecn1_serve[cluster][cursor]
+                    ecn1_next_free[cluster] = depart
+                    push(heap, (depart, hop_eid, _HOP1, index))
+            continue
+
+        at, _, kind, index = pop(heap)
+        now = at
+        if kind == _HOP1:
+            hop_eid = eid
+            eid += 1
+            start = icn2_next_free
+            if start < at:
+                start = at
+            depart = start + icn2_serve[icn2_cursor]
+            icn2_cursor += 1
+            icn2_next_free = depart
+            push(heap, (depart, hop_eid, _HOP2, index))
+        elif kind == _HOP2:
+            hop_eid = eid
+            eid += 1
+            cluster = dst_list[index]
+            start = ecn1_next_free[cluster]
+            if start < at:
+                start = at
+            cursor = ecn1_cursor[cluster]
+            ecn1_cursor[cluster] = cursor + 1
+            depart = start + ecn1_serve[cluster][cursor]
+            ecn1_next_free[cluster] = depart
+            push(heap, (depart, hop_eid, _HOP3, index))
+        else:  # _HOP3 / _LOCAL_DONE: the message completes (as _deliver does)
+            if record is None:
+                lat_append(at - created_list[index])
+            else:
+                record(at, at - created_list[index])
+            eid += 1  # the delivery process's finish event
+
+    # Result assembly mirrors TraceDrivenSimulator.run() term for term.
+    ci: Optional[ConfidenceInterval] = None
+    if monitor is None:
+        if len(latencies) >= cfg.batch_count:
+            ci = batch_means(latencies, num_batches=cfg.batch_count)
+        mean_latency = sum(latencies) / len(latencies)
+    else:
+        if monitor.count >= cfg.batch_count:
+            ci = monitor.batch_means_interval(cfg.batch_count)
+        mean_latency = monitor.mean()
+
+    now = float(now)
+    utilizations: Dict[str, float] = {}
+    # Busy time accumulates one += per departure in begin order; the
+    # sequential cumsum reproduces that association exactly.  At the end of
+    # a replay every admitted message has departed, so the pools are the
+    # full busy ledger.
+    for c in range(num_clusters):
+        busy = _sequential_sum(icn1_pools[c])
+        utilizations[f"icn1[{c}]"] = 0.0 if now <= 0 else min(busy / now, 1.0)
+    for c in range(num_clusters):
+        busy = _sequential_sum(ecn1_pools[c])
+        utilizations[f"ecn1[{c}]"] = 0.0 if now <= 0 else min(busy / now, 1.0)
+    busy = _sequential_sum(icn2_pool)
+    utilizations["icn2"] = 0.0 if now <= 0 else min(busy / now, 1.0)
+
+    # Open-loop replays drain completely: every injected message completes,
+    # so the counters are the trace's own totals.
+    return TraceSimulationResult(
+        mean_latency_s=float(mean_latency),
+        confidence_interval=ci,
+        completed_messages=n,
+        injected_messages=n,
+        remote_fraction=remote_total / n,
+        makespan_s=now,
+        utilizations=utilizations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Eligibility
+# ---------------------------------------------------------------------------
+
+
+def vectorization_blockers(
+    config: Optional[SimulationConfig] = None,
+    destination_policy: Optional[DestinationPolicy] = None,
+    arrival_factory=None,
+    failures=None,
+) -> List[str]:
+    """Reasons a closed-loop workload cannot take the vectorized engine.
+
+    The engine pre-binds every random stream up front, which is only valid
+    when the workload is state independent: renewal arrivals (each
+    inter-arrival draw i.i.d., no hidden modulating state), no failure
+    injection, and the default uniform destination policy.  Returns an
+    empty list when eligible; each string names one blocker.  The check is
+    deliberately conservative — e.g. a ``destination_policy`` *factory*
+    (rather than a built :class:`UniformDestinations` instance) is refused
+    even if it would build a uniform policy — because refusing an eligible
+    workload costs only speed, while accepting an ineligible one would be
+    silently wrong.
+    """
+    reasons: List[str] = []
+    if failures is None and config is not None:
+        failures = config.failures
+    if failures is not None:
+        reasons.append("failure injection (a 'failures' block) requires the DES engine")
+    if destination_policy is not None and type(destination_policy) is not UniformDestinations:
+        reasons.append(
+            f"destination policy {type(destination_policy).__name__} is not the "
+            "default uniform policy"
+        )
+    if arrival_factory is not None:
+        try:
+            probe = arrival_factory(1.0)
+        except Exception as exc:  # conservative: unknown factory -> DES
+            reasons.append(f"arrival factory could not be probed ({exc!r})")
+        else:
+            if not getattr(probe, "renewal", False):
+                reasons.append(
+                    f"arrival process {type(probe).__name__} is not a renewal "
+                    "process (state carried between draws)"
+                )
+    return reasons
+
+
+def can_vectorize(
+    config: Optional[SimulationConfig] = None,
+    destination_policy: Optional[DestinationPolicy] = None,
+    arrival_factory=None,
+    failures=None,
+) -> bool:
+    """``True`` when :func:`vectorization_blockers` finds no blocker."""
+    return not vectorization_blockers(config, destination_policy, arrival_factory, failures)
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop lean engine
+# ---------------------------------------------------------------------------
+
+_ARRIVE = 0
+_DONE_LOCAL = 1
+_DONE_HOP1 = 2
+_DONE_HOP2 = 3
+_DONE_HOP3 = 4
+
+
+class VectorizedClosedLoopSimulator:
+    """Closed-loop run of a state-independent workload, without the kernel.
+
+    Builds on a plain :class:`~repro.simulation.simulator.MultiClusterSimulator`
+    *construction* — the same service centres, latency sink, batched
+    variate streams and destination choosers — but replaces the
+    generator/process machinery with a flat pop loop over the environment's
+    event queue.  Hop progress rides in each event's otherwise-unused
+    ``_value`` slot; event ids are consumed at exactly the points the
+    kernel would consume them, so every heap key, every random draw and
+    therefore every statistic is bit-identical to the DES run.  Eligibility
+    (:func:`vectorization_blockers`) is enforced at construction — an
+    ineligible workload raises :class:`~repro.errors.ConfigurationError`
+    rather than silently degrading.
+    """
+
+    __slots__ = ("_sim",)
+
+    def __init__(
+        self,
+        system: MultiClusterSystem,
+        config: Optional[SimulationConfig] = None,
+        destination_policy: Optional[DestinationPolicy] = None,
+        arrival_factory=None,
+    ) -> None:
+        config = config if config is not None else SimulationConfig()
+        reasons = vectorization_blockers(config, destination_policy, arrival_factory)
+        if reasons:
+            raise ConfigurationError(
+                "workload is not vectorizable: " + "; ".join(reasons)
+            )
+        self._sim = MultiClusterSimulator.__new__(MultiClusterSimulator)
+        # Reuse the DES simulator's construction wholesale (centres, sink,
+        # streams) but skip _start_processors: the lean loop plays the
+        # processors' part itself.
+        sim = self._sim
+        sim.system = system
+        sim.config = config
+        sim.cluster_sizes = [c.num_processors for c in system.clusters]
+        if sum(sim.cluster_sizes) < 2:
+            raise ConfigurationError("simulation needs at least two processors")
+        sim.destination_policy = (
+            destination_policy
+            if destination_policy is not None
+            else UniformDestinations(sim.cluster_sizes)
+        )
+        sim.arrival_factory = arrival_factory
+        sim._streams = RandomStreams(config.seed)
+        sim.faults = None
+        sim.env = Environment()
+        sim._build_service_centers()
+        warmup = int(config.num_messages * config.warmup_fraction)
+        sim.sink = LatencySink(
+            sim.env,
+            config.num_messages,
+            warmup,
+            stats_mode=config.stats_mode,
+            batch_count=config.batch_count,
+            histogram_range=config.histogram_range,
+        )
+        sim._message_counter = 0
+
+    def run(self) -> SimulationResult:
+        """Drive the run to completion and collect the standard result."""
+        sim = self._sim
+        env = sim.env
+        config = sim.config
+        queue = env._queue
+        next_eid = env._eid.__next__
+        sink = sim.sink
+        done = sink.done
+        record = sink.record
+        icn1 = sim.icn1
+        ecn1 = sim.ecn1
+        icn2_begin = sim.icn2.begin
+        message_bytes = config.message_bytes
+
+        # Per-processor workload state, in the kernel's start order.  Each
+        # processor's Initialize event consumes one event id at creation;
+        # its first think-time Timeout is then created at the Initialize
+        # pop, which at t=0 happens before any other event — so the draws
+        # and event ids land exactly where _start_processors puts them.
+        sources: List[Tuple[int, int]] = []
+        arrivals: List[Callable[[], float]] = []
+        choosers: List[Callable[[], Tuple[int, int]]] = []
+        for cluster_idx, cluster in enumerate(sim.system.clusters):
+            rate = cluster.processor_type.scaled_rate(config.generation_rate)
+            for proc_idx in range(cluster.num_processors):
+                next_eid()  # the processor's Initialize event
+                source = (cluster_idx, proc_idx)
+                arrival_rng = sim._streams.stream(f"arrivals-{cluster_idx}-{proc_idx}")
+                dest_rng = sim._streams.stream(f"destination-{cluster_idx}-{proc_idx}")
+                if sim.arrival_factory is None:
+                    arrivals.append(arrival_rng.exponential_rate_stream(rate))
+                else:
+                    arrivals.append(sim.arrival_factory(rate).sampler(arrival_rng))
+                choosers.append(sim.destination_policy.chooser(source, dest_rng))
+                sources.append(source)
+        for proc, draw in enumerate(arrivals):
+            Timeout(env, draw(), (_ARRIVE, proc, None))
+
+        while True:
+            at, _, _, event = heappop(queue)
+            env._now = at
+            if event is done:
+                break
+            kind, proc, message = event._value
+            if kind == _ARRIVE:
+                destination = choosers[proc]()
+                source = sources[proc]
+                message = Message(
+                    ident=sim._message_counter,
+                    source=source,
+                    destination=destination,
+                    size_bytes=message_bytes,
+                    created_at=at,
+                )
+                sim._message_counter += 1
+                if destination[0] == source[0]:
+                    hop = icn1[source[0]].begin(message)
+                    hop._value = (_DONE_LOCAL, proc, message)
+                else:
+                    hop = ecn1[source[0]].begin(message)
+                    hop._value = (_DONE_HOP1, proc, message)
+            elif kind == _DONE_HOP1:
+                event.callbacks[0](event)  # source ECN1 departure bookkeeping
+                hop = icn2_begin(message)
+                hop._value = (_DONE_HOP2, proc, message)
+            elif kind == _DONE_HOP2:
+                event.callbacks[0](event)
+                hop = ecn1[message.destination[0]].begin(message)
+                hop._value = (_DONE_HOP3, proc, message)
+            else:  # _DONE_HOP3 / _DONE_LOCAL: the message completes
+                event.callbacks[0](event)
+                message.completed_at = at
+                record(message)
+                Timeout(env, arrivals[proc](), (_ARRIVE, proc, None))
+
+        return collect_simulation_result(
+            sink, [*icn1, *ecn1, sim.icn2], env.now, config, faults=None
+        )
+
+
+def run_vectorized_simulation_task(
+    system: MultiClusterSystem,
+    config: SimulationConfig,
+    destination_policy: Optional[DestinationPolicy] = None,
+    arrival_factory=None,
+) -> SimulationResult:
+    """Vectorized twin of :func:`~repro.simulation.runner.run_simulation_task`.
+
+    Same signature (and module-level, so socket/pool workers can unpickle
+    it); raises :class:`~repro.errors.ConfigurationError` for workloads
+    that fail the eligibility check instead of silently falling back —
+    routing policy (``engine_mode``) lives in the pipeline, not here.
+    """
+    return VectorizedClosedLoopSimulator(
+        system, config, destination_policy, arrival_factory
+    ).run()
+
+
+def run_vectorized_point(
+    system: MultiClusterSystem,
+    config: SimulationConfig,
+    replications: int,
+) -> List[SimulationResult]:
+    """Evaluate all replications of one sweep point on the lean engine.
+
+    Replication seeds spawn from ``config.seed`` exactly as
+    :func:`~repro.simulation.runner.replication_configs` spawns them for
+    the DES path, and each replication pre-binds its whole bit stream up
+    front, so the batch is element-for-element identical to the DES
+    results for the same point.
+    """
+    from .runner import replication_configs
+
+    return [
+        VectorizedClosedLoopSimulator(system, rep_config).run()
+        for rep_config in replication_configs(config, replications)
+    ]

@@ -20,9 +20,14 @@ from repro.des.rng import RandomStreams
 from repro.network.technologies import FAST_ETHERNET, GIGABIT_ETHERNET
 from repro.parallel import SweepEngine, SweepTask
 from repro.parallel.backends import ProcessPoolBackend, SerialBackend, SocketBackend
-from repro.simulation.runner import run_message_trace_task
+from repro.simulation.runner import run_message_trace_task, run_simulation_task
 from repro.simulation.simulator import MultiClusterSimulator, SimulationConfig
 from repro.simulation.trace_simulator import TraceDrivenSimulator, TraceSimulationConfig
+from repro.simulation.vectorized_replay import (
+    replay_trace,
+    run_vectorized_simulation_task,
+)
+from repro.workload.arrivals import DeterministicArrivals
 from repro.workload.destinations import LocalizedDestinations
 from repro.workload.messages import generate_trace
 
@@ -109,6 +114,69 @@ class TestGoldenTraceDrivenSimulator:
         assert [x.hex() for x in sim._latencies] == expected["latencies"]
 
 
+def _ties_trace():
+    """Periodic arrivals: 150 messages share only ~19 distinct clock values."""
+    return generate_trace(
+        [4, 4], num_messages=150,
+        arrival_process=DeterministicArrivals(rate=0.5), seed=21,
+    )
+
+
+class TestGoldenVectorizedReplay:
+    """The event-loop-free replay reproduces the DES goldens bit for bit."""
+
+    def test_replay_trace_matches_trace_driven_fixture(self, golden):
+        """Same fixture entry as the DES replay — the vectorized evaluator
+        must land on the pre-PR4 golden numbers, not merely near them."""
+        expected = golden["trace_driven"]
+        trace = generate_trace([4, 4], num_messages=200, seed=42)
+        result = replay_trace(_system(), trace, TraceSimulationConfig(seed=7))
+        assert result.mean_latency_s.hex() == expected["mean_latency_s"]
+        assert result.makespan_s.hex() == expected["makespan_s"]
+        assert result.completed_messages == expected["completed"]
+        assert result.remote_fraction.hex() == expected["remote_fraction"]
+        for name, value in result.utilizations.items():
+            assert value.hex() == expected["utilizations"][name], name
+
+    def test_deterministic_ties_fixture_both_engines(self, golden):
+        """Deterministic service + periodic arrivals produce heavy event-time
+        ties — the case most likely to expose event-id drift in the lean
+        heap.  Both engines must reproduce the DES-captured fixture."""
+        expected = golden["trace_driven_deterministic_ties"]
+        config = TraceSimulationConfig(seed=7, exponential_service=False)
+
+        des = TraceDrivenSimulator(_system(), _ties_trace(), config)
+        des_result = des.run()
+        assert [x.hex() for x in des._latencies] == expected["latencies"]
+
+        vec_result = replay_trace(_system(), _ties_trace(), config)
+        for result in (des_result, vec_result):
+            assert result.mean_latency_s.hex() == expected["mean_latency_s"]
+            assert result.makespan_s.hex() == expected["makespan_s"]
+            assert result.completed_messages == expected["completed"]
+            assert result.remote_fraction.hex() == expected["remote_fraction"]
+            assert result.confidence_interval.mean.hex() == expected["ci_mean"]
+            assert result.confidence_interval.half_width.hex() == expected["ci_half_width"]
+            for name, value in result.utilizations.items():
+                assert value.hex() == expected["utilizations"][name], name
+
+    def test_vectorized_closed_loop_matches_simulator_fixture(self, golden):
+        """The lean closed-loop engine lands on the closed-loop golden."""
+        expected = golden["multicluster_nonblocking_exponential"]
+        result = run_vectorized_simulation_task(
+            _system(), SimulationConfig(num_messages=250, seed=1234)
+        )
+        assert result.mean_latency_s.hex() == expected["mean_latency_s"]
+        assert result.simulated_time_s.hex() == expected["simulated_time_s"]
+        assert result.measured_messages == expected["measured"]
+        assert result.completed_messages == expected["completed"]
+        assert result.remote_fraction.hex() == expected["remote_fraction"]
+        for name, value in result.utilizations.items():
+            assert value.hex() == expected["utilizations"][name], name
+        for name, value in result.mean_occupancies.items():
+            assert value.hex() == expected["occupancies"][name], name
+
+
 class TestGoldenRandomStreams:
     """The batched-RNG determinism guarantee, pinned draw by draw."""
 
@@ -176,3 +244,22 @@ class TestGoldenAcrossBackends:
         for name, engine in engines.items():
             (per_message,) = engine.run(tasks)
             assert per_message == expected, f"{name} backend diverged from the golden trace"
+
+    def test_vectorized_task_identical_on_every_backend(self):
+        """The vectorized closed-loop task — the unit of work engine_mode=auto
+        ships — returns the same SimulationResult as the DES task on serial,
+        pool and socket backends (full dataclass equality, so per-field
+        bit-identity)."""
+        config = SimulationConfig(num_messages=250, seed=1234)
+        reference = run_simulation_task(_system(), config)
+        tasks = [SweepTask(fn=run_vectorized_simulation_task, args=(_system(), config))]
+        engines = {
+            "serial": SweepEngine(backend=SerialBackend()),
+            "pool": SweepEngine(backend=ProcessPoolBackend(jobs=2)),
+            "socket": SweepEngine(
+                backend=SocketBackend(spawn_workers=1, accept_timeout=ACCEPT_TIMEOUT)
+            ),
+        }
+        for name, engine in engines.items():
+            (result,) = engine.run(tasks)
+            assert result == reference, f"{name} backend diverged from the DES result"

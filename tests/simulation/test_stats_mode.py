@@ -121,10 +121,15 @@ class TestTaskLayer:
         assert result.stats_mode == "online"
         assert result.measured_messages > 0
 
-    def test_trace_task_rejects_online(self):
-        config = SimulationConfig(num_messages=300, seed=3, stats_mode="online")
-        with pytest.raises(ConfigurationError, match="stats_mode='array'"):
-            run_message_trace_task(_system(), config)
+    def test_trace_task_rows_identical_in_online_mode(self):
+        """The streaming trace sink yields the array path's rows exactly."""
+        arr = run_message_trace_task(
+            _system(), SimulationConfig(num_messages=300, seed=3)
+        )
+        onl = run_message_trace_task(
+            _system(), SimulationConfig(num_messages=300, seed=3, stats_mode="online")
+        )
+        assert onl == arr
 
 
 @pytest.mark.skipif(
